@@ -1,0 +1,122 @@
+// Command ease measures one program the way the paper's EASE environment
+// did: it compiles a Table-3 program (by name) or a mini-C file, runs it,
+// and reports static counts, dynamic counts and (optionally) the cache bank
+// of Table 6.
+//
+//	ease -prog wc -machine sparc -level jumps -caches
+//	ease -file myprog.c -in input.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	progName := flag.String("prog", "", "Table-3 program name (see `tables -list`)")
+	file := flag.String("file", "", "mini-C source file (alternative to -prog)")
+	inFile := flag.String("in", "", "input file (default: the program's canned input for -prog)")
+	machName := flag.String("machine", "68020", "target machine: 68020 or sparc")
+	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
+	caches := flag.Bool("caches", false, "simulate the Table-6 instruction caches")
+	showOutput := flag.Bool("output", false, "print the program's output")
+	traceFile := flag.String("trace", "", "write the instruction-fetch trace (one `addr size` pair per line) to this file, for cmd/cachesim")
+	flag.Parse()
+
+	req := ease.Request{SimulateCaches: *caches}
+	switch {
+	case *progName != "":
+		p := bench.ProgramByName(*progName)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "ease: unknown program %q\n", *progName)
+			os.Exit(2)
+		}
+		req.Name, req.Source, req.Input = p.Name, p.Source, []byte(p.Input)
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ease:", err)
+			os.Exit(1)
+		}
+		req.Name, req.Source = *file, string(src)
+	default:
+		fmt.Fprintln(os.Stderr, "ease: need -prog or -file")
+		os.Exit(2)
+	}
+	if *inFile != "" {
+		in, err := os.ReadFile(*inFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ease:", err)
+			os.Exit(1)
+		}
+		req.Input = in
+	}
+	switch *machName {
+	case "68020", "68k":
+		req.Machine = machine.M68020
+	case "sparc", "SPARC":
+		req.Machine = machine.SPARC
+	default:
+		fmt.Fprintf(os.Stderr, "ease: unknown machine %q\n", *machName)
+		os.Exit(2)
+	}
+	lv, err := pipeline.ParseLevel(*levelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ease:", err)
+		os.Exit(2)
+	}
+	req.Level = lv
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ease:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		req.OnFetch = func(addr, size int64) {
+			fmt.Fprintf(w, "%d %d\n", addr, size)
+		}
+		defer fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
+	}
+
+	run, err := ease.Measure(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *showOutput {
+		os.Stdout.Write(run.Output)
+		fmt.Println()
+	}
+	fmt.Printf("%s on %s at %s\n", req.Name, req.Machine.Name, lv)
+	fmt.Printf("  static:  %d instructions (%d bytes), %d jumps (%d indirect), %d branches, %d no-ops\n",
+		run.Static.StaticInsts, run.CodeBytes, run.Static.StaticJumps,
+		run.Static.StaticIndirect, run.Static.StaticBranches, run.Static.StaticNops)
+	fmt.Printf("  dynamic: %d executed, %d uncond jumps (%.2f%%), %d branches (%d taken), %d no-ops\n",
+		run.Dynamic.Exec, run.Dynamic.UncondJumps, 100*run.DynamicJumpFraction(),
+		run.Dynamic.CondBranches, run.Dynamic.TakenBranches, run.Dynamic.Nops)
+	fmt.Printf("  instructions between branches: %.2f\n", run.InstsBetweenBranches())
+	if run.Caches != nil {
+		fmt.Printf("  caches (direct-mapped, %d-byte lines, miss=%dx hit):\n",
+			cache.DefaultLineBytes, cache.MissCost)
+		for _, cs := range run.Caches {
+			ctx := "ctx on "
+			if !cs.CtxSwitches {
+				ctx = "ctx off"
+			}
+			fmt.Printf("    %4dKb %s  miss ratio %6.3f%%  fetch cost %d\n",
+				cs.SizeBytes/1024, ctx, 100*cs.MissRatio(), cs.Cost)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command mcc is the compiler driver: it compiles a mini-C source file for
+// one of the simulated machines at one of the paper's optimization levels
+// and prints the resulting RTLs (optionally before optimization too).
+//
+//	mcc -machine sparc -level jumps prog.c
+//	mcc -dump-naive prog.c            # show the front end's raw RTLs
+//	mcc -S prog.c                     # emit target assembly syntax
+//	mcc -dot prog.c | dot -Tsvg ...   # flow graph in Graphviz form
+//	mcc -run -in input.txt prog.c     # also execute and report counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+	"repro/internal/vm"
+)
+
+func main() {
+	machName := flag.String("machine", "68020", "target machine: 68020 or sparc")
+	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
+	dumpNaive := flag.Bool("dump-naive", false, "print the unoptimized RTLs and exit")
+	emitAsm := flag.Bool("S", false, "emit target assembly syntax instead of RTLs")
+	emitDot := flag.Bool("dot", false, "emit the flow graph in Graphviz dot form")
+	run := flag.Bool("run", false, "execute the optimized program")
+	inFile := flag.String("in", "", "input file for -run (default: empty input)")
+	maxSeq := flag.Int("maxseq", 0, "cap replication sequences at this many RTLs")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcc:", err)
+		os.Exit(1)
+	}
+	prog, err := mcc.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcc:", err)
+		os.Exit(1)
+	}
+	if *dumpNaive {
+		fmt.Print(prog)
+		return
+	}
+	var m *machine.Machine
+	switch *machName {
+	case "68020", "68k":
+		m = machine.M68020
+	case "sparc", "SPARC":
+		m = machine.SPARC
+	default:
+		fmt.Fprintf(os.Stderr, "mcc: unknown machine %q\n", *machName)
+		os.Exit(2)
+	}
+	lv, err := pipeline.ParseLevel(*levelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcc:", err)
+		os.Exit(2)
+	}
+	st := pipeline.Optimize(prog, pipeline.Config{
+		Machine:     m,
+		Level:       lv,
+		Replication: replicate.Options{MaxSeqRTLs: *maxSeq},
+	})
+	switch {
+	case *emitAsm:
+		if err := asm.Emit(os.Stdout, prog, m); err != nil {
+			fmt.Fprintln(os.Stderr, "mcc:", err)
+			os.Exit(1)
+		}
+	case *emitDot:
+		for _, f := range prog.Funcs {
+			fmt.Print(cfg.Dot(f))
+		}
+	default:
+		fmt.Print(prog)
+	}
+	fmt.Printf("; %s/%s: %d instructions, %d unconditional jumps (%d indirect), %d branches, %d no-ops\n",
+		m.Name, lv, st.StaticInsts, st.StaticJumps, st.StaticIndirect, st.StaticBranches, st.StaticNops)
+	if !*run {
+		return
+	}
+	var input []byte
+	if *inFile != "" {
+		if input, err = os.ReadFile(*inFile); err != nil {
+			fmt.Fprintln(os.Stderr, "mcc:", err)
+			os.Exit(1)
+		}
+	}
+	res, err := vm.Run(prog, vm.Config{Input: input})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcc:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(res.Output)
+	fmt.Printf("\n; executed %d instructions (%d unconditional jumps), exit %d\n",
+		res.Counts.Exec, res.Counts.UncondJumps, res.ExitCode)
+}

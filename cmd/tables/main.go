@@ -1,0 +1,163 @@
+// Command tables regenerates the paper's experimental tables over the
+// Table-3 test set:
+//
+//	tables -list            print Table 3 (the test set)
+//	tables -table 4         Table 4 (unconditional-jump fractions)
+//	tables -table 5         Table 5 (static/dynamic instruction counts)
+//	tables -table 6         Table 6 (cache miss ratio and fetch cost)
+//	tables -table branchdist  §5.2 instructions-between-branches stats
+//	tables -table cap       §6 ablation: replication length cap sweep
+//	tables                  everything (including the cache simulations)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the test set (Table 3) and exit")
+	table := flag.String("table", "", "which table to produce: 4, 5, 6, branchdist, cap (default: all)")
+	quiet := flag.Bool("q", false, "suppress per-cell progress output")
+	asJSON := flag.Bool("json", false, "emit the raw measurement grid as JSON instead of tables")
+	heuristic := flag.String("heuristic", "shortest", "JUMPS sequence heuristic: shortest, returns, loops")
+	maxSeq := flag.Int("maxseq", 0, "cap replication sequences at this many RTLs (0 = unlimited)")
+	indirect := flag.Bool("indirect", false, "allow sequences terminated by indirect jumps (§6 extension)")
+	flag.Parse()
+
+	if *list {
+		bench.Table3(os.Stdout)
+		return
+	}
+
+	opts := replicate.Options{MaxSeqRTLs: *maxSeq, AllowIndirect: *indirect}
+	switch *heuristic {
+	case "shortest":
+		opts.Heuristic = replicate.HeurShortest
+	case "returns":
+		opts.Heuristic = replicate.HeurReturns
+	case "loops":
+		opts.Heuristic = replicate.HeurLoops
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown heuristic %q\n", *heuristic)
+		os.Exit(2)
+	}
+
+	if *table == "cap" {
+		capSweep(opts, *quiet)
+		return
+	}
+
+	needCaches := *table == "" || *table == "6" || *table == "6s"
+	var progress *os.File
+	if !*quiet {
+		progress = os.Stderr
+	}
+	// The Table-3 rewrites are roughly a tenth of the original programs'
+	// static size, so the paper's small-cache effect (replication hurting a
+	// cache the program barely fits) appears at proportionally smaller
+	// caches; -table 6s runs the same experiment at {128,256,512,1024}
+	// bytes.
+	var sizes []int64
+	if *table == "6s" {
+		sizes = []int64{128, 256, 512, 1024}
+	}
+	res, err := bench.RunAllSizes(needCaches, sizes, opts, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type jsonCell struct {
+			Program   string
+			Machine   string
+			Level     string
+			Static    pipeline.Stats
+			Dynamic   interface{}
+			CodeBytes int64
+			Caches    interface{} `json:",omitempty"`
+		}
+		out := make([]jsonCell, 0, len(res.Cells))
+		for _, c := range res.Cells {
+			out = append(out, jsonCell{
+				Program: c.Program, Machine: c.Machine, Level: c.Level.String(),
+				Static: c.Run.Static, Dynamic: c.Run.Dynamic,
+				CodeBytes: c.Run.CodeBytes, Caches: c.Run.Caches,
+			})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	switch *table {
+	case "":
+		res.WriteAll(os.Stdout, true)
+	case "4":
+		res.Table4(os.Stdout)
+	case "5":
+		res.Table5(os.Stdout)
+	case "6", "6s":
+		res.Table6(os.Stdout)
+	case "branchdist":
+		res.BranchDistance(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+// capSweep implements the §6 ablation: sweep the replication length cap and
+// report code growth vs dynamic savings on the SPARC.
+func capSweep(base replicate.Options, quiet bool) {
+	caps := []int{0, 4, 8, 16, 32, 64}
+	fmt.Printf("Replication length cap sweep (SPARC, JUMPS vs SIMPLE)\n")
+	fmt.Printf("%8s %14s %14s\n", "cap", "static-change", "dynamic-change")
+	for _, c := range caps {
+		var statS, statJ, dynS, dynJ int64
+		for _, p := range bench.Programs() {
+			rs, err := ease.Measure(ease.Request{
+				Name: p.Name, Source: p.Source, Input: []byte(p.Input),
+				Machine: machine.SPARC, Level: pipeline.Simple,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			o := base
+			o.MaxSeqRTLs = c
+			rj, err := ease.Measure(ease.Request{
+				Name: p.Name, Source: p.Source, Input: []byte(p.Input),
+				Machine: machine.SPARC, Level: pipeline.Jumps, Replication: o,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			statS += int64(rs.Static.StaticInsts)
+			statJ += int64(rj.Static.StaticInsts)
+			dynS += rs.Dynamic.Exec
+			dynJ += rj.Dynamic.Exec
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "cap=%d %s done\n", c, p.Name)
+			}
+		}
+		capName := fmt.Sprint(c)
+		if c == 0 {
+			capName = "none"
+		}
+		fmt.Printf("%8s %+13.2f%% %+13.2f%%\n", capName,
+			ease.PercentChange(statS, statJ), ease.PercentChange(dynS, dynJ))
+	}
+}

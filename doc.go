@@ -1,0 +1,5 @@
+// Package repro reproduces Mueller & Whalley, "Avoiding Unconditional
+// Jumps by Code Replication" (PLDI 1992). The implementation lives under
+// internal/; cmd/ holds the drivers and examples/ the runnable examples.
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

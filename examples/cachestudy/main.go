@@ -1,0 +1,48 @@
+// Cachestudy reproduces the paper's Table 6 experiment for one program:
+// it simulates the direct-mapped instruction caches (1/2/4/8 KB, 16-byte
+// lines, miss = 10x hit, context switches every 10,000 time units) and
+// shows how code replication trades a higher miss ratio on small caches for
+// lower total fetch cost on larger ones.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	prog := bench.ProgramByName("od")
+	runs := map[pipeline.Level]*ease.Run{}
+	for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+		run, err := ease.Measure(ease.Request{
+			Name: prog.Name, Source: prog.Source, Input: []byte(prog.Input),
+			Machine: machine.SPARC, Level: lv, SimulateCaches: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		runs[lv] = run
+		fmt.Printf("%-6s: code size %5d bytes, %7d instructions executed\n",
+			lv, run.CodeBytes, run.Dynamic.Exec)
+	}
+
+	fmt.Printf("\n%-10s %10s %12s %12s %12s\n", "cache", "level", "miss ratio", "fetch cost", "vs SIMPLE")
+	for ci, cs := range runs[pipeline.Simple].Caches {
+		if !cs.CtxSwitches {
+			continue // show the context-switching configurations
+		}
+		for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+			st := runs[lv].Caches[ci]
+			delta := 100 * float64(st.Cost-cs.Cost) / float64(cs.Cost)
+			fmt.Printf("%6dKb   %10s %11.3f%% %12d %+11.2f%%\n",
+				st.SizeBytes/1024, lv, 100*st.MissRatio(), st.Cost, delta)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Replication grows the code, so the smallest cache can lose;")
+	fmt.Println("for larger caches the reduced instruction count wins — the paper's §5.3.")
+}

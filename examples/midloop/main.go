@@ -1,0 +1,65 @@
+// Midloop reproduces the paper's Table 1 scenario: a loop whose exit
+// condition sits in the middle, which conventional loop rotation cannot
+// handle but generalized code replication (JUMPS) can. The example prints
+// the optimized RTLs for both levels and the dynamic instruction counts.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+)
+
+// The paper's Table 1 kernel:
+//
+//	i = 1;
+//	while (i <= n) { x[i-1] = x[i]; i++; }
+//
+// lowered with the exit test in the middle of the loop.
+const src = `
+int x[2000];
+int n = 1500;
+
+int main() {
+	int i;
+	for (i = 0; i < 2000; i++)
+		x[i] = i;
+	i = 1;
+	while (1) {
+		if (i > n)      /* exit condition in the middle of the loop */
+			break;
+		x[i-1] = x[i];
+		i++;
+	}
+	printint(x[0] + x[n-1] + x[1999]);
+	putchar('\n');
+	return 0;
+}
+`
+
+func main() {
+	for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+		prog, err := mcc.Compile(src)
+		if err != nil {
+			panic(err)
+		}
+		run, err := ease.MeasureProgram(prog, ease.Request{
+			Name: "midloop", Source: src,
+			Machine: machine.M68020, Level: lv,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("=== %s: %d static, %d executed, %d unconditional jumps executed\n",
+			lv, run.Static.StaticInsts, run.Dynamic.Exec, run.Dynamic.UncondJumps)
+		if lv != pipeline.Simple {
+			fmt.Println(prog.Func("main"))
+		}
+	}
+	fmt.Println("With JUMPS the per-iteration PC=Ln jump of the copy loop is gone:")
+	fmt.Println("the exit test was replicated at the bottom with its condition reversed,")
+	fmt.Println("exactly as in the paper's Table 1.")
+}

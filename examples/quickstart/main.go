@@ -1,0 +1,61 @@
+// Quickstart: compile a small mini-C function, optimize it at each level,
+// and watch the unconditional jumps disappear under code replication.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+)
+
+const src = `
+int sum3(int *a, int n) {
+	int i, s;
+	s = 0;
+	for (i = 0; i < n; i++) {
+		if (a[i] % 3 == 0)
+			s += a[i];
+		else
+			s -= 1;
+	}
+	return s;
+}
+
+int data[100];
+
+int main() {
+	int i;
+	for (i = 0; i < 100; i++)
+		data[i] = i * 7 % 23;
+	printint(sum3(data, 100));
+	putchar('\n');
+	return 0;
+}
+`
+
+func main() {
+	// Show the naive RTLs the front end produces: the for-loops create the
+	// unconditional jumps the optimizer will attack.
+	prog, err := mcc.Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Naive RTLs for sum3 (note the PC=Ln unconditional jumps):")
+	fmt.Println(prog.Func("sum3"))
+
+	for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+		run, err := ease.Measure(ease.Request{
+			Name: "quickstart", Source: src,
+			Machine: machine.SPARC, Level: lv,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-6s: %4d static instructions, %6d executed, %4d unconditional jumps executed (%.2f%%)\n",
+			lv, run.Static.StaticInsts, run.Dynamic.Exec,
+			run.Dynamic.UncondJumps, 100*run.DynamicJumpFraction())
+	}
+}

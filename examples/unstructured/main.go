@@ -1,0 +1,82 @@
+// Unstructured shows the paper's claim that JUMPS "handles these cases as
+// well as unstructured loops, which are typically not recognized as loops
+// by an optimizer": a goto-built state machine full of unconditional jumps
+// that conventional loop rotation (LOOPS) cannot touch, but generalized
+// replication eliminates.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+// A small lexer-like state machine over a synthetic tape, written with
+// gotos the way 1990s generated scanners were.
+const src = `
+int tape[512];
+int counts[4];
+
+int main() {
+	int pos, state, len, c;
+	for (pos = 0; pos < 512; pos++)
+		tape[pos] = (pos * 7 + pos / 3) % 4;
+	pos = 0; state = 0; len = 0;
+
+scan:
+	if (pos >= 512) goto done;
+	c = tape[pos];
+	pos++;
+	if (c == 0) goto sawzero;
+	if (c == 1) goto sawone;
+	goto sawother;
+
+sawzero:
+	counts[0]++;
+	state = 0;
+	goto scan;
+
+sawone:
+	if (state == 1) goto run;
+	state = 1;
+	counts[1]++;
+	goto scan;
+
+run:
+	len++;
+	counts[2]++;
+	goto scan;
+
+sawother:
+	state = 2;
+	counts[3]++;
+	goto scan;
+
+done:
+	printint(counts[0]); putchar(' ');
+	printint(counts[1]); putchar(' ');
+	printint(counts[2]); putchar(' ');
+	printint(counts[3]); putchar(' ');
+	printint(len);
+	putchar('\n');
+	return 0;
+}
+`
+
+func main() {
+	for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+		run, err := ease.Measure(ease.Request{
+			Name: "unstructured", Source: src,
+			Machine: machine.SPARC, Level: lv,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-6s: %4d static, %6d executed, %5d unconditional jumps executed, output %s",
+			lv, run.Static.StaticInsts, run.Dynamic.Exec, run.Dynamic.UncondJumps, run.Output)
+	}
+	fmt.Println("\nLOOPS cannot rotate these goto loops (no recognizable termination test),")
+	fmt.Println("so its jump count stays at SIMPLE's level; JUMPS removes them all.")
+}

@@ -1,0 +1,72 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/vm"
+)
+
+// TestProgramsCompileAndRun checks every Table-3 program compiles and runs
+// to completion unoptimized.
+func TestProgramsCompileAndRun(t *testing.T) {
+	for _, p := range bench.Programs() {
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := mcc.Compile(p.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := vm.Run(prog, vm.Config{Input: []byte(p.Input)})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("exit code %d, output %q", res.ExitCode, res.Output)
+			}
+			if len(res.Output) == 0 {
+				t.Fatalf("no output")
+			}
+			if p.WantOutput != "" && string(res.Output) != p.WantOutput {
+				t.Fatalf("output %q, want %q", res.Output, p.WantOutput)
+			}
+			t.Logf("%s: %d insts, %d bytes output", p.Name, res.Counts.Exec, len(res.Output))
+		})
+	}
+}
+
+// TestProgramsDifferential checks output equivalence across every machine
+// and optimization level against the unoptimized run.
+func TestProgramsDifferential(t *testing.T) {
+	for _, p := range bench.Programs() {
+		ref, err := mcc.Compile(p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		want, err := vm.Run(ref, vm.Config{Input: []byte(p.Input)})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+			for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+				t.Run(fmt.Sprintf("%s/%s/%s", p.Name, m.Name, lv), func(t *testing.T) {
+					prog, err := mcc.Compile(p.Source)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: lv})
+					got, err := vm.Run(prog, vm.Config{Input: []byte(p.Input)})
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if string(got.Output) != string(want.Output) {
+						t.Fatalf("output mismatch\n got: %.120q\nwant: %.120q", got.Output, want.Output)
+					}
+				})
+			}
+		}
+	}
+}

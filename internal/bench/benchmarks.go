@@ -1,0 +1,227 @@
+package bench
+
+// The five classic benchmarks of Table 3. Where the originals read no
+// input, numbers come from an in-program linear congruential generator so
+// the measured code includes the generation loop, just as the originals
+// included their own initialization.
+
+const bubblesortSrc = `
+/* bubblesort - sort numbers (Table 3). */
+int a[700];
+int n = 700;
+int seed = 42;
+
+int nextrand() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+int main() {
+	int i, j, t, swapped;
+	for (i = 0; i < n; i++)
+		a[i] = nextrand() % 10000;
+	i = n - 1;
+	while (i > 0) {
+		swapped = 0;
+		for (j = 0; j < i; j++) {
+			if (a[j] > a[j+1]) {
+				t = a[j];
+				a[j] = a[j+1];
+				a[j+1] = t;
+				swapped = 1;
+			}
+		}
+		if (!swapped)
+			break;
+		i--;
+	}
+	/* verify and checksum */
+	t = 0;
+	for (i = 0; i < n; i++) {
+		if (i > 0 && a[i-1] > a[i]) {
+			printstr("unsorted!\n");
+			return 1;
+		}
+		t = (t * 31 + a[i]) & 0xffffff;
+	}
+	printint(t);
+	putchar('\n');
+	return 0;
+}
+`
+
+const matmultSrc = `
+/* matmult - matrix multiplication (Table 3). */
+int a[40][40];
+int b[40][40];
+int c[40][40];
+int n = 40;
+
+int main() {
+	int i, j, k, s;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			a[i][j] = i + 2 * j;
+			b[i][j] = i - j;
+		}
+	}
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			s = 0;
+			for (k = 0; k < n; k++)
+				s += a[i][k] * b[k][j];
+			c[i][j] = s;
+		}
+	}
+	s = 0;
+	for (i = 0; i < n; i++)
+		s += c[i][i] + c[i][n - 1 - i];
+	printint(s);
+	putchar('\n');
+	return 0;
+}
+`
+
+const sieveSrc = `
+/* sieve - iteration benchmark (Table 3): sieve of Eratosthenes, repeated. */
+char flags[8191];
+int size = 8190;
+
+int main() {
+	int iter, i, k, count;
+	count = 0;
+	for (iter = 0; iter < 12; iter++) {
+		count = 0;
+		for (i = 0; i <= size; i++)
+			flags[i] = 1;
+		for (i = 2; i <= size; i++) {
+			if (flags[i]) {
+				k = i + i;
+				while (k <= size) {
+					flags[k] = 0;
+					k += i;
+				}
+				count++;
+			}
+		}
+	}
+	printint(count);
+	putchar('\n');
+	return 0;
+}
+`
+
+const queensSrc = `
+/* queens - 8-queens problem (Table 3): counts the 92 solutions. */
+int col[8];
+int used[8];
+int diag1[15];
+int diag2[15];
+int solutions = 0;
+
+void place(int row) {
+	int c;
+	for (c = 0; c < 8; c++) {
+		if (used[c] || diag1[row + c] || diag2[row - c + 7])
+			continue;
+		if (row == 7) {
+			solutions++;
+			continue;
+		}
+		col[row] = c;
+		used[c] = 1;
+		diag1[row + c] = 1;
+		diag2[row - c + 7] = 1;
+		place(row + 1);
+		used[c] = 0;
+		diag1[row + c] = 0;
+		diag2[row - c + 7] = 0;
+	}
+}
+
+int main() {
+	place(0);
+	printint(solutions);
+	return 0;
+}
+`
+
+const quicksortSrc = `
+/* quicksort - iterative quicksort with an explicit stack (Table 3). */
+int a[3000];
+int n = 3000;
+int stack[64];
+int seed = 7;
+
+int nextrand() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+void isort(int lo, int hi) {
+	int i, j, v;
+	for (i = lo + 1; i <= hi; i++) {
+		v = a[i];
+		j = i - 1;
+		while (j >= lo && a[j] > v) {
+			a[j+1] = a[j];
+			j--;
+		}
+		a[j+1] = v;
+	}
+}
+
+int main() {
+	int i, sp, lo, hi, p, t, mid;
+	for (i = 0; i < n; i++)
+		a[i] = nextrand() % 100000;
+	sp = 0;
+	stack[sp++] = 0;
+	stack[sp++] = n - 1;
+	while (sp > 0) {
+		hi = stack[--sp];
+		lo = stack[--sp];
+		if (hi - lo < 12) {
+			isort(lo, hi);
+			continue;
+		}
+		/* median-of-three pivot */
+		mid = lo + (hi - lo) / 2;
+		if (a[mid] < a[lo]) { t = a[mid]; a[mid] = a[lo]; a[lo] = t; }
+		if (a[hi] < a[lo]) { t = a[hi]; a[hi] = a[lo]; a[lo] = t; }
+		if (a[hi] < a[mid]) { t = a[hi]; a[hi] = a[mid]; a[mid] = t; }
+		p = a[mid];
+		i = lo;
+		t = hi;
+		while (i <= t) {
+			while (a[i] < p) i++;
+			while (a[t] > p) t--;
+			if (i <= t) {
+				int tmp;
+				tmp = a[i]; a[i] = a[t]; a[t] = tmp;
+				i++;
+				t--;
+			}
+		}
+		if (lo < t) {
+			stack[sp++] = lo;
+			stack[sp++] = t;
+		}
+		if (i < hi) {
+			stack[sp++] = i;
+			stack[sp++] = hi;
+		}
+	}
+	t = 0;
+	for (i = 0; i < n; i++) {
+		if (i > 0 && a[i-1] > a[i]) {
+			printstr("unsorted!\n");
+			return 1;
+		}
+		t = (t * 33 + a[i]) & 0xffffff;
+	}
+	printint(t);
+	putchar('\n');
+	return 0;
+}
+`

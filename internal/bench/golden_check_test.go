@@ -1,0 +1,42 @@
+package bench_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/vm"
+)
+
+// TestGoldenOutputs pins every Table-3 program's exact output at the
+// highest optimization level on both machines against the recorded
+// digests: any behavioural drift in the front end, optimizer, replication
+// or VM shows up here first.
+func TestGoldenOutputs(t *testing.T) {
+	for _, p := range bench.Programs() {
+		want, ok := goldenOutputs[p.Name]
+		if !ok {
+			t.Errorf("%s: no golden digest recorded (REPRO_GEN_GOLDENS=1 regenerates)", p.Name)
+			continue
+		}
+		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+			prog, err := mcc.Compile(p.Source)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: pipeline.Jumps})
+			res, err := vm.Run(prog, vm.Config{Input: []byte(p.Input)})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, m.Name, err)
+			}
+			if got := fmt.Sprintf("%x", sha256.Sum256(res.Output)); got != want {
+				t.Errorf("%s/%s: output digest %s, want %s (output %.80q)",
+					p.Name, m.Name, got, want, res.Output)
+			}
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+)
+
+// Cell is one measured (program, machine, level) combination.
+type Cell struct {
+	Program string
+	Machine string
+	Level   pipeline.Level
+	Run     *ease.Run
+}
+
+// Results holds every cell of the experiment grid.
+type Results struct {
+	Cells []Cell
+	// CacheSizes are the simulated cache sizes (bytes) in bank order.
+	CacheSizes []int64
+}
+
+// Get returns the cell for (program, machine, level), or nil.
+func (r *Results) Get(prog, mach string, lv pipeline.Level) *Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Program == prog && c.Machine == mach && c.Level == lv {
+			return c
+		}
+	}
+	return nil
+}
+
+// Levels in table order.
+var levels = []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps}
+
+// Machines in table order (the paper lists SPARC first in Table 5).
+var machines = []*machine.Machine{machine.SPARC, machine.M68020}
+
+// RunAll measures every (program × machine × level) cell. With caches true
+// the Table-6 cache bank is simulated as well (roughly 8× slower).
+// progress, when non-nil, receives one line per completed cell.
+func RunAll(caches bool, repOpts replicate.Options, progress io.Writer) (*Results, error) {
+	return RunAllSizes(caches, nil, repOpts, progress)
+}
+
+// RunAllSizes is RunAll with custom cache sizes (nil = the paper's).
+func RunAllSizes(caches bool, cacheSizes []int64, repOpts replicate.Options, progress io.Writer) (*Results, error) {
+	var res Results
+	res.CacheSizes = cacheSizes
+	if res.CacheSizes == nil {
+		res.CacheSizes = []int64{1 * 1024, 2 * 1024, 4 * 1024, 8 * 1024}
+	}
+	for _, p := range Programs() {
+		for _, m := range machines {
+			for _, lv := range levels {
+				run, err := ease.Measure(ease.Request{
+					Name:           p.Name,
+					Source:         p.Source,
+					Input:          []byte(p.Input),
+					Machine:        m,
+					Level:          lv,
+					Replication:    repOpts,
+					SimulateCaches: caches,
+					CacheSizes:     cacheSizes,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Cell{p.Name, m.Name, lv, run})
+				if progress != nil {
+					fmt.Fprintf(progress, "measured %-10s %-6s %-6s exec=%d\n",
+						p.Name, m.Name, lv, run.Dynamic.Exec)
+				}
+			}
+		}
+	}
+	return &res, nil
+}
+
+// meanStd returns the mean and (population) standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Table4 renders the paper's Table 4: percent of instructions that are
+// unconditional jumps, static and dynamic, per machine and level.
+func (r *Results) Table4(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: Percent of Instructions that are Unconditional Jumps")
+	fmt.Fprintf(w, "%-10s %-16s %8s %8s %8s   %8s %8s %8s\n",
+		"", "", "static", "", "", "dynamic", "", "")
+	fmt.Fprintf(w, "%-10s %-16s %8s %8s %8s   %8s %8s %8s\n",
+		"machine", "", "SIMPLE", "LOOPS", "JUMPS", "SIMPLE", "LOOPS", "JUMPS")
+	for _, m := range machines {
+		var rows [2][3][]float64 // [static/dynamic][level]samples
+		for _, p := range Programs() {
+			for li, lv := range levels {
+				c := r.Get(p.Name, m.Name, lv)
+				if c == nil {
+					continue
+				}
+				rows[0][li] = append(rows[0][li], 100*c.Run.StaticJumpFraction())
+				rows[1][li] = append(rows[1][li], 100*c.Run.DynamicJumpFraction())
+			}
+		}
+		var mean, std [2][3]float64
+		for si := 0; si < 2; si++ {
+			for li := 0; li < 3; li++ {
+				mean[si][li], std[si][li] = meanStd(rows[si][li])
+			}
+		}
+		fmt.Fprintf(w, "%-10s %-16s %7.2f%% %7.2f%% %7.2f%%   %7.2f%% %7.2f%% %7.2f%%\n",
+			m.Name, "average", mean[0][0], mean[0][1], mean[0][2], mean[1][0], mean[1][1], mean[1][2])
+		fmt.Fprintf(w, "%-10s %-16s %7.2f%% %7.2f%% %7.2f%%   %7.2f%% %7.2f%% %7.2f%%\n",
+			"", "std. deviation", std[0][0], std[0][1], std[0][2], std[1][0], std[1][1], std[1][2])
+	}
+}
+
+// programOrder is the row order of the paper's Table 5.
+var programOrder = []string{
+	"cal", "quicksort", "wc", "grep", "sort", "od", "mincost",
+	"bubblesort", "matmult", "banner", "sieve", "compact", "queens", "deroff",
+}
+
+// Table5 renders the paper's Table 5: static and dynamic instruction
+// counts, with LOOPS and JUMPS as percent change from SIMPLE.
+func (r *Results) Table5(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: Number of Static and Dynamic Instructions")
+	for _, m := range machines {
+		fmt.Fprintf(w, "\n%s\n", m.Name)
+		fmt.Fprintf(w, "%-12s %10s %9s %9s   %14s %9s %9s\n",
+			"program", "static", "LOOPS", "JUMPS", "dynamic", "LOOPS", "JUMPS")
+		var statL, statJ, dynL, dynJ []float64
+		var statS, dynS []float64
+		for _, name := range programOrder {
+			cs := r.Get(name, m.Name, pipeline.Simple)
+			cl := r.Get(name, m.Name, pipeline.Loops)
+			cj := r.Get(name, m.Name, pipeline.Jumps)
+			if cs == nil || cl == nil || cj == nil {
+				continue
+			}
+			sl := ease.PercentChange(int64(cs.Run.Static.StaticInsts), int64(cl.Run.Static.StaticInsts))
+			sj := ease.PercentChange(int64(cs.Run.Static.StaticInsts), int64(cj.Run.Static.StaticInsts))
+			dl := ease.PercentChange(cs.Run.Dynamic.Exec, cl.Run.Dynamic.Exec)
+			dj := ease.PercentChange(cs.Run.Dynamic.Exec, cj.Run.Dynamic.Exec)
+			fmt.Fprintf(w, "%-12s %10d %+8.2f%% %+8.2f%%   %14d %+8.2f%% %+8.2f%%\n",
+				name, cs.Run.Static.StaticInsts, sl, sj, cs.Run.Dynamic.Exec, dl, dj)
+			statL = append(statL, sl)
+			statJ = append(statJ, sj)
+			dynL = append(dynL, dl)
+			dynJ = append(dynJ, dj)
+			statS = append(statS, float64(cs.Run.Static.StaticInsts))
+			dynS = append(dynS, float64(cs.Run.Dynamic.Exec))
+		}
+		ms, _ := meanStd(statS)
+		md, _ := meanStd(dynS)
+		ml, _ := meanStd(statL)
+		mj, _ := meanStd(statJ)
+		mdl, _ := meanStd(dynL)
+		mdj, _ := meanStd(dynJ)
+		fmt.Fprintf(w, "%-12s %10.0f %+8.2f%% %+8.2f%%   %14.0f %+8.2f%% %+8.2f%%\n",
+			"average", ms, ml, mj, md, mdl, mdj)
+	}
+}
+
+// bankIndex returns the bank index for (sizeBytes, ctx) given the bank's
+// size list.
+func bankIndex(sizes []int64, sizeBytes int64, ctx bool) int {
+	i := 0
+	for _, sz := range sizes {
+		for _, c := range []bool{true, false} {
+			if sz == sizeBytes && c == ctx {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// Table6 renders the paper's Table 6: change in miss ratio (percentage
+// points) and instruction fetch cost (percent) for direct-mapped caches of
+// 1/2/4/8 KB, context switches on/off, LOOPS and JUMPS vs SIMPLE.
+func (r *Results) Table6(w io.Writer) {
+	fmt.Fprintln(w, "Table 6: Percent Change in Miss Ratio and Instruction Fetch Cost")
+	fmt.Fprintln(w, "         for Direct-Mapped Caches (vs SIMPLE)")
+	sizes := r.CacheSizes
+	szName := func(sz int64) string {
+		if sz >= 1024 && sz%1024 == 0 {
+			return fmt.Sprintf("%dKb", sz/1024)
+		}
+		return fmt.Sprintf("%db", sz)
+	}
+	header := func(metric string) {
+		fmt.Fprintf(w, "\n%s\n%-10s %-4s", metric, "machine", "ctx")
+		for _, sz := range sizes {
+			fmt.Fprintf(w, "  %8s-LOOPS %8s-JUMPS", szName(sz), szName(sz))
+		}
+		fmt.Fprintln(w)
+	}
+	header("Cache Miss Ratio (difference in percentage points)")
+	for _, m := range machines {
+		for _, ctx := range []bool{true, false} {
+			ctxs := "on"
+			if !ctx {
+				ctxs = "off"
+			}
+			fmt.Fprintf(w, "%-10s %-4s", m.Name, ctxs)
+			for _, sz := range sizes {
+				bi := bankIndex(sizes, sz, ctx)
+				for _, lv := range []pipeline.Level{pipeline.Loops, pipeline.Jumps} {
+					var deltas []float64
+					for _, p := range Programs() {
+						cs := r.Get(p.Name, m.Name, pipeline.Simple)
+						cx := r.Get(p.Name, m.Name, lv)
+						if cs == nil || cx == nil || cs.Run.Caches == nil || cx.Run.Caches == nil {
+							continue
+						}
+						deltas = append(deltas,
+							100*(cx.Run.Caches[bi].MissRatio()-cs.Run.Caches[bi].MissRatio()))
+					}
+					mean, _ := meanStd(deltas)
+					fmt.Fprintf(w, "  %+14.2f%%", mean)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	header("Instruction Fetch Cost (percent change)")
+	for _, m := range machines {
+		for _, ctx := range []bool{true, false} {
+			ctxs := "on"
+			if !ctx {
+				ctxs = "off"
+			}
+			fmt.Fprintf(w, "%-10s %-4s", m.Name, ctxs)
+			for _, sz := range sizes {
+				bi := bankIndex(sizes, sz, ctx)
+				for _, lv := range []pipeline.Level{pipeline.Loops, pipeline.Jumps} {
+					var deltas []float64
+					for _, p := range Programs() {
+						cs := r.Get(p.Name, m.Name, pipeline.Simple)
+						cx := r.Get(p.Name, m.Name, lv)
+						if cs == nil || cx == nil || cs.Run.Caches == nil || cx.Run.Caches == nil {
+							continue
+						}
+						deltas = append(deltas, ease.PercentChange(cs.Run.Caches[bi].Cost, cx.Run.Caches[bi].Cost))
+					}
+					mean, _ := meanStd(deltas)
+					fmt.Fprintf(w, "  %+14.2f%%", mean)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	_ = cache.Stats{} // keep the dependency explicit for documentation
+}
+
+// BranchDistance renders the §5.2 statistics: average dynamic instructions
+// between control transfers, and executed no-ops on the SPARC.
+func (r *Results) BranchDistance(w io.Writer) {
+	fmt.Fprintln(w, "Instructions between branches and executed no-ops (§5.2)")
+	for _, m := range machines {
+		fmt.Fprintf(w, "\n%s\n%-12s %10s %10s %10s %12s %12s\n",
+			m.Name, "program", "SIMPLE", "JUMPS", "delta", "noops-S", "noops-J")
+		var ds, dj, deltas []float64
+		var nopS, nopJ int64
+		for _, name := range programOrder {
+			cs := r.Get(name, m.Name, pipeline.Simple)
+			cj := r.Get(name, m.Name, pipeline.Jumps)
+			if cs == nil || cj == nil {
+				continue
+			}
+			a := cs.Run.InstsBetweenBranches()
+			b := cj.Run.InstsBetweenBranches()
+			fmt.Fprintf(w, "%-12s %10.2f %10.2f %+10.2f %12d %12d\n",
+				name, a, b, b-a, cs.Run.Dynamic.Nops, cj.Run.Dynamic.Nops)
+			ds = append(ds, a)
+			dj = append(dj, b)
+			deltas = append(deltas, b-a)
+			nopS += cs.Run.Dynamic.Nops
+			nopJ += cj.Run.Dynamic.Nops
+		}
+		ma, _ := meanStd(ds)
+		mb, _ := meanStd(dj)
+		mdel, _ := meanStd(deltas)
+		fmt.Fprintf(w, "%-12s %10.2f %10.2f %+10.2f %12d %12d\n",
+			"average", ma, mb, mdel, nopS, nopJ)
+		if m.DelaySlots && nopS > 0 {
+			fmt.Fprintf(w, "no-ops eliminated by JUMPS: %.1f%%\n",
+				100*float64(nopS-nopJ)/float64(nopS))
+		}
+	}
+}
+
+// Table3 renders the test-set listing.
+func Table3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Test Set of C Programs")
+	ps := Programs()
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Class < ps[j].Class })
+	last := ""
+	for _, p := range ps {
+		cls := p.Class
+		if cls == last {
+			cls = ""
+		} else {
+			last = cls
+		}
+		fmt.Fprintf(w, "%-12s %-12s %s\n", cls, p.Name, p.Description)
+	}
+}
+
+// WriteAll renders every table to w.
+func (r *Results) WriteAll(w io.Writer, withCaches bool) {
+	Table3(w)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	r.Table4(w)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	r.Table5(w)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	if withCaches {
+		r.Table6(w)
+		fmt.Fprintln(w, strings.Repeat("-", 72))
+	}
+	r.BranchDistance(w)
+}

@@ -1,0 +1,84 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/replicate"
+)
+
+// TestTable3Listing checks the test-set listing covers all 14 programs.
+func TestTable3Listing(t *testing.T) {
+	var b strings.Builder
+	bench.Table3(&b)
+	out := b.String()
+	for _, p := range bench.Programs() {
+		if !strings.Contains(out, p.Name) {
+			t.Errorf("Table 3 listing misses %s", p.Name)
+		}
+	}
+	for _, cls := range []string{"Utilities", "Benchmarks", "User code"} {
+		if !strings.Contains(out, cls) {
+			t.Errorf("Table 3 listing misses class %s", cls)
+		}
+	}
+}
+
+// TestProgramsWellFormed checks the registry invariants.
+func TestProgramsWellFormed(t *testing.T) {
+	ps := bench.Programs()
+	if len(ps) != 14 {
+		t.Fatalf("test set has %d programs, want 14 (Table 3)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate program %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Source == "" || p.Description == "" {
+			t.Errorf("%s: incomplete metadata", p.Name)
+		}
+	}
+	if bench.ProgramByName("wc") == nil || bench.ProgramByName("nosuch") != nil {
+		t.Error("ProgramByName broken")
+	}
+}
+
+// TestTablesRenderEndToEnd runs the full grid on a single program subset
+// by reusing RunAllSizes with tiny caches, then checks the renderers
+// produce the expected row skeletons. This is the cmd/tables path without
+// the full 84-cell cost.
+func TestTablesRenderEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid measurement")
+	}
+	res, err := bench.RunAllSizes(true, []int64{256}, replicate.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b4, b5, b6, bd strings.Builder
+	res.Table4(&b4)
+	res.Table5(&b5)
+	res.Table6(&b6)
+	res.BranchDistance(&bd)
+	if !strings.Contains(b4.String(), "SIMPLE") || !strings.Contains(b4.String(), "std. deviation") {
+		t.Errorf("Table 4 skeleton wrong:\n%s", b4.String())
+	}
+	for _, name := range []string{"cal", "deroff", "average"} {
+		if !strings.Contains(b5.String(), name) {
+			t.Errorf("Table 5 misses row %s", name)
+		}
+	}
+	if !strings.Contains(b6.String(), "256b-JUMPS") {
+		t.Errorf("Table 6 misses custom size header:\n%s", b6.String())
+	}
+	if !strings.Contains(bd.String(), "no-ops eliminated") {
+		t.Errorf("branch distance misses the no-op summary:\n%s", bd.String())
+	}
+	// The grid must hold all 14 × 2 × 3 cells.
+	if len(res.Cells) != 14*2*3 {
+		t.Errorf("grid has %d cells, want 84", len(res.Cells))
+	}
+}

@@ -1,0 +1,265 @@
+package bench
+
+// banner, cal, wc, od — the smaller UNIX utilities of Table 3.
+
+const bannerSrc = `
+/* banner - banner generator (Table 3). Prints input words in large
+ * letters built from a full 5x7 bit-pattern font for A-Z, 0-9 and
+ * punctuation, like the original. */
+int font[40][7];
+int ready = 0;
+
+void glyph7(int g, int r0, int r1, int r2, int r3, int r4, int r5, int r6) {
+	font[g][0] = r0; font[g][1] = r1; font[g][2] = r2; font[g][3] = r3;
+	font[g][4] = r4; font[g][5] = r5; font[g][6] = r6;
+}
+
+/* initfont fills in the glyphs; patterns are 5-bit rows, MSB left. */
+void initfont() {
+	glyph7(0,  14, 17, 17, 31, 17, 17, 17);  /* A */
+	glyph7(1,  30, 17, 17, 30, 17, 17, 30);  /* B */
+	glyph7(2,  14, 17, 16, 16, 16, 17, 14);  /* C */
+	glyph7(3,  30, 17, 17, 17, 17, 17, 30);  /* D */
+	glyph7(4,  31, 16, 16, 30, 16, 16, 31);  /* E */
+	glyph7(5,  31, 16, 16, 30, 16, 16, 16);  /* F */
+	glyph7(6,  14, 17, 16, 23, 17, 17, 15);  /* G */
+	glyph7(7,  17, 17, 17, 31, 17, 17, 17);  /* H */
+	glyph7(8,  14,  4,  4,  4,  4,  4, 14);  /* I */
+	glyph7(9,   7,  2,  2,  2,  2, 18, 12);  /* J */
+	glyph7(10, 17, 18, 20, 24, 20, 18, 17);  /* K */
+	glyph7(11, 16, 16, 16, 16, 16, 16, 31);  /* L */
+	glyph7(12, 17, 27, 21, 21, 17, 17, 17);  /* M */
+	glyph7(13, 17, 25, 21, 19, 17, 17, 17);  /* N */
+	glyph7(14, 14, 17, 17, 17, 17, 17, 14);  /* O */
+	glyph7(15, 30, 17, 17, 30, 16, 16, 16);  /* P */
+	glyph7(16, 14, 17, 17, 17, 21, 18, 13);  /* Q */
+	glyph7(17, 30, 17, 17, 30, 20, 18, 17);  /* R */
+	glyph7(18, 15, 16, 16, 14,  1,  1, 30);  /* S */
+	glyph7(19, 31,  4,  4,  4,  4,  4,  4);  /* T */
+	glyph7(20, 17, 17, 17, 17, 17, 17, 14);  /* U */
+	glyph7(21, 17, 17, 17, 17, 17, 10,  4);  /* V */
+	glyph7(22, 17, 17, 17, 21, 21, 27, 17);  /* W */
+	glyph7(23, 17, 10,  4,  4,  4, 10, 17);  /* X */
+	glyph7(24, 17, 17, 10,  4,  4,  4,  4);  /* Y */
+	glyph7(25, 31,  1,  2,  4,  8, 16, 31);  /* Z */
+	glyph7(26, 14, 17, 19, 21, 25, 17, 14);  /* 0 */
+	glyph7(27,  4, 12,  4,  4,  4,  4, 14);  /* 1 */
+	glyph7(28, 14, 17,  1,  2,  4,  8, 31);  /* 2 */
+	glyph7(29, 31,  2,  4,  2,  1, 17, 14);  /* 3 */
+	glyph7(30,  2,  6, 10, 18, 31,  2,  2);  /* 4 */
+	glyph7(31, 31, 16, 30,  1,  1, 17, 14);  /* 5 */
+	glyph7(32,  6,  8, 16, 30, 17, 17, 14);  /* 6 */
+	glyph7(33, 31,  1,  2,  4,  8,  8,  8);  /* 7 */
+	glyph7(34, 14, 17, 17, 14, 17, 17, 14);  /* 8 */
+	glyph7(35, 14, 17, 17, 15,  1,  2, 12);  /* 9 */
+	glyph7(36,  0,  0,  0,  0,  0,  0,  0);  /* space */
+	glyph7(37,  4,  4,  4,  4,  4,  0,  4);  /* ! */
+	glyph7(38,  0,  0,  0, 31,  0,  0,  0);  /* - */
+	glyph7(39,  0,  0,  0,  0,  0,  4,  8);  /* , */
+	ready = 1;
+}
+
+/* glyph maps a character to a font index, -1 if unprintable. */
+int glyph(int c) {
+	if (c >= 'a' && c <= 'z')
+		c = c - 'a' + 'A';
+	if (c >= 'A' && c <= 'Z')
+		return c - 'A';
+	if (c >= '0' && c <= '9')
+		return c - '0' + 26;
+	if (c == ' ')
+		return 36;
+	if (c == '!')
+		return 37;
+	if (c == '-')
+		return 38;
+	if (c == ',')
+		return 39;
+	return -1;
+}
+
+char line[128];
+
+int main() {
+	int n, i, row, g, bits, col;
+	if (!ready)
+		initfont();
+	n = 0;
+	while ((i = getchar()) != -1 && i != '\n' && n < 100)
+		line[n++] = i;
+	for (row = 0; row < 7; row++) {
+		for (i = 0; i < n; i++) {
+			g = glyph(line[i]);
+			if (g < 0)
+				continue;
+			bits = font[g][row];
+			for (col = 4; col >= 0; col--) {
+				if (bits & (1 << col))
+					putchar('#');
+				else
+					putchar(' ');
+			}
+			putchar(' ');
+		}
+		putchar('\n');
+	}
+	return 0;
+}
+`
+
+const calSrc = `
+/* cal - calendar generator (Table 3): prints the 12 months of a year. */
+char mnames[60] = "Jan Feb Mar Apr May Jun Jul Aug Sep Oct Nov Dec";
+
+int leap(int y) {
+	if (y % 400 == 0) return 1;
+	if (y % 100 == 0) return 0;
+	return y % 4 == 0;
+}
+
+/* mdays dispatches through a dense jump table — an indirect jump, which
+ * code replication must leave in place. */
+int mdays(int m, int y) {
+	switch (m) {
+	case 0: return 31;
+	case 1: return leap(y) ? 29 : 28;
+	case 2: return 31;
+	case 3: return 30;
+	case 4: return 31;
+	case 5: return 30;
+	case 6: return 31;
+	case 7: return 31;
+	case 8: return 30;
+	case 9: return 31;
+	case 10: return 30;
+	case 11: return 31;
+	default: return 0;
+	}
+}
+
+/* weekday of 1 January for the year (0 = Sunday), by counting from 1753. */
+int jan1(int y) {
+	int d, i;
+	d = 1;  /* 1 Jan 1753 was a Monday */
+	for (i = 1753; i < y; i++) {
+		d += 365;
+		if (leap(i))
+			d++;
+	}
+	return d % 7;
+}
+
+void printnum2(int v) {
+	if (v < 10) {
+		putchar(' ');
+		printint(v);
+	} else {
+		printint(v);
+	}
+}
+
+int main() {
+	int year, c, m, dim, dow, d, i;
+	year = 0;
+	while ((c = getchar()) != -1 && c >= '0' && c <= '9')
+		year = year * 10 + c - '0';
+	if (year < 1753 || year > 2400) {
+		printstr("cal: bad year\n");
+		return 1;
+	}
+	dow = jan1(year);
+	for (m = 0; m < 12; m++) {
+		for (i = 0; i < 3; i++)
+			putchar(mnames[m * 4 + i]);
+		putchar(' ');
+		printint(year);
+		putchar('\n');
+		printstr("Su Mo Tu We Th Fr Sa\n");
+		dim = mdays(m, year);
+		for (i = 0; i < dow; i++)
+			printstr("   ");
+		for (d = 1; d <= dim; d++) {
+			printnum2(d);
+			dow++;
+			if (dow == 7) {
+				dow = 0;
+				putchar('\n');
+			} else {
+				putchar(' ');
+			}
+		}
+		if (dow != 0)
+			putchar('\n');
+		putchar('\n');
+	}
+	return 0;
+}
+`
+
+const wcSrc = `
+/* wc - word count (Table 3): lines, words, characters. */
+int main() {
+	int c, lines, words, chars, inword;
+	lines = 0; words = 0; chars = 0; inword = 0;
+	while ((c = getchar()) != -1) {
+		chars++;
+		if (c == '\n')
+			lines++;
+		if (c == ' ' || c == '\t' || c == '\n') {
+			inword = 0;
+		} else if (!inword) {
+			inword = 1;
+			words++;
+		}
+	}
+	printint(lines); putchar(' ');
+	printint(words); putchar(' ');
+	printint(chars); putchar('\n');
+	return 0;
+}
+`
+
+const odSrc = `
+/* od - octal dump (Table 3): offsets and 8 octal words per line. */
+void printoct(int v, int width) {
+	int digits[12];
+	int n, i;
+	n = 0;
+	if (v == 0)
+		digits[n++] = 0;
+	while (v > 0) {
+		digits[n++] = v % 8;
+		v = v / 8;
+	}
+	for (i = width - n; i > 0; i--)
+		putchar('0');
+	while (n > 0)
+		putchar('0' + digits[--n]);
+}
+
+int main() {
+	int c, off, col;
+	off = 0;
+	col = 0;
+	while ((c = getchar()) != -1) {
+		if (col == 0) {
+			printoct(off, 7);
+			putchar(' ');
+		}
+		printoct(c, 3);
+		off++;
+		col++;
+		if (col == 8) {
+			col = 0;
+			putchar('\n');
+		} else {
+			putchar(' ');
+		}
+	}
+	if (col != 0)
+		putchar('\n');
+	printoct(off, 7);
+	putchar('\n');
+	return 0;
+}
+`

@@ -1,0 +1,249 @@
+package bench
+
+// grep, sort — the pattern matcher and the line sorter of Table 3.
+
+const grepSrc = `
+/* grep - pattern search (Table 3). The first input line is the pattern; a
+ * recursive matcher supporting ^ $ . * + and [...] / [^...] character
+ * classes (with ranges) follows, like the original's regular expressions.
+ * Matching lines print with their line number; the match count ends the
+ * output. */
+char pat[128];
+char line[256];
+
+/* classend returns the index just past a [...] class starting at re[i]. */
+int classend(char *re, int i) {
+	i++;
+	if (re[i] == '^')
+		i++;
+	if (re[i] == ']')
+		i++;
+	while (re[i] != '\0' && re[i] != ']')
+		i++;
+	if (re[i] == ']')
+		i++;
+	return i;
+}
+
+/* inclass tests c against the class [start..end). */
+int inclass(char *re, int start, int end, int c) {
+	int i, neg, hit;
+	i = start + 1;
+	neg = 0;
+	if (re[i] == '^') {
+		neg = 1;
+		i++;
+	}
+	hit = 0;
+	while (i < end - 1) {
+		if (re[i+1] == '-' && i + 2 < end - 1) {
+			if (c >= re[i] && c <= re[i+2])
+				hit = 1;
+			i += 3;
+			continue;
+		}
+		if (re[i] == c)
+			hit = 1;
+		i++;
+	}
+	if (neg)
+		return !hit;
+	return hit;
+}
+
+/* single tests one pattern atom starting at re[i] against character c;
+ * atomlen receives the atom's length via a global. */
+int atomlen = 0;
+
+int single(char *re, int i, int c) {
+	if (re[i] == '[') {
+		int e;
+		e = classend(re, i);
+		atomlen = e - i;
+		if (c == '\0')
+			return 0;
+		return inclass(re, i, e, c);
+	}
+	atomlen = 1;
+	if (c == '\0')
+		return 0;
+	if (re[i] == '.')
+		return 1;
+	return re[i] == c;
+}
+
+/* matchhere is used before its definition; mini-C resolves calls at the
+ * unit level, so no forward declaration is needed. */
+int matchstar(char *re, int ri, int alen, char *text) {
+	int ti;
+	ti = 0;
+	/* longest-match first would need backtracking storage; shortest-first
+	 * suffices for these patterns, like the K&P matcher */
+	do {
+		if (matchhere(re, ri + alen + 1, text + ti))
+			return 1;
+	} while (single(re, ri, text[ti++]));
+	return 0;
+}
+
+int matchplus(char *re, int ri, int alen, char *text) {
+	if (!single(re, ri, text[0]))
+		return 0;
+	return matchstar(re, ri, alen, text + 1);
+}
+
+int matchhere(char *re, int ri, char *text) {
+	int alen;
+	if (re[ri] == '\0')
+		return 1;
+	if (re[ri] == '$' && re[ri+1] == '\0')
+		return *text == '\0';
+	/* peek at the atom to find its extent */
+	single(re, ri, 'x');
+	alen = atomlen;
+	if (re[ri + alen] == '*')
+		return matchstar(re, ri, alen, text);
+	if (re[ri + alen] == '+')
+		return matchplus(re, ri, alen, text);
+	if (single(re, ri, *text))
+		return matchhere(re, ri + alen, text + 1);
+	return 0;
+}
+
+int match(char *re, char *text) {
+	if (re[0] == '^')
+		return matchhere(re, 1, text);
+	do {
+		if (matchhere(re, 0, text))
+			return 1;
+	} while (*text++ != '\0');
+	return 0;
+}
+
+/* readline reads one line into buf; returns length or -1 at EOF. */
+int readline(char *buf, int max) {
+	int c, n;
+	n = 0;
+	while ((c = getchar()) != -1 && c != '\n') {
+		if (n < max - 1)
+			buf[n++] = c;
+	}
+	buf[n] = '\0';
+	if (c == -1 && n == 0)
+		return -1;
+	return n;
+}
+
+int main() {
+	int lineno, matched;
+	matched = 0;
+	if (readline(pat, 128) < 0)
+		return 1;
+	lineno = 0;
+	while (readline(line, 256) >= 0) {
+		lineno++;
+		if (match(pat, line)) {
+			printint(lineno);
+			putchar(':');
+			printstr(line);
+			putchar('\n');
+			matched++;
+		}
+	}
+	printint(matched);
+	putchar('\n');
+	return 0;
+}
+`
+
+const sortSrc = `
+/* sort - sort lines of input (Table 3), bottom-up merge sort over line
+ * indices, like the original's merge phases. */
+char text[4096];
+int start[300];
+int len[300];
+int idx[300];
+int tmp[300];
+int nlines = 0;
+int used = 0;
+
+int readline() {
+	int c, n;
+	if (nlines >= 300)
+		return -1;
+	n = 0;
+	c = getchar();
+	if (c == -1)
+		return -1;
+	start[nlines] = used;
+	while (c != -1 && c != '\n') {
+		if (used < 4095) {
+			text[used++] = c;
+			n++;
+		}
+		c = getchar();
+	}
+	text[used++] = '\0';
+	len[nlines] = n;
+	nlines++;
+	return n;
+}
+
+int cmp(int a, int b) {
+	char *p, *q;
+	p = &text[start[a]];
+	q = &text[start[b]];
+	while (*p != '\0' && *p == *q) {
+		p++;
+		q++;
+	}
+	return *p - *q;
+}
+
+/* merge idx[lo..mid-1] and idx[mid..hi-1] using tmp. */
+void merge(int lo, int mid, int hi) {
+	int i, j, k;
+	i = lo; j = mid; k = lo;
+	while (i < mid && j < hi) {
+		if (cmp(idx[i], idx[j]) <= 0)
+			tmp[k++] = idx[i++];
+		else
+			tmp[k++] = idx[j++];
+	}
+	while (i < mid)
+		tmp[k++] = idx[i++];
+	while (j < hi)
+		tmp[k++] = idx[j++];
+	for (i = lo; i < hi; i++)
+		idx[i] = tmp[i];
+}
+
+int main() {
+	int i, width, lo, mid, hi;
+	while (readline() >= 0)
+		;
+	for (i = 0; i < nlines; i++)
+		idx[i] = i;
+	width = 1;
+	while (width < nlines) {
+		lo = 0;
+		while (lo < nlines) {
+			mid = lo + width;
+			if (mid > nlines)
+				mid = nlines;
+			hi = lo + 2 * width;
+			if (hi > nlines)
+				hi = nlines;
+			if (mid < hi)
+				merge(lo, mid, hi);
+			lo = hi;
+		}
+		width = 2 * width;
+	}
+	for (i = 0; i < nlines; i++) {
+		printstr(&text[start[idx[i]]]);
+		putchar('\n');
+	}
+	return 0;
+}
+`

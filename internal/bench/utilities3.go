@@ -1,0 +1,443 @@
+package bench
+
+// compact, deroff — the compressor and the nroff filter of Table 3 — and
+// mincost, the VLSI circuit partitioning application.
+
+const compactSrc = `
+/* compact - file compression (Table 3): a static Huffman coder. Reads the
+ * input, builds a Huffman tree from byte frequencies, then re-reads the
+ * buffered input and emits the bit stream packed into printable output.
+ * Finishes with original/compressed bit counts. */
+int freq[256];
+int left[512];
+int right[512];
+int weight[512];
+int parent[512];
+int codebits[256];
+int codelen[256];
+char buf[8192];
+int nbuf = 0;
+
+/* heap of tree node ids ordered by weight */
+int heap[512];
+int nheap = 0;
+
+void heappush(int v) {
+	int i, p, t;
+	heap[nheap++] = v;
+	i = nheap - 1;
+	while (i > 0) {
+		p = (i - 1) / 2;
+		if (weight[heap[p]] <= weight[heap[i]])
+			break;
+		t = heap[p]; heap[p] = heap[i]; heap[i] = t;
+		i = p;
+	}
+}
+
+int heappop() {
+	int top, i, c, t;
+	top = heap[0];
+	heap[0] = heap[--nheap];
+	i = 0;
+	while (1) {
+		c = 2 * i + 1;
+		if (c >= nheap)
+			break;
+		if (c + 1 < nheap && weight[heap[c+1]] < weight[heap[c]])
+			c++;
+		if (weight[heap[i]] <= weight[heap[c]])
+			break;
+		t = heap[i]; heap[i] = heap[c]; heap[c] = t;
+		i = c;
+	}
+	return top;
+}
+
+/* walk assigns code lengths and bit patterns by descending the tree. */
+void walk(int node, int bits, int depth) {
+	if (node < 256) {
+		codebits[node] = bits;
+		codelen[node] = depth;
+		if (depth == 0)
+			codelen[node] = 1;
+		return;
+	}
+	walk(left[node], bits * 2, depth + 1);
+	walk(right[node], bits * 2 + 1, depth + 1);
+}
+
+int outbits = 0;
+int outcount = 0;
+char bits[65536];
+
+void putbit(int b) {
+	if (outcount < 65536)
+		bits[outcount] = b;
+	outbits = outbits * 2 + b;
+	outcount++;
+	if (outcount % 6 == 0) {
+		/* pack six bits into one printable character */
+		putchar('0' + outbits % 64 / 8);
+		outbits = 0;
+	}
+}
+
+int main() {
+	int c, i, next, a, b, root, leaves;
+	while ((c = getchar()) != -1 && nbuf < 8192) {
+		freq[c]++;
+		buf[nbuf++] = c;
+	}
+	leaves = 0;
+	for (i = 0; i < 256; i++) {
+		if (freq[i] > 0) {
+			weight[i] = freq[i];
+			heappush(i);
+			leaves++;
+		}
+	}
+	if (leaves == 0)
+		return 0;
+	next = 256;
+	while (nheap > 1) {
+		a = heappop();
+		b = heappop();
+		left[next] = a;
+		right[next] = b;
+		weight[next] = weight[a] + weight[b];
+		parent[a] = next;
+		parent[b] = next;
+		heappush(next);
+		next++;
+	}
+	root = heappop();
+	walk(root, 0, 0);
+	for (i = 0; i < nbuf; i++) {
+		int j, n, bits;
+		c = buf[i];
+		n = codelen[c];
+		bits = codebits[c];
+		for (j = n - 1; j >= 0; j--)
+			putbit((bits >> j) & 1);
+	}
+	putchar('\n');
+	printint(nbuf * 8);
+	putchar('/');
+	printint(outcount);
+	putchar('\n');
+	/* decode-verify: walk the tree over the emitted bit stream and check
+	 * the round trip reproduces the input exactly */
+	{
+		int bi, node, oi, bad;
+		bi = 0; oi = 0; bad = 0;
+		while (bi < outcount && oi < nbuf) {
+			node = root;
+			while (node >= 256 && bi < outcount) {
+				if (bits[bi])
+					node = right[node];
+				else
+					node = left[node];
+				bi++;
+			}
+			if (node >= 256)
+				break;
+			if (node != buf[oi])
+				bad++;
+			oi++;
+		}
+		if (bad == 0 && oi == nbuf)
+			printstr("roundtrip ok\n");
+		else {
+			printstr("roundtrip FAILED ");
+			printint(bad);
+			putchar(' ');
+			printint(oi);
+			putchar('\n');
+		}
+	}
+	return 0;
+}
+`
+
+const deroffSrc = `
+/* deroff - remove nroff/troff constructs (Table 3). Like the original it
+ * understands request lines, font and size escapes, special-character
+ * sequences, table (.TS/.TE) and equation (.EQ/.EN) blocks, and strips
+ * them all, leaving running text. A -w-style word mode triggers when the
+ * first input line is ".wordmode". */
+char line[512];
+int intable = 0;
+int ineqn = 0;
+int wordmode = 0;
+int lines = 0;
+int dropped = 0;
+int words = 0;
+
+int readline() {
+	int c, n;
+	n = 0;
+	while ((c = getchar()) != -1 && c != '\n') {
+		if (n < 511)
+			line[n++] = c;
+	}
+	line[n] = '\0';
+	if (c == -1 && n == 0)
+		return -1;
+	return n;
+}
+
+int startswith(char *p, char *q) {
+	while (*q != '\0') {
+		if (*p != *q)
+			return 0;
+		p++;
+		q++;
+	}
+	return 1;
+}
+
+int isword(int c) {
+	if (c >= 'a' && c <= 'z') return 1;
+	if (c >= 'A' && c <= 'Z') return 1;
+	if (c >= '0' && c <= '9') return 1;
+	return 0;
+}
+
+/* request processes a dot-request line; returns 1 when the line is
+ * consumed entirely. */
+int request() {
+	dropped++;
+	if (startswith(line, ".TS"))
+		intable = 1;
+	else if (startswith(line, ".TE"))
+		intable = 0;
+	else if (startswith(line, ".EQ"))
+		ineqn = 1;
+	else if (startswith(line, ".EN"))
+		ineqn = 0;
+	else if (startswith(line, ".wordmode"))
+		wordmode = 1;
+	return 1;
+}
+
+/* escape consumes a backslash sequence starting at line[i] (the char
+ * after the backslash); returns the new index and emits any replacement
+ * text through putchar. */
+int escape(int i, int emitmode) {
+	int c;
+	c = line[i];
+	if (c == '\0')
+		return i;
+	switch (c) {
+	case 'f':
+		/* \fB, \fI, \fP, \f(XX */
+		i++;
+		if (line[i] == '(') {
+			i++;
+			if (line[i] != '\0') i++;
+			if (line[i] != '\0') i++;
+		} else if (line[i] != '\0') {
+			i++;
+		}
+		return i;
+	case 's':
+		/* \s+2, \s-2, \s0 */
+		i++;
+		if (line[i] == '+' || line[i] == '-')
+			i++;
+		while (line[i] >= '0' && line[i] <= '9')
+			i++;
+		return i;
+	case '(':
+		/* special character \(em, \(bu ... prints as a dash */
+		i++;
+		if (line[i] != '\0') i++;
+		if (line[i] != '\0') i++;
+		if (emitmode)
+			putchar('-');
+		return i;
+	case '*':
+		/* string interpolation \*x or \*(xx: dropped */
+		i++;
+		if (line[i] == '(') {
+			i++;
+			if (line[i] != '\0') i++;
+			if (line[i] != '\0') i++;
+		} else if (line[i] != '\0') {
+			i++;
+		}
+		return i;
+	case '-':
+	case ' ':
+	case '&':
+		if (emitmode && c != '&')
+			putchar(c);
+		return i + 1;
+	default:
+		if (emitmode)
+			putchar(c);
+		return i + 1;
+	}
+}
+
+/* bodyline prints a text line with escapes stripped. */
+void bodyline() {
+	int i, emitted, c;
+	emitted = 0;
+	i = 0;
+	while (line[i] != '\0') {
+		c = line[i];
+		if (c == '\\') {
+			i = escape(i + 1, !wordmode);
+			emitted++;
+			continue;
+		}
+		if (wordmode) {
+			/* word mode: emit each word on its own line */
+			if (isword(c)) {
+				int start;
+				start = i;
+				while (isword(line[i]))
+					i++;
+				if (i - start >= 2) {
+					int k;
+					for (k = start; k < i; k++)
+						putchar(line[k]);
+					putchar('\n');
+					words++;
+				}
+				continue;
+			}
+			i++;
+			continue;
+		}
+		putchar(c);
+		emitted++;
+		i++;
+	}
+	if (!wordmode && emitted > 0)
+		putchar('\n');
+}
+
+int main() {
+	while (readline() >= 0) {
+		lines++;
+		if (line[0] == '.' || line[0] == '\'') {
+			request();
+			continue;
+		}
+		if (intable || ineqn) {
+			dropped++;
+			continue;
+		}
+		bodyline();
+	}
+	printint(lines);
+	putchar(' ');
+	printint(dropped);
+	putchar(' ');
+	printint(words);
+	putchar('\n');
+	return 0;
+}
+`
+
+const mincostSrc = `
+/* mincost - VLSI circuit partitioning (Table 3's user application): a
+ * Kernighan-Lin style bipartitioning pass over a synthetic netlist. The
+ * circuit is a deterministic pseudo-random graph; the program swaps node
+ * pairs between the two halves to minimize the cut cost and reports the
+ * final cut. */
+int adj[24][24];
+int side[24];
+int locked[24];
+int nnodes = 24;
+int seed = 99;
+
+int nextrand() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+/* external - internal cost of node v in the current partition. */
+int dvalue(int v) {
+	int i, d;
+	d = 0;
+	for (i = 0; i < nnodes; i++) {
+		if (adj[v][i] == 0)
+			continue;
+		if (side[i] != side[v])
+			d += adj[v][i];
+		else
+			d -= adj[v][i];
+	}
+	return d;
+}
+
+int cutcost() {
+	int i, j, cut;
+	cut = 0;
+	for (i = 0; i < nnodes; i++)
+		for (j = i + 1; j < nnodes; j++)
+			if (adj[i][j] != 0 && side[i] != side[j])
+				cut += adj[i][j];
+	return cut;
+}
+
+int main() {
+	int i, j, pass, besti, bestj, gain, g, swaps, t;
+	/* synthetic netlist: sparse weighted graph with clustered structure */
+	for (i = 0; i < nnodes; i++) {
+		for (j = i + 1; j < nnodes; j++) {
+			int w;
+			w = 0;
+			if (nextrand() % 100 < 12)
+				w = 1 + nextrand() % 9;
+			if (i / 8 == j / 8 && nextrand() % 100 < 30)
+				w = 1 + nextrand() % 9;
+			adj[i][j] = w;
+			adj[j][i] = w;
+		}
+	}
+	for (i = 0; i < nnodes; i++)
+		side[i] = i % 2;
+	printint(cutcost());
+	putchar(' ');
+	for (pass = 0; pass < 4; pass++) {
+		for (i = 0; i < nnodes; i++)
+			locked[i] = 0;
+		swaps = 0;
+		while (swaps < nnodes / 2) {
+			besti = -1;
+			bestj = -1;
+			gain = -100000;
+			for (i = 0; i < nnodes; i++) {
+				if (locked[i] || side[i] != 0)
+					continue;
+				for (j = 0; j < nnodes; j++) {
+					if (locked[j] || side[j] != 1)
+						continue;
+					g = dvalue(i) + dvalue(j) - 2 * adj[i][j];
+					if (g > gain) {
+						gain = g;
+						besti = i;
+						bestj = j;
+					}
+				}
+			}
+			if (besti < 0 || gain <= 0)
+				break;
+			t = side[besti]; side[besti] = side[bestj]; side[bestj] = t;
+			locked[besti] = 1;
+			locked[bestj] = 1;
+			swaps++;
+		}
+		if (swaps == 0)
+			break;
+	}
+	printint(cutcost());
+	putchar('\n');
+	return 0;
+}
+`

@@ -1,0 +1,164 @@
+// Package cache simulates the direct-mapped instruction caches of the
+// paper's §5.3 experiment: 1/2/4/8 KB caches with 16-byte lines, a fetch
+// cost of 1 time unit per hit and 10 per miss, and (optionally) context
+// switches that invalidate the whole cache every 10,000 units of time. The
+// parameters follow Smith's cache studies, as the paper's do.
+package cache
+
+import "fmt"
+
+// Default experiment parameters from the paper.
+const (
+	// DefaultLineBytes is the cache line size.
+	DefaultLineBytes = 16
+	// HitCost and MissCost are the fetch costs in time units.
+	HitCost  = 1
+	MissCost = 10
+	// ContextSwitchInterval is the flush period in time units.
+	ContextSwitchInterval = 10000
+)
+
+// Cache is one direct-mapped instruction cache fed with instruction
+// fetches.
+type Cache struct {
+	SizeBytes     int64
+	LineBytes     int64
+	CtxSwitches   bool
+	lines         []int64 // tag per line; -1 = invalid
+	nextFlushAt   int64
+	hits, misses  int64
+	cost          int64
+	fetches       int64
+	flushes       int64
+	linesPerCache int64
+}
+
+// New returns an empty cache of the given size. Size and line bytes must be
+// powers of two with size >= line.
+func New(sizeBytes, lineBytes int64, ctxSwitches bool) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || sizeBytes%lineBytes != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d/%d", sizeBytes, lineBytes))
+	}
+	n := sizeBytes / lineBytes
+	c := &Cache{
+		SizeBytes:     sizeBytes,
+		LineBytes:     lineBytes,
+		CtxSwitches:   ctxSwitches,
+		lines:         make([]int64, n),
+		linesPerCache: n,
+		nextFlushAt:   ContextSwitchInterval,
+	}
+	for i := range c.lines {
+		c.lines[i] = -1
+	}
+	return c
+}
+
+// access references one cache line address (already divided by LineBytes).
+func (c *Cache) access(lineAddr int64) {
+	if c.CtxSwitches && c.cost >= c.nextFlushAt {
+		for i := range c.lines {
+			c.lines[i] = -1
+		}
+		c.flushes++
+		for c.nextFlushAt <= c.cost {
+			c.nextFlushAt += ContextSwitchInterval
+		}
+	}
+	idx := lineAddr % c.linesPerCache
+	c.fetches++
+	if c.lines[idx] == lineAddr {
+		c.hits++
+		c.cost += HitCost
+		return
+	}
+	c.lines[idx] = lineAddr
+	c.misses++
+	c.cost += MissCost
+}
+
+// Fetch records an instruction fetch of size bytes at addr. An instruction
+// straddling a line boundary touches both lines.
+func (c *Cache) Fetch(addr, size int64) {
+	first := addr / c.LineBytes
+	last := (addr + size - 1) / c.LineBytes
+	c.access(first)
+	if last != first {
+		c.access(last)
+	}
+}
+
+// Stats summarizes the run.
+type Stats struct {
+	SizeBytes   int64
+	CtxSwitches bool
+	Fetches     int64
+	Hits        int64
+	Misses      int64
+	// Cost is the total fetch cost: hits*HitCost + misses*MissCost.
+	Cost int64
+	// Flushes counts simulated context switches that occurred.
+	Flushes int64
+}
+
+// MissRatio is misses/fetches (0 for an idle cache).
+func (s Stats) MissRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Fetches)
+}
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		SizeBytes:   c.SizeBytes,
+		CtxSwitches: c.CtxSwitches,
+		Fetches:     c.fetches,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Cost:        c.cost,
+		Flushes:     c.flushes,
+	}
+}
+
+// Bank is a set of caches fed from a single fetch stream, so one program
+// run measures every configuration of Table 6 at once.
+type Bank struct {
+	Caches []*Cache
+}
+
+// NewPaperBank builds the paper's 8 configurations: {1,2,4,8} KB ×
+// context switches {on, off}.
+func NewPaperBank() *Bank {
+	return NewBank([]int64{1 * 1024, 2 * 1024, 4 * 1024, 8 * 1024})
+}
+
+// NewBank builds a bank over the given cache sizes (bytes), each in a
+// context-switching and a non-switching variant, with the paper's line
+// size.
+func NewBank(sizes []int64) *Bank {
+	var b Bank
+	for _, sz := range sizes {
+		for _, ctx := range []bool{true, false} {
+			b.Caches = append(b.Caches, New(sz, DefaultLineBytes, ctx))
+		}
+	}
+	return &b
+}
+
+// Fetch feeds one instruction fetch to every cache in the bank.
+func (b *Bank) Fetch(addr, size int64) {
+	for _, c := range b.Caches {
+		c.Fetch(addr, size)
+	}
+}
+
+// Stats returns per-cache statistics in bank order.
+func (b *Bank) Stats() []Stats {
+	out := make([]Stats, len(b.Caches))
+	for i, c := range b.Caches {
+		out[i] = c.Stats()
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package cfg
+
+// Dominators holds the dominator sets of a function, computed by iterative
+// dataflow over the block-index space. For the function sizes the optimizer
+// sees (tens to a few hundred blocks) the bitset-free formulation below is
+// plenty fast and much easier to audit.
+type Dominators struct {
+	E *Edges
+	// dom[i] is the set of block indices dominating block i (including i).
+	dom []map[int]bool
+	// idom[i] is the immediate dominator's index, or -1 for the entry and
+	// unreachable blocks.
+	idom []int
+}
+
+// ComputeDominators computes dominator sets on the given edge snapshot.
+func ComputeDominators(e *Edges) *Dominators {
+	n := len(e.F.Blocks)
+	d := &Dominators{E: e, dom: make([]map[int]bool, n), idom: make([]int, n)}
+	if n == 0 {
+		return d
+	}
+	reach := Reachable(e.F)
+	all := make(map[int]bool, n)
+	for i, b := range e.F.Blocks {
+		if reach[b] {
+			all[i] = true
+		}
+	}
+	for i, b := range e.F.Blocks {
+		if !reach[b] {
+			d.dom[i] = map[int]bool{i: true}
+			continue
+		}
+		if i == 0 {
+			d.dom[i] = map[int]bool{0: true}
+		} else {
+			s := make(map[int]bool, len(all))
+			for k := range all {
+				s[k] = true
+			}
+			d.dom[i] = s
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			if !reach[e.F.Blocks[i]] {
+				continue
+			}
+			var inter map[int]bool
+			for _, p := range e.Preds[i] {
+				if !reach[p] {
+					continue
+				}
+				pd := d.dom[p.Index]
+				if inter == nil {
+					inter = make(map[int]bool, len(pd))
+					for k := range pd {
+						inter[k] = true
+					}
+				} else {
+					for k := range inter {
+						if !pd[k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[int]bool)
+			}
+			inter[i] = true
+			if len(inter) != len(d.dom[i]) {
+				d.dom[i] = inter
+				changed = true
+				continue
+			}
+			for k := range inter {
+				if !d.dom[i][k] {
+					d.dom[i] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i := range d.idom {
+		d.idom[i] = -1
+	}
+	for i := 1; i < n; i++ {
+		// The immediate dominator is the dominator with the largest
+		// dominator set other than i's own.
+		best, bestSize := -1, -1
+		for k := range d.dom[i] {
+			if k == i {
+				continue
+			}
+			if sz := len(d.dom[k]); sz > bestSize {
+				best, bestSize = k, sz
+			}
+		}
+		d.idom[i] = best
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b (by index).
+func (d *Dominators) Dominates(a, b int) bool {
+	if b < 0 || b >= len(d.dom) || d.dom[b] == nil {
+		return false
+	}
+	return d.dom[b][a]
+}
+
+// IDom returns the immediate dominator index of block i, or -1.
+func (d *Dominators) IDom(i int) int { return d.idom[i] }
+
+// Loop is a natural loop: a header and the set of blocks (by index) forming
+// the loop body, derived from one or more back edges into the header.
+type Loop struct {
+	Header *Block
+	// Blocks maps block index -> membership. Includes the header.
+	Blocks map[int]bool
+	// Latches are the sources of the back edges.
+	Latches []*Block
+}
+
+// Contains reports whether the loop contains the block with the given index.
+func (l *Loop) Contains(idx int) bool { return l.Blocks[idx] }
+
+// NaturalLoops finds all natural loops of the function: for every back edge
+// t->h where h dominates t, the loop body is h plus every block that can
+// reach t without passing through h. Loops sharing a header are merged, as is
+// conventional.
+func NaturalLoops(e *Edges, d *Dominators) []*Loop {
+	byHeader := make(map[*Block]*Loop)
+	var order []*Block
+	for _, b := range e.F.Blocks {
+		for _, s := range e.Succs[b.Index] {
+			if d.Dominates(s.Index, b.Index) {
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s.Index: true}}
+					byHeader[s] = l
+					order = append(order, s)
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the body by walking predecessors from the latch.
+				if !l.Blocks[b.Index] {
+					l.Blocks[b.Index] = true
+					stack := []*Block{b}
+					for len(stack) > 0 {
+						x := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						for _, p := range e.Preds[x.Index] {
+							if !l.Blocks[p.Index] {
+								l.Blocks[p.Index] = true
+								stack = append(stack, p)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// LoopHeaderOf returns the innermost loop headed by block b, or nil.
+func LoopHeaderOf(loops []*Loop, b *Block) *Loop {
+	var best *Loop
+	for _, l := range loops {
+		if l.Header == b {
+			if best == nil || len(l.Blocks) < len(best.Blocks) {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// InnermostLoopContaining returns the smallest loop containing block index
+// idx, or nil.
+func InnermostLoopContaining(loops []*Loop, idx int) *Loop {
+	var best *Loop
+	for _, l := range loops {
+		if l.Contains(idx) {
+			if best == nil || len(l.Blocks) < len(best.Blocks) {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// IsReducible reports whether the flow graph is reducible: every retreating
+// edge found by a depth-first search must be a back edge, i.e. its target
+// must dominate its source. The replication algorithm rolls back any
+// replication that breaks this property (step 6 of JUMPS).
+func IsReducible(f *Func) bool {
+	e := ComputeEdges(f)
+	d := ComputeDominators(e)
+	n := len(f.Blocks)
+	if n == 0 {
+		return true
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	ok := true
+	var dfs func(i int)
+	dfs = func(i int) {
+		color[i] = gray
+		for _, s := range e.Succs[i] {
+			j := s.Index
+			switch color[j] {
+			case white:
+				dfs(j)
+			case gray:
+				// Retreating edge i -> j: must be a true back edge.
+				if !d.Dominates(j, i) {
+					ok = false
+				}
+			}
+		}
+		color[i] = black
+	}
+	dfs(0)
+	return ok
+}

@@ -1,0 +1,71 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// Dot renders the function's flow graph in Graphviz dot syntax: one record
+// node per basic block with its RTLs, solid edges for branch targets,
+// dashed edges for fall-throughs, and bold edges for unconditional jumps —
+// handy for visualizing what replication did to a function.
+func Dot(f *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	esc := func(s string) string {
+		s = strings.ReplaceAll(s, "\\", "\\\\")
+		s = strings.ReplaceAll(s, "\"", "\\\"")
+		return s
+	}
+	for _, blk := range f.Blocks {
+		var lines []string
+		lines = append(lines, esc(blk.Label.String()+":"))
+		for ii := range blk.Insts {
+			lines = append(lines, esc("  "+blk.Insts[ii].String()))
+		}
+		fmt.Fprintf(&b, "\t%q [label=\"%s\"];\n", node(f, blk), strings.Join(lines, "\\l")+"\\l")
+	}
+	for _, blk := range f.Blocks {
+		// After delay-slot filling the CTI is followed by its slot
+		// instruction, so scan rather than relying on Term().
+		var t *rtl.Inst
+		for ii := len(blk.Insts) - 1; ii >= 0; ii-- {
+			if blk.Insts[ii].IsCTI() {
+				t = &blk.Insts[ii]
+				break
+			}
+		}
+		switch {
+		case t == nil:
+			if next := f.FallThrough(blk); next != nil {
+				fmt.Fprintf(&b, "\t%q -> %q [style=dashed];\n", node(f, blk), node(f, next))
+			}
+		case t.Kind == rtl.Br:
+			if tgt := f.BlockByLabel(t.Target); tgt != nil {
+				fmt.Fprintf(&b, "\t%q -> %q [label=%q];\n", node(f, blk), node(f, tgt), t.BrRel.String())
+			}
+			if blk.Index+1 < len(f.Blocks) {
+				fmt.Fprintf(&b, "\t%q -> %q [style=dashed];\n", node(f, blk), node(f, f.Blocks[blk.Index+1]))
+			}
+		case t.Kind == rtl.Jmp:
+			if tgt := f.BlockByLabel(t.Target); tgt != nil {
+				fmt.Fprintf(&b, "\t%q -> %q [style=bold];\n", node(f, blk), node(f, tgt))
+			}
+		case t.Kind == rtl.IJmp:
+			for _, l := range t.Table {
+				if tgt := f.BlockByLabel(l); tgt != nil {
+					fmt.Fprintf(&b, "\t%q -> %q [style=dotted];\n", node(f, blk), node(f, tgt))
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func node(f *Func, b *Block) string {
+	return fmt.Sprintf("%s_%s", f.Name, b.Label)
+}

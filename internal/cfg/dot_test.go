@@ -1,0 +1,49 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+)
+
+func TestDotOutput(t *testing.T) {
+	prog, err := mcc.Compile(`
+int main() {
+	int i;
+	for (i = 0; i < 4; i++)
+		putchar('a' + i);
+	if (i > 2)
+		putchar('!');
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline.Optimize(prog, pipeline.Config{Machine: machine.SPARC, Level: pipeline.Jumps})
+	out := cfg.Dot(prog.Func("main"))
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Error("no edges emitted")
+	}
+	if !strings.Contains(out, "call putchar") {
+		t.Error("instruction text missing from node labels")
+	}
+	// Every referenced node must be declared.
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.Index(line, " -> "); i > 0 {
+			for _, name := range []string{line[:i], strings.Fields(line[i+4:])[0]} {
+				name = strings.Trim(name, "\";")
+				if !strings.Contains(out, name+"\" [label=") {
+					t.Errorf("edge references undeclared node %s", name)
+				}
+			}
+		}
+	}
+}

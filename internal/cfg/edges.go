@@ -1,0 +1,125 @@
+package cfg
+
+import "repro/internal/rtl"
+
+// Edges is a snapshot of the flow graph's successor/predecessor lists,
+// indexed by Block.Index. It is invalidated by any structural change to the
+// function; recompute with ComputeEdges.
+type Edges struct {
+	F     *Func
+	Succs [][]*Block
+	Preds [][]*Block
+}
+
+// ComputeEdges builds the successor and predecessor lists for f's current
+// layout.
+func ComputeEdges(f *Func) *Edges {
+	n := len(f.Blocks)
+	e := &Edges{F: f, Succs: make([][]*Block, n), Preds: make([][]*Block, n)}
+	for _, b := range f.Blocks {
+		for _, s := range blockSuccs(f, b) {
+			e.Succs[b.Index] = append(e.Succs[b.Index], s)
+			e.Preds[s.Index] = append(e.Preds[s.Index], b)
+		}
+	}
+	return e
+}
+
+// blockSuccs lists the successors of b in f's current layout: the branch
+// targets and, for non-terminated or conditionally terminated blocks, the
+// positionally next block.
+func blockSuccs(f *Func, b *Block) []*Block {
+	var out []*Block
+	addLabel := func(l rtl.Label) {
+		if t := f.BlockByLabel(l); t != nil {
+			for _, s := range out {
+				if s == t {
+					return
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	t := b.Term()
+	if t == nil {
+		if b.Index+1 < len(f.Blocks) {
+			out = append(out, f.Blocks[b.Index+1])
+		}
+		return out
+	}
+	switch t.Kind {
+	case rtl.Jmp:
+		addLabel(t.Target)
+	case rtl.Br:
+		if b.Index+1 < len(f.Blocks) {
+			out = append(out, f.Blocks[b.Index+1])
+		}
+		addLabel(t.Target)
+	case rtl.IJmp:
+		for _, l := range t.Table {
+			addLabel(l)
+		}
+	case rtl.Ret:
+		// no successors
+	}
+	return out
+}
+
+// FallThrough returns the block control reaches from b without a taken
+// branch: the positionally next block, or nil if b ends in an unconditional
+// transfer (Jmp, IJmp, Ret) or is last.
+func (f *Func) FallThrough(b *Block) *Block {
+	if t := b.Term(); t != nil {
+		switch t.Kind {
+		case rtl.Jmp, rtl.IJmp, rtl.Ret:
+			return nil
+		}
+	}
+	if b.Index+1 < len(f.Blocks) {
+		return f.Blocks[b.Index+1]
+	}
+	return nil
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func Reachable(f *Func) map[*Block]bool {
+	seen := make(map[*Block]bool, len(f.Blocks))
+	if len(f.Blocks) == 0 {
+		return seen
+	}
+	var stack []*Block
+	stack = append(stack, f.Blocks[0])
+	seen[f.Blocks[0]] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blockSuccs(f, b) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and reports
+// whether anything changed. This is the block-level half of dead code
+// elimination; replication routinely strands blocks that this pass reclaims.
+func RemoveUnreachable(f *Func) bool {
+	seen := Reachable(f)
+	if len(seen) == len(f.Blocks) {
+		return false
+	}
+	dead := make(map[rtl.Label]bool)
+	for _, b := range f.Blocks {
+		if !seen[b] {
+			dead[b.Label] = true
+		}
+	}
+	if len(dead) == 0 {
+		return false
+	}
+	f.RemoveBlocks(dead)
+	return true
+}

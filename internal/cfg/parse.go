@@ -1,0 +1,116 @@
+package cfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// ParseFunc parses the textual form produced by Func.String:
+//
+//	func name(params=N, locals=M):
+//	L0:
+//		<instruction>
+//		...
+//	L1:
+//		...
+//
+// The inverse property ParseFunc(f.String()).String() == f.String() holds
+// for every function the compiler can produce, which makes the notation
+// usable for test fixtures and for round-tripping optimizer dumps.
+func ParseFunc(text string) (*Func, error) {
+	lines := strings.Split(text, "\n")
+	var f *Func
+	var cur *Block
+	maxLabel := rtl.Label(-1)
+	maxVReg := 0
+	for ln, raw := range lines {
+		line := strings.TrimRight(raw, " \r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if f != nil {
+				return nil, fmt.Errorf("cfg: line %d: second function header", ln+1)
+			}
+			var err error
+			if f, err = parseFuncHeader(line); err != nil {
+				return nil, fmt.Errorf("cfg: line %d: %v", ln+1, err)
+			}
+		case !strings.HasPrefix(line, "\t") && strings.HasSuffix(line, ":"):
+			if f == nil {
+				return nil, fmt.Errorf("cfg: line %d: label before function header", ln+1)
+			}
+			l, err := rtl.ParseLabel(strings.TrimSuffix(line, ":"))
+			if err != nil {
+				return nil, fmt.Errorf("cfg: line %d: %v", ln+1, err)
+			}
+			cur = f.AppendBlock(l)
+			if l > maxLabel {
+				maxLabel = l
+			}
+		case strings.HasPrefix(line, "\t"):
+			if cur == nil {
+				return nil, fmt.Errorf("cfg: line %d: instruction outside a block", ln+1)
+			}
+			in, err := rtl.ParseInst(line)
+			if err != nil {
+				return nil, fmt.Errorf("cfg: line %d: %v", ln+1, err)
+			}
+			cur.Insts = append(cur.Insts, in)
+			for _, o := range []rtl.Operand{in.Dst, in.Src, in.Src2} {
+				for _, r := range []rtl.Reg{o.Reg, o.Index} {
+					if r.IsVirtual() && int(r-rtl.VRegBase)+1 > maxVReg {
+						maxVReg = int(r-rtl.VRegBase) + 1
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("cfg: line %d: unrecognized line %q", ln+1, line)
+		}
+	}
+	if f == nil {
+		return nil, fmt.Errorf("cfg: no function header found")
+	}
+	// Reserve the label and register numbers already in use.
+	for f.nextLabel <= maxLabel {
+		f.nextLabel++
+	}
+	if f.NVRegs < maxVReg {
+		f.NVRegs = maxVReg
+	}
+	return f, nil
+}
+
+func parseFuncHeader(line string) (*Func, error) {
+	// "func name(params=N, locals=M):"
+	rest := strings.TrimPrefix(line, "func ")
+	name, args, ok := strings.Cut(rest, "(")
+	if !ok || !strings.HasSuffix(args, "):") {
+		return nil, fmt.Errorf("bad function header %q", line)
+	}
+	args = strings.TrimSuffix(args, "):")
+	f := NewFunc(strings.TrimSpace(name), 0)
+	for _, kv := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad header field %q", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad header value %q", kv)
+		}
+		switch k {
+		case "params":
+			f.NParams = n
+		case "locals":
+			f.NLocals = n
+		default:
+			return nil, fmt.Errorf("unknown header field %q", k)
+		}
+	}
+	return f, nil
+}

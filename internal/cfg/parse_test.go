@@ -1,0 +1,80 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+)
+
+// TestParseRoundTripCompiled: every function the compiler can produce (at
+// every level, on both machines, across all Table-3-style constructs)
+// round-trips through the textual notation.
+func TestParseRoundTripCompiled(t *testing.T) {
+	srcs := []string{
+		`int main() { int i, s; s = 0; for (i = 0; i < 9; i++) s += i; printint(s); return 0; }`,
+		`int g[10];
+		 int f(int *p, int n) { int s; s = 0; while (n-- > 0) s += *p++; return s; }
+		 int main() { int i; for (i = 0; i < 10; i++) g[i] = i; printint(f(g, 10)); return 0; }`,
+		`int main() {
+			int x, r;
+			x = 3; r = 0;
+			switch (x) { case 1: r = 1; break; case 2: r = 2; break; case 3: r = 3; break;
+			             case 4: r = 4; break; case 5: r = 5; }
+			printint(r > 0 ? -r : ~r);
+			return 0;
+		 }`,
+	}
+	for si, src := range srcs {
+		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+			for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Jumps} {
+				prog, err := mcc.Compile(src)
+				if err != nil {
+					t.Fatalf("src %d: %v", si, err)
+				}
+				pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: lv})
+				for _, f := range prog.Funcs {
+					text := f.String()
+					parsed, err := cfg.ParseFunc(text)
+					if err != nil {
+						t.Fatalf("src %d %s/%s %s: parse: %v\n%s", si, m.Name, lv, f.Name, err, text)
+					}
+					if got := parsed.String(); got != text {
+						t.Fatalf("src %d %s/%s %s: round trip mismatch\n--- printed:\n%s--- reparsed:\n%s",
+							si, m.Name, lv, f.Name, text, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParseFreshLabels: labels allocated after parsing must not collide
+// with parsed ones.
+func TestParseFreshLabels(t *testing.T) {
+	f, err := cfg.ParseFunc("func t(params=0, locals=0):\nL7:\n\tPC = RT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := f.NewLabel(); l <= 7 {
+		t.Errorf("fresh label %v collides with parsed labels", l)
+	}
+}
+
+// TestParseErrors: malformed inputs produce errors, not panics.
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"L0:\n\tPC = RT\n",                       // no header
+		"func t(params=0, locals=0):\n\tPC = RT", // instruction before a label
+		"func t(params=x, locals=0):\nL0:\n",     // bad header value
+		"func t(params=0, locals=0):\nL0:\n\t???", // bad instruction
+		"junk\n",
+	} {
+		if _, err := cfg.ParseFunc(text); err == nil {
+			t.Errorf("ParseFunc(%q) should fail", text)
+		}
+	}
+}

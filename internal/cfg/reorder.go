@@ -1,0 +1,116 @@
+package cfg
+
+import "repro/internal/rtl"
+
+// DeleteJumpsToNext removes every unconditional jump whose target is the
+// positionally next block; the transfer becomes a fall-through. Reports
+// whether anything changed.
+func DeleteJumpsToNext(f *Func) bool {
+	changed := false
+	for i, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Kind != rtl.Jmp {
+			continue
+		}
+		if i+1 < len(f.Blocks) && f.Blocks[i+1].Label == t.Target {
+			b.Insts = b.Insts[:len(b.Insts)-1]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// fallChain returns the maximal run of blocks starting at index i that are
+// glued together by implicit fall-through: every block but the last ends
+// without an unconditional transfer. Returns nil if the chain runs off the
+// end of the function without terminating (ill-formed region; left alone).
+func fallChain(f *Func, i int) []*Block {
+	var chain []*Block
+	for ; i < len(f.Blocks); i++ {
+		b := f.Blocks[i]
+		chain = append(chain, b)
+		if t := b.Term(); t != nil {
+			switch t.Kind {
+			case rtl.Jmp, rtl.IJmp, rtl.Ret:
+				return chain
+			}
+		}
+	}
+	return nil
+}
+
+// ReorderBlocks greedily relocates fall-through chains so that unconditional
+// jumps become fall-throughs ("reorder basic blocks to minimize jumps" in
+// the paper's Figure 3). A chain starting at block t may move to directly
+// follow a block a ending in `Jmp t` when t is not the entry, is not fallen
+// into by its positional predecessor, and does not contain a. The enabling
+// jump is then deleted. Runs to a fixed point; reports whether anything
+// changed.
+func ReorderBlocks(f *Func) bool {
+	changed := false
+	for pass := 0; pass < len(f.Blocks)+1; pass++ {
+		moved := false
+		for _, a := range f.Blocks {
+			t := a.Term()
+			if t == nil || t.Kind != rtl.Jmp {
+				continue
+			}
+			tgt := f.BlockByLabel(t.Target)
+			if tgt == nil || tgt.Index == 0 || tgt.Index == a.Index+1 {
+				continue
+			}
+			// The target must not be entered by fall-through from its
+			// positional predecessor.
+			prev := f.Blocks[tgt.Index-1]
+			if pt := prev.Term(); pt == nil || pt.Kind == rtl.Br {
+				continue
+			}
+			chain := fallChain(f, tgt.Index)
+			if chain == nil {
+				continue
+			}
+			contains := false
+			for _, c := range chain {
+				if c == a || c.Index == 0 {
+					contains = true
+					break
+				}
+			}
+			if contains {
+				continue
+			}
+			// Splice the chain out and back in after a.
+			inChain := make(map[*Block]bool, len(chain))
+			for _, c := range chain {
+				inChain[c] = true
+			}
+			rest := make([]*Block, 0, len(f.Blocks)-len(chain))
+			for _, b := range f.Blocks {
+				if !inChain[b] {
+					rest = append(rest, b)
+				}
+			}
+			out := make([]*Block, 0, len(f.Blocks))
+			for _, b := range rest {
+				out = append(out, b)
+				if b == a {
+					out = append(out, chain...)
+				}
+			}
+			f.Blocks = out
+			f.Renumber()
+			// a now falls through to tgt; delete the jump.
+			a.Insts = a.Insts[:len(a.Insts)-1]
+			moved = true
+			changed = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	if DeleteJumpsToNext(f) {
+		changed = true
+	}
+	return changed
+}

@@ -1,0 +1,132 @@
+// Package core is the library façade: one import that compiles mini-C,
+// applies the paper's optimization pipeline at a chosen level, and executes
+// the result with full measurements. The underlying pieces (front end,
+// optimizer, replication algorithms, machines, VM, caches) live in their
+// own packages and can be composed directly; core wires the common path.
+//
+//	res, err := core.Build(src, core.Config{Machine: core.SPARC, Level: core.JUMPS})
+//	out, err := res.Run(input)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+	"repro/internal/vm"
+)
+
+// Re-exported machine models.
+var (
+	// M68020 is the Motorola 68020-like CISC model.
+	M68020 = machine.M68020
+	// SPARC is the SPARC-like RISC model (delay slots, fixed-size
+	// instructions).
+	SPARC = machine.SPARC
+)
+
+// Optimization levels, re-exported from pipeline.
+const (
+	// SIMPLE applies only the standard optimizations.
+	SIMPLE = pipeline.Simple
+	// LOOPS adds conventional loop-condition replication.
+	LOOPS = pipeline.Loops
+	// JUMPS adds the paper's generalized code replication.
+	JUMPS = pipeline.Jumps
+)
+
+// Config selects how to build a program.
+type Config struct {
+	// Machine is the target model (default M68020).
+	Machine *machine.Machine
+	// Level is the optimization level (default SIMPLE).
+	Level pipeline.Level
+	// Replication tunes the JUMPS algorithm.
+	Replication replicate.Options
+}
+
+// Build compiles mini-C source and runs the full Figure-3 pipeline.
+func Build(src string, c Config) (*Built, error) {
+	if c.Machine == nil {
+		c.Machine = M68020
+	}
+	prog, err := mcc.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	stats := pipeline.Optimize(prog, pipeline.Config{
+		Machine:     c.Machine,
+		Level:       c.Level,
+		Replication: c.Replication,
+	})
+	return &Built{
+		Program: prog,
+		Machine: c.Machine,
+		Level:   c.Level,
+		Static:  stats,
+		Layout:  vm.NewLayout(prog, c.Machine),
+	}, nil
+}
+
+// Built is an optimized, laid-out program ready to execute.
+type Built struct {
+	Program *cfg.Program
+	Machine *machine.Machine
+	Level   pipeline.Level
+	Static  pipeline.Stats
+	Layout  *vm.Layout
+}
+
+// RunResult is one execution's outcome.
+type RunResult struct {
+	Output   []byte
+	ExitCode int64
+	Counts   vm.Counts
+	// Caches holds per-configuration statistics when RunWithCaches was
+	// used.
+	Caches []cache.Stats
+}
+
+// Run executes the program on the given input.
+func (b *Built) Run(input []byte) (*RunResult, error) {
+	res, err := vm.Run(b.Program, vm.Config{Input: input})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Output: res.Output, ExitCode: res.ExitCode, Counts: res.Counts}, nil
+}
+
+// RunWithCaches executes the program while simulating the paper's
+// instruction-cache bank.
+func (b *Built) RunWithCaches(input []byte) (*RunResult, error) {
+	bank := cache.NewPaperBank()
+	res, err := vm.Run(b.Program, vm.Config{
+		Input:   input,
+		Layout:  b.Layout,
+		OnFetch: bank.Fetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Output: res.Output, ExitCode: res.ExitCode,
+		Counts: res.Counts, Caches: bank.Stats(),
+	}, nil
+}
+
+// Disassemble renders the optimized RTLs of one function (empty name = the
+// whole program).
+func (b *Built) Disassemble(fn string) (string, error) {
+	if fn == "" {
+		return b.Program.String(), nil
+	}
+	f := b.Program.Func(fn)
+	if f == nil {
+		return "", fmt.Errorf("core: no function %q", fn)
+	}
+	return f.String(), nil
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+const src = `
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 50; i++)
+		s += i;
+	printint(s);
+	return 0;
+}`
+
+func TestBuildAndRun(t *testing.T) {
+	b, err := core.Build(src, core.Config{Machine: core.SPARC, Level: core.JUMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "1225" {
+		t.Errorf("output = %q", res.Output)
+	}
+	if res.Counts.Exec == 0 {
+		t.Error("no dynamic counts")
+	}
+	if b.Static.StaticInsts == 0 || b.Layout.CodeBytes == 0 {
+		t.Error("missing static stats or layout")
+	}
+}
+
+func TestDefaultMachine(t *testing.T) {
+	b, err := core.Build(src, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Machine != core.M68020 {
+		t.Error("default machine should be the 68020")
+	}
+}
+
+func TestRunWithCaches(t *testing.T) {
+	b, err := core.Build(src, core.Config{Machine: core.SPARC, Level: core.SIMPLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.RunWithCaches(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Caches) != 8 {
+		t.Fatalf("got %d cache configs, want 8", len(res.Caches))
+	}
+	for _, cs := range res.Caches {
+		if cs.Fetches == 0 {
+			t.Error("cache saw no fetches")
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b, err := core.Build(src, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := b.Disassemble("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asm, "PC = RT") {
+		t.Errorf("disassembly looks wrong:\n%s", asm)
+	}
+	if _, err := b.Disassemble("nosuch"); err == nil {
+		t.Error("expected error for unknown function")
+	}
+	all, err := b.Disassemble("")
+	if err != nil || !strings.Contains(all, "func main") {
+		t.Error("whole-program disassembly broken")
+	}
+}
+
+func TestBuildError(t *testing.T) {
+	if _, err := core.Build("int main( {", core.Config{}); err == nil {
+		t.Error("expected a parse error")
+	}
+}
+
+func TestLevelsAgree(t *testing.T) {
+	var outs []string
+	for _, l := range []pipelineLevel{core.SIMPLE, core.LOOPS, core.JUMPS} {
+		b, err := core.Build(src, core.Config{Level: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, string(res.Output))
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Errorf("levels disagree: %q", outs)
+	}
+}
+
+// pipelineLevel is the concrete type of core.SIMPLE et al.
+type pipelineLevel = pipeline.Level

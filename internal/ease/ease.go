@@ -1,0 +1,151 @@
+// Package ease is the measurement environment of the reproduction, playing
+// the role of the paper's EASE (Environment for Architectural Study and
+// Experimentation): it compiles a program with a chosen machine and
+// optimization level, executes it, and collects the static, dynamic and
+// cache measurements behind Tables 4–6.
+package ease
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+	"repro/internal/vm"
+)
+
+// Request describes one measurement cell: program × machine × level.
+type Request struct {
+	Name    string
+	Source  string
+	Input   []byte
+	Machine *machine.Machine
+	Level   pipeline.Level
+	// Replication tunes JUMPS (zero value = paper defaults).
+	Replication replicate.Options
+	// SimulateCaches enables the Table-6 cache bank (slower).
+	SimulateCaches bool
+	// CacheSizes overrides the paper's {1,2,4,8} KB cache sizes (bytes);
+	// used for the scaled small-cache study.
+	CacheSizes []int64
+	// OnFetch, when set, receives every instruction fetch (address, size)
+	// — e.g. to dump a trace for offline cache studies. Composes with
+	// SimulateCaches.
+	OnFetch func(addr, size int64)
+	// MaxSteps optionally bounds execution.
+	MaxSteps int64
+}
+
+// Run is the outcome of one measurement.
+type Run struct {
+	Request   Request
+	Static    pipeline.Stats
+	Dynamic   vm.Counts
+	CodeBytes int64
+	Output    []byte
+	ExitCode  int64
+	// Caches holds the Table-6 bank statistics (nil unless requested):
+	// {1,2,4,8} KB × context switches {on, off} in cache.NewPaperBank
+	// order.
+	Caches []cache.Stats
+}
+
+// StaticJumpFraction is the static fraction of instructions that are
+// unconditional jumps (Table 4, "static").
+func (r *Run) StaticJumpFraction() float64 {
+	if r.Static.StaticInsts == 0 {
+		return 0
+	}
+	return float64(r.Static.StaticJumps) / float64(r.Static.StaticInsts)
+}
+
+// DynamicJumpFraction is the executed fraction of instructions that are
+// unconditional jumps (Table 4, "dynamic").
+func (r *Run) DynamicJumpFraction() float64 {
+	if r.Dynamic.Exec == 0 {
+		return 0
+	}
+	return float64(r.Dynamic.UncondJumps) / float64(r.Dynamic.Exec)
+}
+
+// InstsBetweenBranches is the dynamic average number of instructions
+// executed per control transfer (§5.2's instructions-between-branches).
+func (r *Run) InstsBetweenBranches() float64 {
+	if r.Dynamic.Transfers == 0 {
+		return float64(r.Dynamic.Exec)
+	}
+	return float64(r.Dynamic.Exec) / float64(r.Dynamic.Transfers)
+}
+
+// Measure compiles, optimizes, lays out, and runs one request.
+func Measure(req Request) (*Run, error) {
+	prog, err := mcc.Compile(req.Source)
+	if err != nil {
+		return nil, fmt.Errorf("ease: %s: %w", req.Name, err)
+	}
+	return MeasureProgram(prog, req)
+}
+
+// MeasureProgram measures an already-compiled (but unoptimized) program.
+func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
+	st := pipeline.Optimize(prog, pipeline.Config{
+		Machine:     req.Machine,
+		Level:       req.Level,
+		Replication: req.Replication,
+	})
+	layout := vm.NewLayout(prog, req.Machine)
+	cfgr := vm.Config{Input: req.Input, MaxSteps: req.MaxSteps}
+	var bank *cache.Bank
+	var fetch func(addr, size int64)
+	if req.SimulateCaches {
+		if req.CacheSizes != nil {
+			bank = cache.NewBank(req.CacheSizes)
+		} else {
+			bank = cache.NewPaperBank()
+		}
+		fetch = bank.Fetch
+	}
+	if req.OnFetch != nil {
+		if fetch == nil {
+			fetch = req.OnFetch
+		} else {
+			prev := fetch
+			user := req.OnFetch
+			fetch = func(addr, size int64) {
+				prev(addr, size)
+				user(addr, size)
+			}
+		}
+	}
+	if fetch != nil {
+		cfgr.Layout = layout
+		cfgr.OnFetch = fetch
+	}
+	res, err := vm.Run(prog, cfgr)
+	if err != nil {
+		return nil, fmt.Errorf("ease: %s (%s/%s): %w", req.Name, req.Machine.Name, req.Level, err)
+	}
+	run := &Run{
+		Request:   req,
+		Static:    st,
+		Dynamic:   res.Counts,
+		CodeBytes: layout.CodeBytes,
+		Output:    res.Output,
+		ExitCode:  res.ExitCode,
+	}
+	if bank != nil {
+		run.Caches = bank.Stats()
+	}
+	return run, nil
+}
+
+// PercentChange returns 100*(new-old)/old (0 when old is 0).
+func PercentChange(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * float64(new-old) / float64(old)
+}

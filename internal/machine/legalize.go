@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// Legalize rewrites every instruction of f into machine-legal shape,
+// materializing memory operands and oversized immediates through fresh
+// virtual registers. On the SPARC this expands memory-operand arithmetic
+// into load/op/store sequences, which is exactly why the SPARC executes more
+// (but fixed-size) instructions than the 68020 in the paper's tables.
+func Legalize(f *cfg.Func, m *Machine) {
+	for _, b := range f.Blocks {
+		out := make([]rtl.Inst, 0, len(b.Insts))
+		for i := range b.Insts {
+			out = legalizeInst(f, m, out, b.Insts[i])
+		}
+		b.Insts = out
+	}
+}
+
+// loadTo emits a move of operand o into a fresh virtual register and returns
+// the register operand.
+func loadTo(f *cfg.Func, out *[]rtl.Inst, o rtl.Operand) rtl.Operand {
+	r := f.NewVReg()
+	*out = append(*out, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: o})
+	return rtl.R(r)
+}
+
+func legalizeInst(f *cfg.Func, m *Machine, out []rtl.Inst, in rtl.Inst) []rtl.Inst {
+	if m.LegalInst(&in) {
+		return append(out, in)
+	}
+	if m.LoadStore {
+		return legalizeRISC(f, m, out, in)
+	}
+	return legalizeCISC(f, m, out, in)
+}
+
+func legalizeRISC(f *cfg.Func, m *Machine, out []rtl.Inst, in rtl.Inst) []rtl.Inst {
+	regOrSmall := func(o rtl.Operand) rtl.Operand {
+		if o.Kind == rtl.OReg || o.Kind == rtl.OImm && m.immOK(o.Val) {
+			return o
+		}
+		return loadTo(f, &out, o)
+	}
+	regOnly := func(o rtl.Operand) rtl.Operand {
+		if o.Kind == rtl.OReg {
+			return o
+		}
+		return loadTo(f, &out, o)
+	}
+	switch in.Kind {
+	case rtl.Move:
+		// Illegal forms: mem <- non-reg.
+		in.Src = regOnly(in.Src)
+		return append(out, in)
+	case rtl.Bin:
+		in.Src = regOnly(in.Src)
+		in.Src2 = regOrSmall(in.Src2)
+		if in.Dst.IsMem() {
+			dst := in.Dst
+			r := f.NewVReg()
+			in.Dst = rtl.R(r)
+			out = append(out, in)
+			return append(out, rtl.Inst{Kind: rtl.Move, Dst: dst, Src: rtl.R(r)})
+		}
+		return append(out, in)
+	case rtl.Un:
+		in.Src = regOnly(in.Src)
+		if in.Dst.IsMem() {
+			dst := in.Dst
+			r := f.NewVReg()
+			in.Dst = rtl.R(r)
+			out = append(out, in)
+			return append(out, rtl.Inst{Kind: rtl.Move, Dst: dst, Src: rtl.R(r)})
+		}
+		return append(out, in)
+	case rtl.Cmp:
+		in.Src = regOnly(in.Src)
+		in.Src2 = regOrSmall(in.Src2)
+		return append(out, in)
+	case rtl.Arg:
+		in.Src = regOrSmall(in.Src)
+		return append(out, in)
+	case rtl.Ret:
+		if in.Src.Kind != rtl.ONone {
+			in.Src = regOrSmall(in.Src)
+		}
+		return append(out, in)
+	case rtl.IJmp:
+		in.Src = regOnly(in.Src)
+		return append(out, in)
+	}
+	return append(out, in)
+}
+
+func legalizeCISC(f *cfg.Func, m *Machine, out []rtl.Inst, in rtl.Inst) []rtl.Inst {
+	switch in.Kind {
+	case rtl.Bin:
+		// Reduce to at most one memory operand; prefer keeping the
+		// destination's read-modify-write form when possible.
+		if in.Src.IsMem() && (in.Src2.IsMem() || in.Dst.IsMem() && !in.Dst.Equal(in.Src)) {
+			in.Src = loadTo(f, &out, in.Src)
+		}
+		if in.Src2.IsMem() && in.Dst.IsMem() && !(in.Dst.Equal(in.Src) || in.BOp.Commutative() && in.Dst.Equal(in.Src2)) {
+			in.Src2 = loadTo(f, &out, in.Src2)
+		}
+		if m.LegalInst(&in) {
+			return append(out, in)
+		}
+		// Memory destination without the two-address form: compute into a
+		// register, then store.
+		if in.Dst.IsMem() {
+			dst := in.Dst
+			r := f.NewVReg()
+			in.Dst = rtl.R(r)
+			out = legalizeInst(f, m, out, in)
+			return append(out, rtl.Inst{Kind: rtl.Move, Dst: dst, Src: rtl.R(r)})
+		}
+		in.Src = loadTo(f, &out, in.Src)
+		return append(out, in)
+	case rtl.Un:
+		if in.Dst.IsMem() && !in.Dst.Equal(in.Src) {
+			dst := in.Dst
+			r := f.NewVReg()
+			in.Dst = rtl.R(r)
+			if in.Src.IsMem() {
+				in.Src = loadTo(f, &out, in.Src)
+			}
+			out = append(out, in)
+			return append(out, rtl.Inst{Kind: rtl.Move, Dst: dst, Src: rtl.R(r)})
+		}
+		return append(out, in)
+	case rtl.Cmp:
+		if in.Src.IsMem() && in.Src2.IsMem() {
+			in.Src = loadTo(f, &out, in.Src)
+		}
+		return append(out, in)
+	}
+	return append(out, in)
+}

@@ -1,0 +1,226 @@
+// Package machine describes the two simulated target machines of the paper's
+// evaluation: a Motorola 68020-like CISC and a Sun SPARC-like RISC.
+//
+// A machine description controls three things:
+//
+//  1. which RTL operand shapes are legal (CISC memory operands vs RISC
+//     load/store discipline) — enforced by Legalize and consulted by the
+//     instruction-selection pass before it combines instructions;
+//  2. instruction byte sizes, which drive the instruction-cache experiments;
+//  3. whether transfers of control have delay slots (filled by a late pass,
+//     with no-ops where nothing fits).
+package machine
+
+import "repro/internal/rtl"
+
+// Machine is a target description.
+type Machine struct {
+	Name string
+	// LoadStore restricts memory operands to Move instructions
+	// (loads/stores), as on the SPARC.
+	LoadStore bool
+	// DelaySlots indicates branches, jumps, calls and returns execute one
+	// following instruction (filled late; no-op if nothing fits).
+	DelaySlots bool
+	// NumRegs is the number of allocatable general registers
+	// (rtl.FirstAlloc .. rtl.FirstAlloc+NumRegs-1).
+	NumRegs int
+	// MaxImm is the largest |immediate| usable directly as the second
+	// source of an ALU instruction (0 = unlimited).
+	MaxImm int64
+	// Align is the instruction alignment in bytes.
+	Align int64
+}
+
+// M68020 models the Motorola 68020: memory operands allowed in ALU
+// instructions (one per instruction, with read-modify-write destinations),
+// variable-length instructions, no delay slots.
+var M68020 = &Machine{
+	Name:      "68020",
+	LoadStore: false,
+	NumRegs:   12,
+	MaxImm:    0,
+	Align:     2,
+}
+
+// SPARC models the Sun SPARC: a load/store architecture with fixed 4-byte
+// instructions and delay slots after transfers of control.
+var SPARC = &Machine{
+	Name:       "SPARC",
+	LoadStore:  true,
+	DelaySlots: true,
+	NumRegs:    24,
+	MaxImm:     4095,
+	Align:      4,
+}
+
+// operandExt returns the 68020 extension-word bytes an operand costs.
+func operandExt(o rtl.Operand) int64 {
+	switch o.Kind {
+	case rtl.OImm:
+		if o.Val >= -32768 && o.Val <= 32767 {
+			return 2
+		}
+		return 4
+	case rtl.OLocal, rtl.OAddrLocal:
+		return 2 // d16(An)
+	case rtl.OGlobal, rtl.OAddrGlobal:
+		return 4 // absolute long
+	case rtl.OMem:
+		if o.Val == 0 && o.Index == rtl.RegNone {
+			return 0 // (An)
+		}
+		return 2 // d16(An) or brief indexed
+	}
+	return 0
+}
+
+// InstSize returns the byte size of an instruction on the machine. On the
+// SPARC every instruction is 4 bytes. On the 68020 the size is a
+// deterministic approximation of the real encoding: a 2-byte opcode word
+// plus extension words per operand (see DESIGN.md §6).
+func (m *Machine) InstSize(in *rtl.Inst) int64 {
+	if m.LoadStore {
+		return 4
+	}
+	switch in.Kind {
+	case rtl.Nop:
+		return 2
+	case rtl.Ret:
+		return 4 // unlk+rts, counted as one instruction
+	case rtl.Br, rtl.Jmp:
+		return 4 // opcode + word displacement
+	case rtl.IJmp:
+		return 4 // jmp ([table,Dn]); the table lives in rodata
+	case rtl.Call:
+		return 6 // jsr absolute long
+	case rtl.Arg:
+		return 2 + operandExt(in.Src) // move.l <ea>,-(sp)
+	case rtl.Move:
+		return 2 + operandExt(in.Dst) + operandExt(in.Src)
+	case rtl.Bin:
+		sz := int64(2) + operandExt(in.Dst) + operandExt(in.Src2)
+		if !in.Src.Equal(in.Dst) {
+			sz += operandExt(in.Src)
+		}
+		return sz
+	case rtl.Un:
+		sz := int64(2) + operandExt(in.Dst)
+		if !in.Src.Equal(in.Dst) {
+			sz += operandExt(in.Src)
+		}
+		return sz
+	case rtl.Cmp:
+		return 2 + operandExt(in.Src) + operandExt(in.Src2)
+	}
+	return 2
+}
+
+// memOperands counts memory operands among the instruction's sources and
+// destination.
+func memOperands(in *rtl.Inst) int {
+	n := 0
+	if in.Dst.IsMem() {
+		n++
+	}
+	for _, o := range in.SrcOperands() {
+		if o.IsMem() {
+			n++
+		}
+	}
+	return n
+}
+
+// immOK reports whether an immediate fits the machine's ALU immediate field.
+func (m *Machine) immOK(v int64) bool {
+	if m.MaxImm == 0 {
+		return true
+	}
+	if v < 0 {
+		v = -v
+	}
+	return v <= m.MaxImm
+}
+
+// LegalInst reports whether the instruction's operand shapes are directly
+// encodable on the machine. The instruction-selection pass uses this to
+// validate candidate combinations; Legalize rewrites violations.
+func (m *Machine) LegalInst(in *rtl.Inst) bool {
+	if m.LoadStore {
+		return m.legalRISC(in)
+	}
+	return m.legalCISC(in)
+}
+
+func (m *Machine) legalRISC(in *rtl.Inst) bool {
+	isRegOrSmallImm := func(o rtl.Operand) bool {
+		if o.Kind == rtl.OReg {
+			return true
+		}
+		return o.Kind == rtl.OImm && m.immOK(o.Val)
+	}
+	switch in.Kind {
+	case rtl.Move:
+		// load: reg <- mem (simple addressing); store: mem <- reg;
+		// move/materialize: reg <- reg/imm/addr.
+		if in.Dst.Kind == rtl.OReg {
+			return true // any source is one load/move/sethi+or counted as 1
+		}
+		if in.Dst.IsMem() {
+			return in.Src.Kind == rtl.OReg
+		}
+		return false
+	case rtl.Bin:
+		return in.Dst.Kind == rtl.OReg && in.Src.Kind == rtl.OReg && isRegOrSmallImm(in.Src2)
+	case rtl.Un:
+		return in.Dst.Kind == rtl.OReg && in.Src.Kind == rtl.OReg
+	case rtl.Cmp:
+		return in.Src.Kind == rtl.OReg && isRegOrSmallImm(in.Src2)
+	case rtl.Arg:
+		// mov to out-register.
+		return in.Src.Kind == rtl.OReg || in.Src.Kind == rtl.OImm && m.immOK(in.Src.Val)
+	case rtl.Ret:
+		return in.Src.Kind == rtl.ONone || in.Src.Kind == rtl.OReg ||
+			in.Src.Kind == rtl.OImm && m.immOK(in.Src.Val)
+	case rtl.IJmp:
+		return in.Src.Kind == rtl.OReg
+	case rtl.Br, rtl.Jmp, rtl.Call, rtl.Nop:
+		return true
+	}
+	return true
+}
+
+func (m *Machine) legalCISC(in *rtl.Inst) bool {
+	switch in.Kind {
+	case rtl.Move:
+		return true // move.l <ea>,<ea>
+	case rtl.Bin:
+		// Two-address ALU: at most one effective memory operand, and a
+		// memory destination must be the read-modify-write form
+		// Dst = Dst op x (the destination's read and write are the same
+		// operand and count once).
+		mems := memOperands(in)
+		rmw := in.Dst.IsMem() &&
+			(in.Dst.Equal(in.Src) || in.BOp.Commutative() && in.Dst.Equal(in.Src2))
+		if rmw {
+			mems--
+		}
+		if mems > 1 {
+			return false
+		}
+		if in.Dst.IsMem() {
+			return rmw
+		}
+		return true
+	case rtl.Un:
+		if in.Dst.IsMem() {
+			return in.Dst.Equal(in.Src) // neg.l <ea>
+		}
+		return !in.Src.IsMem() || memOperands(in) <= 1
+	case rtl.Cmp:
+		return memOperands(in) <= 1
+	case rtl.Arg, rtl.Ret, rtl.IJmp, rtl.Br, rtl.Jmp, rtl.Call, rtl.Nop:
+		return true
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+func TestSPARCFixedSize(t *testing.T) {
+	insts := []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Imm(123456)},
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(3), Src: rtl.R(4), Src2: rtl.R(5)},
+		{Kind: rtl.Jmp, Target: 1},
+		{Kind: rtl.Nop},
+		{Kind: rtl.Ret, Src: rtl.None()},
+	}
+	for _, in := range insts {
+		if sz := SPARC.InstSize(&in); sz != 4 {
+			t.Errorf("SPARC size of %v = %d, want 4", &in, sz)
+		}
+	}
+}
+
+func Test68020Sizes(t *testing.T) {
+	cases := []struct {
+		in   rtl.Inst
+		want int64
+	}{
+		// move between registers: just the opcode word
+		{rtl.Inst{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.R(4)}, 2},
+		// small immediate: one extension word
+		{rtl.Inst{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Imm(5)}, 4},
+		// large immediate: two extension words
+		{rtl.Inst{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Imm(1 << 20)}, 6},
+		// frame access: d16(An)
+		{rtl.Inst{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Local(2)}, 4},
+		// absolute long for globals
+		{rtl.Inst{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Global("g", 0)}, 6},
+		// register indirect, no displacement: free
+		{rtl.Inst{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Mem(4, 0)}, 2},
+		// read-modify-write form does not pay for the duplicated operand
+		{rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.Local(1), Src: rtl.Local(1), Src2: rtl.Imm(1)}, 6},
+		{rtl.Inst{Kind: rtl.Br, BrRel: rtl.Lt, Target: 1}, 4},
+		{rtl.Inst{Kind: rtl.Nop}, 2},
+	}
+	for _, c := range cases {
+		if got := M68020.InstSize(&c.in); got != c.want {
+			t.Errorf("68020 size of %v = %d, want %d", &c.in, got, c.want)
+		}
+	}
+}
+
+func TestLegalityRISC(t *testing.T) {
+	legal := []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.R(3), Src: rtl.Local(0)},                            // load
+		{Kind: rtl.Move, Dst: rtl.Local(0), Src: rtl.R(3)},                            // store
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(3), Src: rtl.R(4), Src2: rtl.Imm(5)}, // small imm
+		{Kind: rtl.Cmp, Src: rtl.R(3), Src2: rtl.Imm(100)},
+	}
+	for _, in := range legal {
+		if !SPARC.LegalInst(&in) {
+			t.Errorf("SPARC should accept %v", &in)
+		}
+	}
+	illegal := []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.Local(0), Src: rtl.Imm(5)},                              // store imm
+		{Kind: rtl.Move, Dst: rtl.Local(0), Src: rtl.Local(1)},                            // mem-mem
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(3), Src: rtl.Local(0), Src2: rtl.R(4)},   // mem ALU
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(3), Src: rtl.R(4), Src2: rtl.Imm(99999)}, // big imm
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.Local(0), Src: rtl.R(3), Src2: rtl.Imm(1)}, // mem dst
+		{Kind: rtl.Cmp, Src: rtl.Local(0), Src2: rtl.Imm(0)},                              // mem cmp
+	}
+	for _, in := range illegal {
+		if SPARC.LegalInst(&in) {
+			t.Errorf("SPARC should reject %v", &in)
+		}
+	}
+}
+
+func TestLegalityCISC(t *testing.T) {
+	legal := []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.Local(0), Src: rtl.Local(1)},                                // mem-mem move
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.Local(0), Src: rtl.Local(0), Src2: rtl.Imm(1)}, // RMW
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(3), Src: rtl.R(3), Src2: rtl.Local(0)},       // one mem src
+		{Kind: rtl.Cmp, Src: rtl.Local(0), Src2: rtl.Imm(5)},
+	}
+	for _, in := range legal {
+		if !M68020.LegalInst(&in) {
+			t.Errorf("68020 should accept %v", &in)
+		}
+	}
+	illegal := []rtl.Inst{
+		// two memory operands in one ALU instruction
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(3), Src: rtl.Local(0), Src2: rtl.Local(1)},
+		// memory destination that is not read-modify-write
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.Local(0), Src: rtl.R(3), Src2: rtl.R(4)},
+		// cmp of two memory operands
+		{Kind: rtl.Cmp, Src: rtl.Local(0), Src2: rtl.Local(1)},
+	}
+	for _, in := range illegal {
+		if M68020.LegalInst(&in) {
+			t.Errorf("68020 should reject %v", &in)
+		}
+	}
+}
+
+// legalizeAll builds a single-block function with the instructions and
+// legalizes it.
+func legalizeAll(m *Machine, insts ...rtl.Inst) *cfg.Func {
+	f := cfg.NewFunc("t", 0)
+	b := f.NewBlock()
+	b.Insts = insts
+	Legalize(f, m)
+	return f
+}
+
+func TestLegalizeProducesLegalCode(t *testing.T) {
+	shapes := []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.Local(0), Src: rtl.Local(1)},
+		{Kind: rtl.Move, Dst: rtl.Local(0), Src: rtl.Imm(700000)},
+		{Kind: rtl.Bin, BOp: rtl.Mul, Dst: rtl.Local(2), Src: rtl.Local(0), Src2: rtl.Local(1)},
+		{Kind: rtl.Bin, BOp: rtl.Sub, Dst: rtl.Local(0), Src: rtl.Imm(5), Src2: rtl.Local(0)},
+		{Kind: rtl.Cmp, Src: rtl.Local(0), Src2: rtl.Local(1)},
+		{Kind: rtl.Un, UOp: rtl.Neg, Dst: rtl.Local(0), Src: rtl.Local(1)},
+		{Kind: rtl.Arg, ArgIdx: 0, Src: rtl.Local(0)},
+		{Kind: rtl.Ret, Src: rtl.Local(0)},
+	}
+	for _, m := range []*Machine{M68020, SPARC} {
+		f := legalizeAll(m, shapes...)
+		for _, b := range f.Blocks {
+			for ii := range b.Insts {
+				if !m.LegalInst(&b.Insts[ii]) {
+					t.Errorf("%s: illegal after legalize: %v", m.Name, &b.Insts[ii])
+				}
+			}
+		}
+	}
+}
+
+func TestLegalizeSPARCExpandsMore(t *testing.T) {
+	in := rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.Local(0), Src: rtl.Local(0), Src2: rtl.Imm(1)}
+	cisc := legalizeAll(M68020, in)
+	risc := legalizeAll(SPARC, in)
+	if cisc.NumRTLs() != 1 {
+		t.Errorf("68020 should keep the RMW form, got %d RTLs", cisc.NumRTLs())
+	}
+	if risc.NumRTLs() != 3 { // load, add, store
+		t.Errorf("SPARC should expand to 3 RTLs, got %d:\n%s", risc.NumRTLs(), risc)
+	}
+}

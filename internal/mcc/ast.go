@@ -1,0 +1,201 @@
+package mcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates mini-C types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TyInt TypeKind = iota
+	TyChar
+	TyVoid
+	TyPtr
+	TyArray
+)
+
+// Type is a mini-C type. The simulated machines are cell addressed: int,
+// char and pointers all occupy one cell.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // TyPtr, TyArray
+	N    int64 // TyArray length
+}
+
+// Predefined scalar types.
+var (
+	IntType  = &Type{Kind: TyInt}
+	CharType = &Type{Kind: TyChar}
+	VoidType = &Type{Kind: TyVoid}
+)
+
+// PtrTo returns the pointer type to t.
+func PtrTo(t *Type) *Type { return &Type{Kind: TyPtr, Elem: t} }
+
+// ArrayOf returns the array type of n elements of t.
+func ArrayOf(t *Type, n int64) *Type { return &Type{Kind: TyArray, Elem: t, N: n} }
+
+// SizeCells returns the type's size in memory cells.
+func (t *Type) SizeCells() int64 {
+	if t.Kind == TyArray {
+		return t.N * t.Elem.SizeCells()
+	}
+	return 1
+}
+
+// IsScalar reports whether the type occupies a single cell.
+func (t *Type) IsScalar() bool { return t.Kind != TyArray && t.Kind != TyVoid }
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TyInt:
+		return "int"
+	case TyChar:
+		return "char"
+	case TyVoid:
+		return "void"
+	case TyPtr:
+		return t.Elem.String() + "*"
+	case TyArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.N)
+	}
+	return "?"
+}
+
+// ExprKind enumerates expression node kinds.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	ENum ExprKind = iota
+	EStr
+	EVar
+	EBin    // X op Y (arithmetic/bitwise)
+	ECmp    // X rel Y
+	ELogAnd // X && Y
+	ELogOr  // X || Y
+	ENot    // !X
+	ENeg    // -X
+	EBitNot // ~X
+	EDeref  // *X
+	EAddr   // &X
+	EIndex  // X[Y]
+	ECall   // F(args)
+	EAssign // X = Y, or compound when Op set (AugOp)
+	EIncDec // ++/-- (Prefix, Delta = +1/-1)
+	ECond   // X ? Y : Z
+)
+
+// Expr is an expression node.
+type Expr struct {
+	Kind    ExprKind
+	Line    int
+	Val     int64  // ENum value
+	Str     string // EStr body; EVar/ECall name
+	X, Y, Z *Expr
+	Args    []*Expr // ECall
+	Op      string  // EBin/ECmp operator text; EAssign compound operator ("" for plain)
+	Prefix  bool    // EIncDec
+	Delta   int64   // EIncDec: +1 or -1
+
+	// Filled by the type checker.
+	Type *Type
+}
+
+// StmtKind enumerates statement node kinds.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SExpr StmtKind = iota
+	SDecl
+	SIf
+	SWhile
+	SFor
+	SDoWhile
+	SSwitch
+	SBreak
+	SContinue
+	SGoto
+	SLabel
+	SReturn
+	SBlock
+	SEmpty
+)
+
+// SwitchCase is one case (or default, when IsDefault) of a switch.
+type SwitchCase struct {
+	Val       int64
+	IsDefault bool
+	Body      []*Stmt
+}
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind  StmtKind
+	Line  int
+	Expr  *Expr   // SExpr, SReturn (may be nil), SIf/SWhile/SDoWhile/SSwitch condition/selector
+	Init  *Stmt   // SFor init (SExpr/SDecl/SEmpty)
+	Post  *Expr   // SFor increment (may be nil)
+	Then  *Stmt   // SIf then, loop bodies
+	Else  *Stmt   // SIf else (may be nil)
+	Body  []*Stmt // SBlock
+	Cases []*SwitchCase
+	Name  string // SGoto/SLabel label name
+	Decl  *Decl  // SDecl
+	// Flat marks an SBlock that groups several declarations from one
+	// source statement (`int a, b;`) and must not open a new scope.
+	Flat bool
+}
+
+// Decl declares one variable (global or local).
+type Decl struct {
+	Name string
+	Type *Type
+	Line int
+	// Init is a scalar initializer expression (may be nil).
+	Init *Expr
+	// ArrayInit is a brace initializer list for arrays (may be nil).
+	ArrayInit []*Expr
+	// StrInit initializes a char array from a string literal.
+	StrInit string
+	HasStr  bool
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Stmt // SBlock
+	Line   int
+}
+
+// Unit is a parsed translation unit.
+type Unit struct {
+	Globals []*Decl
+	Funcs   []*FuncDecl
+}
+
+// String gives a short description of the unit, for diagnostics.
+func (u *Unit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unit: %d globals, %d funcs [", len(u.Globals), len(u.Funcs))
+	for i, f := range u.Funcs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(f.Name)
+	}
+	b.WriteString("]")
+	return b.String()
+}

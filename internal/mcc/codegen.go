@@ -1,0 +1,1096 @@
+package mcc
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// Intrinsics are the runtime routines known to the compiler and executed —
+// but not measured — by the VM, mirroring the paper's unmeasured C library.
+// The value is the argument count; -1 marks a result-returning intrinsic
+// noted separately below.
+var Intrinsics = map[string]int{
+	"getchar":  0, // returns next input character or -1
+	"putchar":  1,
+	"printint": 1, // prints a decimal integer
+	"printstr": 1, // prints a NUL-terminated string at the given address
+	"exit":     1,
+}
+
+// intrinsicHasResult reports whether the intrinsic produces a value.
+func intrinsicHasResult(name string) bool { return name == "getchar" }
+
+// compileError carries a source-located front-end error through panic.
+type compileError struct{ err error }
+
+func errf(line int, format string, args ...interface{}) compileError {
+	return compileError{fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))}
+}
+
+type symKind uint8
+
+const (
+	symGlobal symKind = iota
+	symLocal
+	symFunc
+)
+
+type symbol struct {
+	kind symKind
+	typ  *Type
+	off  int64  // symLocal frame offset
+	name string // symGlobal data name
+	fn   *FuncDecl
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]*symbol
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym := sc.syms[name]; sym != nil {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) define(line int, name string, sym *symbol) {
+	if _, dup := s.syms[name]; dup {
+		panic(errf(line, "redefinition of %q", name))
+	}
+	s.syms[name] = sym
+}
+
+// Compile parses and compiles mini-C source into an RTL program. The output
+// is naive, machine-neutral RTL; run machine.Legalize and the optimizer
+// pipeline on it before measuring anything.
+func Compile(src string) (prog *cfg.Program, err error) {
+	unit, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileUnit(unit)
+}
+
+// CompileUnit compiles an already-parsed unit.
+func CompileUnit(unit *Unit) (prog *cfg.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(compileError); ok {
+				prog, err = nil, ce.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	c := &compiler{
+		prog:    &cfg.Program{},
+		globals: &scope{syms: map[string]*symbol{}},
+		strs:    map[string]string{},
+	}
+	for _, d := range unit.Globals {
+		c.declareGlobal(d)
+	}
+	for _, fn := range unit.Funcs {
+		c.globals.define(fn.Line, fn.Name, &symbol{kind: symFunc, typ: fn.Ret, fn: fn})
+	}
+	for _, fn := range unit.Funcs {
+		c.genFunc(fn)
+	}
+	if c.prog.Func("main") == nil {
+		return nil, fmt.Errorf("program has no main function")
+	}
+	return c.prog, nil
+}
+
+type compiler struct {
+	prog    *cfg.Program
+	globals *scope
+	strs    map[string]string // literal body -> global name
+	nstr    int
+}
+
+func (c *compiler) declareGlobal(d *Decl) {
+	g := rtl.GlobalDef{Name: d.Name, Size: d.Type.SizeCells()}
+	switch {
+	case d.HasStr:
+		for _, ch := range []byte(d.StrInit) {
+			g.Init = append(g.Init, int64(ch))
+		}
+		g.Init = append(g.Init, 0)
+		if int64(len(g.Init)) > g.Size {
+			panic(errf(d.Line, "string initializer longer than array %q", d.Name))
+		}
+	case d.ArrayInit != nil:
+		if int64(len(d.ArrayInit)) > g.Size {
+			panic(errf(d.Line, "too many initializers for %q", d.Name))
+		}
+		for _, e := range d.ArrayInit {
+			g.Init = append(g.Init, c.constEval(e))
+		}
+	case d.Init != nil:
+		g.Init = []int64{c.constEval(d.Init)}
+	}
+	c.prog.Globals = append(c.prog.Globals, g)
+	c.globals.define(d.Line, d.Name, &symbol{kind: symGlobal, typ: d.Type, name: d.Name})
+}
+
+// constEval evaluates a constant expression for a global initializer.
+func (c *compiler) constEval(e *Expr) int64 {
+	switch e.Kind {
+	case ENum:
+		return e.Val
+	case ENeg:
+		return -c.constEval(e.X)
+	case EBitNot:
+		return ^c.constEval(e.X)
+	case EBin:
+		x, y := c.constEval(e.X), c.constEval(e.Y)
+		op, ok := binOpFor(e.Op)
+		if !ok {
+			panic(errf(e.Line, "unsupported constant operator %q", e.Op))
+		}
+		return op.Eval(x, y)
+	}
+	panic(errf(e.Line, "global initializer is not a constant expression"))
+}
+
+func binOpFor(op string) (rtl.BinOp, bool) {
+	switch op {
+	case "+":
+		return rtl.Add, true
+	case "-":
+		return rtl.Sub, true
+	case "*":
+		return rtl.Mul, true
+	case "/":
+		return rtl.Div, true
+	case "%":
+		return rtl.Mod, true
+	case "&":
+		return rtl.And, true
+	case "|":
+		return rtl.Or, true
+	case "^":
+		return rtl.Xor, true
+	case "<<":
+		return rtl.Shl, true
+	case ">>":
+		return rtl.Shr, true
+	}
+	return 0, false
+}
+
+func relFor(op string) rtl.Rel {
+	switch op {
+	case "==":
+		return rtl.Eq
+	case "!=":
+		return rtl.Ne
+	case "<":
+		return rtl.Lt
+	case "<=":
+		return rtl.Le
+	case ">":
+		return rtl.Gt
+	case ">=":
+		return rtl.Ge
+	}
+	panic(fmt.Sprintf("mcc: no relation for %q", op))
+}
+
+// internString returns the name of a global holding the NUL-terminated
+// string literal.
+func (c *compiler) internString(s string) string {
+	if name, ok := c.strs[s]; ok {
+		return name
+	}
+	name := fmt.Sprintf(".str%d", c.nstr)
+	c.nstr++
+	c.strs[s] = name
+	g := rtl.GlobalDef{Name: name, Size: int64(len(s)) + 1}
+	for _, ch := range []byte(s) {
+		g.Init = append(g.Init, int64(ch))
+	}
+	g.Init = append(g.Init, 0)
+	c.prog.Globals = append(c.prog.Globals, g)
+	return name
+}
+
+// generator holds per-function code generation state.
+type generator struct {
+	c      *compiler
+	f      *cfg.Func
+	fd     *FuncDecl
+	scope  *scope
+	cur    *cfg.Block
+	breaks []rtl.Label
+	conts  []rtl.Label
+	// user goto labels
+	userLabels map[string]rtl.Label
+	usedLabels map[string]int // name -> first goto line, for undefined-label errors
+}
+
+func (c *compiler) genFunc(fd *FuncDecl) {
+	f := cfg.NewFunc(fd.Name, len(fd.Params))
+	g := &generator{
+		c: c, f: f, fd: fd,
+		scope:      &scope{parent: c.globals, syms: map[string]*symbol{}},
+		userLabels: map[string]rtl.Label{},
+		usedLabels: map[string]int{},
+	}
+	for i, p := range fd.Params {
+		g.scope.define(fd.Line, p.Name, &symbol{kind: symLocal, typ: p.Type, off: int64(i)})
+		f.ScalarLocals = append(f.ScalarLocals, int64(i))
+	}
+	f.NLocals = len(fd.Params)
+	g.cur = f.AppendBlock(f.NewLabel())
+	g.genStmt(fd.Body)
+	// Guarantee every path returns.
+	if g.cur.Term() == nil {
+		if fd.Ret.Kind == TyVoid {
+			g.emit(rtl.Inst{Kind: rtl.Ret, Src: rtl.None()})
+		} else {
+			g.emit(rtl.Inst{Kind: rtl.Ret, Src: rtl.Imm(0)})
+		}
+	}
+	// usedLabels holds gotos whose label statement never appeared.
+	for name, line := range g.usedLabels {
+		panic(errf(line, "goto undefined label %q", name))
+	}
+	c.prog.Funcs = append(c.prog.Funcs, f)
+}
+
+func (g *generator) emit(in rtl.Inst) {
+	if g.cur.Term() != nil {
+		// Unreachable straight-line code after a terminator: drop it.
+		return
+	}
+	g.cur.Insts = append(g.cur.Insts, in)
+}
+
+// startBlock begins the block with the given label; the previous block
+// falls through into it when not already terminated.
+func (g *generator) startBlock(l rtl.Label) {
+	g.cur = g.f.AppendBlock(l)
+}
+
+func (g *generator) jump(l rtl.Label) {
+	g.emit(rtl.Inst{Kind: rtl.Jmp, Target: l})
+}
+
+// emitBr emits the conditional transfer for `CC rel` with true-target t and
+// false-target fl, knowing the caller will continue generation at next.
+func (g *generator) emitBr(rel rtl.Rel, t, fl, next rtl.Label) {
+	switch {
+	case fl == next:
+		g.emit(rtl.Inst{Kind: rtl.Br, BrRel: rel, Target: t})
+	case t == next:
+		g.emit(rtl.Inst{Kind: rtl.Br, BrRel: rel.Negate(), Target: fl})
+	default:
+		g.emit(rtl.Inst{Kind: rtl.Br, BrRel: rel, Target: t})
+		g.startBlock(g.f.NewLabel())
+		g.jump(fl)
+	}
+}
+
+// value is an expression result: an operand plus its mini-C type.
+type value struct {
+	op  rtl.Operand
+	typ *Type
+}
+
+// allocLocal reserves size cells in the frame and returns the base offset.
+func (g *generator) allocLocal(size int64) int64 {
+	off := int64(g.f.NLocals)
+	g.f.NLocals += int(size)
+	return off
+}
+
+// intoReg ensures the value is in a (virtual) register.
+func (g *generator) intoReg(v value) value {
+	if v.op.Kind == rtl.OReg {
+		return v
+	}
+	r := g.f.NewVReg()
+	g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: v.op})
+	return value{rtl.R(r), v.typ}
+}
+
+// decay converts an array value (which is an address) to a pointer value.
+func decay(v value) value {
+	if v.typ != nil && v.typ.Kind == TyArray {
+		return value{v.op, PtrTo(v.typ.Elem)}
+	}
+	return v
+}
+
+// deref turns an address value into the memory operand it designates.
+func (g *generator) deref(line int, addr value) (rtl.Operand, *Type) {
+	t := addr.typ
+	var elem *Type
+	switch {
+	case t.Kind == TyPtr:
+		elem = t.Elem
+	case t.Kind == TyArray:
+		elem = t.Elem
+	default:
+		panic(errf(line, "dereference of non-pointer (%s)", t))
+	}
+	switch addr.op.Kind {
+	case rtl.OAddrLocal:
+		return rtl.Local(addr.op.Val), elem
+	case rtl.OAddrGlobal:
+		return rtl.Global(addr.op.Sym, addr.op.Val), elem
+	case rtl.OReg:
+		return rtl.Mem(addr.op.Reg, 0), elem
+	case rtl.OImm:
+		panic(errf(line, "dereference of integer constant"))
+	default:
+		r := g.intoReg(addr)
+		return rtl.Mem(r.op.Reg, 0), elem
+	}
+}
+
+// lvalue returns the memory (or register) operand designating e's storage.
+func (g *generator) lvalue(e *Expr) (rtl.Operand, *Type) {
+	switch e.Kind {
+	case EVar:
+		sym := g.scope.lookup(e.Str)
+		if sym == nil {
+			panic(errf(e.Line, "undefined variable %q", e.Str))
+		}
+		switch sym.kind {
+		case symLocal:
+			if sym.typ.Kind == TyArray {
+				panic(errf(e.Line, "array %q is not assignable", e.Str))
+			}
+			return rtl.Local(sym.off), sym.typ
+		case symGlobal:
+			if sym.typ.Kind == TyArray {
+				panic(errf(e.Line, "array %q is not assignable", e.Str))
+			}
+			return rtl.Global(sym.name, 0), sym.typ
+		default:
+			panic(errf(e.Line, "function %q used as variable", e.Str))
+		}
+	case EDeref:
+		addr := decay(g.genExpr(e.X))
+		return g.deref(e.Line, addr)
+	case EIndex:
+		return g.indexOperand(e)
+	}
+	panic(errf(e.Line, "expression is not assignable"))
+}
+
+// addressValue returns e's base address as a value (for arrays and &x).
+func (g *generator) addressValue(e *Expr) value {
+	switch e.Kind {
+	case EVar:
+		sym := g.scope.lookup(e.Str)
+		if sym == nil {
+			panic(errf(e.Line, "undefined variable %q", e.Str))
+		}
+		switch sym.kind {
+		case symLocal:
+			return value{rtl.AddrLocal(sym.off), sym.typ}
+		case symGlobal:
+			return value{rtl.AddrGlobal(sym.name, 0), sym.typ}
+		default:
+			panic(errf(e.Line, "cannot take the address of function %q", e.Str))
+		}
+	case EIndex:
+		op, t := g.indexOperand(e)
+		return g.operandAddress(e.Line, op, t)
+	case EDeref:
+		return decay(g.genExpr(e.X))
+	case EStr:
+		name := g.c.internString(e.Str)
+		return value{rtl.AddrGlobal(name, 0), ArrayOf(CharType, int64(len(e.Str))+1)}
+	}
+	op, t := g.lvalue(e)
+	return g.operandAddress(e.Line, op, t)
+}
+
+// operandAddress converts a memory operand back into an address value.
+func (g *generator) operandAddress(line int, op rtl.Operand, t *Type) value {
+	switch op.Kind {
+	case rtl.OLocal:
+		return value{rtl.AddrLocal(op.Val), t}
+	case rtl.OGlobal:
+		return value{rtl.AddrGlobal(op.Sym, op.Val), t}
+	case rtl.OMem:
+		if op.Index == rtl.RegNone && op.Val == 0 {
+			return value{rtl.R(op.Reg), t}
+		}
+		r := g.f.NewVReg()
+		if op.Index == rtl.RegNone {
+			g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(r), Src: rtl.R(op.Reg), Src2: rtl.Imm(op.Val)})
+		} else {
+			// r = base + index*scale + disp
+			g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(r), Src: rtl.R(op.Reg), Src2: rtl.R(op.Index)})
+			if op.Val != 0 {
+				g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(r), Src: rtl.R(r), Src2: rtl.Imm(op.Val)})
+			}
+		}
+		return value{rtl.R(r), t}
+	}
+	panic(errf(line, "cannot take the address of this expression"))
+}
+
+// indexOperand computes the memory operand for e = X[Y].
+func (g *generator) indexOperand(e *Expr) (rtl.Operand, *Type) {
+	base := decay(g.addressIfArray(e.X))
+	if base.typ.Kind != TyPtr {
+		panic(errf(e.Line, "indexing a non-array (%s)", base.typ))
+	}
+	elem := base.typ.Elem
+	esz := elem.SizeCells()
+	idx := g.genExpr(e.Y)
+	if idx.typ != nil && !idx.typ.IsScalar() {
+		panic(errf(e.Line, "array index is not a scalar"))
+	}
+	if elem.Kind == TyArray {
+		// Row of a multi-dimensional array: result is a sub-array address.
+		addr := g.scaledAdd(base, idx, esz)
+		// Represent the sub-array as a pseudo-memory operand via its
+		// address; callers use operandAddress/deref as needed.
+		op, _ := g.deref(e.Line, value{addr.op, PtrTo(elem)})
+		return op, elem
+	}
+	// Scalar element.
+	if idx.op.Kind == rtl.OImm {
+		off := idx.op.Val * esz
+		switch base.op.Kind {
+		case rtl.OAddrLocal:
+			return rtl.Local(base.op.Val + off), elem
+		case rtl.OAddrGlobal:
+			return rtl.Global(base.op.Sym, base.op.Val+off), elem
+		case rtl.OReg:
+			return rtl.Mem(base.op.Reg, off), elem
+		}
+	}
+	// Dynamic index.
+	iv := idx
+	if esz != 1 {
+		r := g.f.NewVReg()
+		g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Mul, Dst: rtl.R(r), Src: iv.op, Src2: rtl.Imm(esz)})
+		iv = value{rtl.R(r), IntType}
+	}
+	iv = g.intoReg(iv)
+	switch base.op.Kind {
+	case rtl.OAddrLocal:
+		return rtl.MemIdx(rtl.FP, base.op.Val, iv.op.Reg, 1), elem
+	case rtl.OReg:
+		return rtl.MemIdx(base.op.Reg, 0, iv.op.Reg, 1), elem
+	default:
+		b := g.intoReg(value{base.op, base.typ})
+		return rtl.MemIdx(b.op.Reg, 0, iv.op.Reg, 1), elem
+	}
+}
+
+// addressIfArray evaluates e, yielding its address value when it denotes an
+// array and its ordinary value otherwise.
+func (g *generator) addressIfArray(e *Expr) value {
+	if t := g.staticType(e); t != nil && t.Kind == TyArray {
+		return g.addressValue(e)
+	}
+	return g.genExpr(e)
+}
+
+// staticType gives a cheap pre-pass type for array/pointer decisions.
+func (g *generator) staticType(e *Expr) *Type {
+	switch e.Kind {
+	case EVar:
+		if sym := g.scope.lookup(e.Str); sym != nil && sym.kind != symFunc {
+			return sym.typ
+		}
+	case EIndex:
+		if t := g.staticType(e.X); t != nil && (t.Kind == TyArray || t.Kind == TyPtr) {
+			return t.Elem
+		}
+	case EDeref:
+		if t := g.staticType(e.X); t != nil && (t.Kind == TyPtr || t.Kind == TyArray) {
+			return t.Elem
+		}
+	case EStr:
+		return ArrayOf(CharType, int64(len(e.Str))+1)
+	}
+	return nil
+}
+
+// scaledAdd computes base + idx*scale as an address value.
+func (g *generator) scaledAdd(base, idx value, scale int64) value {
+	if idx.op.Kind == rtl.OImm {
+		off := idx.op.Val * scale
+		switch base.op.Kind {
+		case rtl.OAddrLocal:
+			return value{rtl.AddrLocal(base.op.Val + off), base.typ}
+		case rtl.OAddrGlobal:
+			return value{rtl.AddrGlobal(base.op.Sym, base.op.Val+off), base.typ}
+		}
+		r := g.f.NewVReg()
+		g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(r), Src: base.op, Src2: rtl.Imm(off)})
+		return value{rtl.R(r), base.typ}
+	}
+	iv := idx
+	if scale != 1 {
+		r := g.f.NewVReg()
+		g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Mul, Dst: rtl.R(r), Src: iv.op, Src2: rtl.Imm(scale)})
+		iv = value{rtl.R(r), IntType}
+	}
+	r := g.f.NewVReg()
+	g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(r), Src: base.op, Src2: iv.op})
+	return value{rtl.R(r), base.typ}
+}
+
+// containsCall reports whether the expression tree performs a call.
+func containsCall(e *Expr) bool {
+	if e == nil {
+		return false
+	}
+	if e.Kind == ECall {
+		return true
+	}
+	for _, sub := range []*Expr{e.X, e.Y, e.Z} {
+		if containsCall(sub) {
+			return true
+		}
+	}
+	for _, a := range e.Args {
+		if containsCall(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// genExpr generates code for e and returns its value.
+func (g *generator) genExpr(e *Expr) value {
+	switch e.Kind {
+	case ENum:
+		return value{rtl.Imm(e.Val), IntType}
+	case EStr:
+		name := g.c.internString(e.Str)
+		return value{rtl.AddrGlobal(name, 0), PtrTo(CharType)}
+	case EVar:
+		sym := g.scope.lookup(e.Str)
+		if sym == nil {
+			panic(errf(e.Line, "undefined variable %q", e.Str))
+		}
+		if sym.kind == symFunc {
+			panic(errf(e.Line, "function %q used as value", e.Str))
+		}
+		if sym.typ.Kind == TyArray {
+			return decay(g.addressValue(e))
+		}
+		op, t := g.lvalue(e)
+		return value{op, t}
+	case EBin:
+		return g.genBin(e)
+	case ECmp, ELogAnd, ELogOr, ENot:
+		return g.genBoolValue(e)
+	case ENeg:
+		x := g.genExpr(e.X)
+		if x.op.Kind == rtl.OImm {
+			return value{rtl.Imm(-x.op.Val), IntType}
+		}
+		r := g.f.NewVReg()
+		g.emit(rtl.Inst{Kind: rtl.Un, UOp: rtl.Neg, Dst: rtl.R(r), Src: x.op})
+		return value{rtl.R(r), IntType}
+	case EBitNot:
+		x := g.genExpr(e.X)
+		if x.op.Kind == rtl.OImm {
+			return value{rtl.Imm(^x.op.Val), IntType}
+		}
+		r := g.f.NewVReg()
+		g.emit(rtl.Inst{Kind: rtl.Un, UOp: rtl.Not, Dst: rtl.R(r), Src: x.op})
+		return value{rtl.R(r), IntType}
+	case EDeref:
+		op, t := g.lvalue(e)
+		if t.Kind == TyArray {
+			return decay(g.operandAddress(e.Line, op, t))
+		}
+		return value{op, t}
+	case EAddr:
+		v := g.addressValue(e.X)
+		return value{v.op, PtrTo(v.typ)}
+	case EIndex:
+		op, t := g.indexOperand(e)
+		if t.Kind == TyArray {
+			return decay(g.operandAddress(e.Line, op, t))
+		}
+		return value{op, t}
+	case ECall:
+		return g.genCall(e)
+	case EAssign:
+		return g.genAssign(e)
+	case EIncDec:
+		return g.genIncDec(e)
+	case ECond:
+		r := g.f.NewVReg()
+		lt, lf, le := g.f.NewLabel(), g.f.NewLabel(), g.f.NewLabel()
+		g.genBranch(e.X, lt, lf, lt)
+		g.startBlock(lt)
+		tv := g.genExpr(e.Y)
+		g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: tv.op})
+		g.jump(le)
+		g.startBlock(lf)
+		fv := g.genExpr(e.Z)
+		g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: fv.op})
+		g.startBlock(le)
+		return value{rtl.R(r), tv.typ}
+	}
+	panic(errf(e.Line, "unsupported expression"))
+}
+
+func (g *generator) genBin(e *Expr) value {
+	op, ok := binOpFor(e.Op)
+	if !ok {
+		panic(errf(e.Line, "unknown operator %q", e.Op))
+	}
+	x := g.addressIfArray(e.X)
+	x = decay(x)
+	y := decay(g.addressIfArray(e.Y))
+	// Constant folding at generation keeps initializers and sizes tidy.
+	if x.op.Kind == rtl.OImm && y.op.Kind == rtl.OImm {
+		return value{rtl.Imm(op.Eval(x.op.Val, y.op.Val)), IntType}
+	}
+	resType := IntType
+	// Pointer arithmetic: scale the integer side by the element size.
+	if x.typ != nil && x.typ.Kind == TyPtr && (op == rtl.Add || op == rtl.Sub) {
+		if y.typ != nil && y.typ.Kind == TyPtr {
+			if op != rtl.Sub {
+				panic(errf(e.Line, "invalid pointer addition"))
+			}
+			// ptr - ptr: difference in elements.
+			r := g.f.NewVReg()
+			g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Sub, Dst: rtl.R(r), Src: x.op, Src2: y.op})
+			if esz := x.typ.Elem.SizeCells(); esz != 1 {
+				g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Div, Dst: rtl.R(r), Src: rtl.R(r), Src2: rtl.Imm(esz)})
+			}
+			return value{rtl.R(r), IntType}
+		}
+		if esz := x.typ.Elem.SizeCells(); esz != 1 {
+			sy := g.f.NewVReg()
+			g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Mul, Dst: rtl.R(sy), Src: y.op, Src2: rtl.Imm(esz)})
+			y = value{rtl.R(sy), IntType}
+		}
+		resType = x.typ
+	} else if y.typ != nil && y.typ.Kind == TyPtr && op == rtl.Add {
+		if esz := y.typ.Elem.SizeCells(); esz != 1 {
+			sx := g.f.NewVReg()
+			g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Mul, Dst: rtl.R(sx), Src: x.op, Src2: rtl.Imm(esz)})
+			x = value{rtl.R(sx), IntType}
+		}
+		resType = y.typ
+	}
+	r := g.f.NewVReg()
+	g.emit(rtl.Inst{Kind: rtl.Bin, BOp: op, Dst: rtl.R(r), Src: x.op, Src2: y.op})
+	return value{rtl.R(r), resType}
+}
+
+// genBoolValue materializes a boolean expression as 0/1 through branches —
+// the VPCC-style lowering that feeds the replication optimizer jumps.
+func (g *generator) genBoolValue(e *Expr) value {
+	r := g.f.NewVReg()
+	lt, lf, le := g.f.NewLabel(), g.f.NewLabel(), g.f.NewLabel()
+	g.genBranch(e, lt, lf, lt)
+	g.startBlock(lt)
+	g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: rtl.Imm(1)})
+	g.jump(le)
+	g.startBlock(lf)
+	g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: rtl.Imm(0)})
+	g.startBlock(le)
+	return value{rtl.R(r), IntType}
+}
+
+func (g *generator) genCall(e *Expr) value {
+	nargs, isIntrin := Intrinsics[e.Str]
+	var retType *Type = IntType
+	if !isIntrin {
+		sym := g.scope.lookup(e.Str)
+		if sym == nil || sym.kind != symFunc {
+			panic(errf(e.Line, "call of undefined function %q", e.Str))
+		}
+		nargs = len(sym.fn.Params)
+		retType = sym.fn.Ret
+	} else if !intrinsicHasResult(e.Str) {
+		retType = VoidType
+	}
+	if len(e.Args) != nargs {
+		panic(errf(e.Line, "%q expects %d arguments, got %d", e.Str, nargs, len(e.Args)))
+	}
+	// Evaluate arguments; materialize early ones into registers when a
+	// later argument performs a call (its Arg instructions must not
+	// interleave with ours).
+	vals := make([]value, len(e.Args))
+	for i, a := range e.Args {
+		v := decay(g.addressIfArray(a))
+		if v.typ != nil && v.typ.Kind == TyVoid {
+			panic(errf(a.Line, "void value used as argument"))
+		}
+		later := false
+		for _, b := range e.Args[i+1:] {
+			if containsCall(b) {
+				later = true
+				break
+			}
+		}
+		if later && v.op.Kind != rtl.OImm {
+			v = g.intoReg(v)
+		}
+		vals[i] = v
+	}
+	for i, v := range vals {
+		g.emit(rtl.Inst{Kind: rtl.Arg, ArgIdx: i, Src: v.op})
+	}
+	call := rtl.Inst{Kind: rtl.Call, Sym: e.Str, Dst: rtl.None()}
+	if retType.Kind != TyVoid {
+		r := g.f.NewVReg()
+		call.Dst = rtl.R(r)
+		g.emit(call)
+		return value{rtl.R(r), retType}
+	}
+	g.emit(call)
+	return value{rtl.None(), VoidType}
+}
+
+func (g *generator) genAssign(e *Expr) value {
+	dst, t := g.lvalue(e.X)
+	if e.Op == "" {
+		v := decay(g.addressIfArray(e.Y))
+		if v.typ != nil && v.typ.Kind == TyVoid {
+			panic(errf(e.Line, "void value used in assignment"))
+		}
+		g.emit(rtl.Inst{Kind: rtl.Move, Dst: dst, Src: v.op})
+		return value{dst, t}
+	}
+	op, ok := binOpFor(e.Op)
+	if !ok {
+		panic(errf(e.Line, "unknown operator %q=", e.Op))
+	}
+	v := decay(g.genExpr(e.Y))
+	// Pointer compound assignment scales like pointer arithmetic.
+	if t.Kind == TyPtr && (op == rtl.Add || op == rtl.Sub) {
+		if esz := t.Elem.SizeCells(); esz != 1 {
+			if v.op.Kind == rtl.OImm {
+				v = value{rtl.Imm(v.op.Val * esz), IntType}
+			} else {
+				r := g.f.NewVReg()
+				g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Mul, Dst: rtl.R(r), Src: v.op, Src2: rtl.Imm(esz)})
+				v = value{rtl.R(r), IntType}
+			}
+		}
+	}
+	g.emit(rtl.Inst{Kind: rtl.Bin, BOp: op, Dst: dst, Src: dst, Src2: v.op})
+	return value{dst, t}
+}
+
+func (g *generator) genIncDec(e *Expr) value {
+	dst, t := g.lvalue(e.X)
+	delta := e.Delta
+	if t.Kind == TyPtr {
+		delta *= t.Elem.SizeCells()
+	}
+	if e.Prefix {
+		g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: dst, Src: dst, Src2: rtl.Imm(delta)})
+		return value{dst, t}
+	}
+	r := g.f.NewVReg()
+	g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: dst})
+	g.emit(rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: dst, Src: dst, Src2: rtl.Imm(delta)})
+	return value{rtl.R(r), t}
+}
+
+// genBranch generates a conditional transfer: control reaches label t when e
+// is true and fl when false; generation continues at block next (one of t,
+// fl) immediately after.
+func (g *generator) genBranch(e *Expr, t, fl, next rtl.Label) {
+	switch e.Kind {
+	case ELogAnd:
+		mid := g.f.NewLabel()
+		g.genBranch(e.X, mid, fl, mid)
+		g.startBlock(mid)
+		g.genBranch(e.Y, t, fl, next)
+		return
+	case ELogOr:
+		mid := g.f.NewLabel()
+		g.genBranch(e.X, t, mid, mid)
+		g.startBlock(mid)
+		g.genBranch(e.Y, t, fl, next)
+		return
+	case ENot:
+		g.genBranch(e.X, fl, t, next)
+		return
+	case ECmp:
+		x := decay(g.addressIfArray(e.X))
+		y := decay(g.addressIfArray(e.Y))
+		g.emit(rtl.Inst{Kind: rtl.Cmp, Src: x.op, Src2: y.op})
+		g.emitBr(relFor(e.Op), t, fl, next)
+		return
+	case ENum:
+		if e.Val != 0 {
+			if t != next {
+				g.jump(t)
+			}
+		} else if fl != next {
+			g.jump(fl)
+		}
+		return
+	}
+	v := decay(g.genExpr(e))
+	if v.typ.Kind == TyVoid {
+		panic(errf(e.Line, "void value used as condition"))
+	}
+	g.emit(rtl.Inst{Kind: rtl.Cmp, Src: v.op, Src2: rtl.Imm(0)})
+	g.emitBr(rtl.Ne, t, fl, next)
+}
+
+func (g *generator) pushScope() { g.scope = &scope{parent: g.scope, syms: map[string]*symbol{}} }
+func (g *generator) popScope()  { g.scope = g.scope.parent }
+
+func (g *generator) genStmt(s *Stmt) {
+	switch s.Kind {
+	case SEmpty:
+	case SBlock:
+		if !s.Flat {
+			g.pushScope()
+		}
+		for _, st := range s.Body {
+			g.genStmt(st)
+		}
+		if !s.Flat {
+			g.popScope()
+		}
+	case SExpr:
+		g.genExpr(s.Expr)
+	case SDecl:
+		g.genDecl(s)
+	case SIf:
+		lThen, lEnd := g.f.NewLabel(), g.f.NewLabel()
+		if s.Else != nil {
+			lElse := g.f.NewLabel()
+			g.genBranch(s.Expr, lThen, lElse, lThen)
+			g.startBlock(lThen)
+			g.genStmt(s.Then)
+			g.jump(lEnd)
+			g.startBlock(lElse)
+			g.genStmt(s.Else)
+			g.startBlock(lEnd)
+		} else {
+			g.genBranch(s.Expr, lThen, lEnd, lThen)
+			g.startBlock(lThen)
+			g.genStmt(s.Then)
+			g.startBlock(lEnd)
+		}
+	case SWhile:
+		// VPCC shape: test at the top, unconditional jump at the bottom.
+		lTest, lBody, lExit := g.f.NewLabel(), g.f.NewLabel(), g.f.NewLabel()
+		g.startBlock(lTest)
+		g.genBranch(s.Expr, lBody, lExit, lBody)
+		g.startBlock(lBody)
+		g.breaks = append(g.breaks, lExit)
+		g.conts = append(g.conts, lTest)
+		g.genStmt(s.Then)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.jump(lTest)
+		g.startBlock(lExit)
+	case SDoWhile:
+		lBody, lCont, lExit := g.f.NewLabel(), g.f.NewLabel(), g.f.NewLabel()
+		g.startBlock(lBody)
+		g.breaks = append(g.breaks, lExit)
+		g.conts = append(g.conts, lCont)
+		g.genStmt(s.Then)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.startBlock(lCont)
+		g.genBranch(s.Expr, lBody, lExit, lExit)
+		g.startBlock(lExit)
+	case SFor:
+		// VPCC shape: an unconditional jump before the loop transfers to
+		// the termination test placed at the end of the loop.
+		g.pushScope()
+		g.genStmt(s.Init)
+		lBody, lCont, lTest, lExit := g.f.NewLabel(), g.f.NewLabel(), g.f.NewLabel(), g.f.NewLabel()
+		if s.Expr != nil {
+			g.jump(lTest)
+		}
+		g.startBlock(lBody)
+		g.breaks = append(g.breaks, lExit)
+		g.conts = append(g.conts, lCont)
+		g.genStmt(s.Then)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		g.startBlock(lCont)
+		if s.Post != nil {
+			g.genExpr(s.Post)
+		}
+		g.startBlock(lTest)
+		if s.Expr != nil {
+			g.genBranch(s.Expr, lBody, lExit, lExit)
+		} else {
+			g.jump(lBody)
+		}
+		g.startBlock(lExit)
+		g.popScope()
+	case SSwitch:
+		g.genSwitch(s)
+	case SBreak:
+		if len(g.breaks) == 0 {
+			panic(errf(s.Line, "break outside loop or switch"))
+		}
+		g.jump(g.breaks[len(g.breaks)-1])
+		g.startBlock(g.f.NewLabel()) // unreachable continuation
+	case SContinue:
+		if len(g.conts) == 0 {
+			panic(errf(s.Line, "continue outside loop"))
+		}
+		g.jump(g.conts[len(g.conts)-1])
+		g.startBlock(g.f.NewLabel())
+	case SGoto:
+		l, ok := g.userLabels[s.Name]
+		if !ok {
+			l = g.f.NewLabel()
+			g.userLabels[s.Name] = l
+			if _, seen := g.usedLabels[s.Name]; !seen {
+				g.usedLabels[s.Name] = s.Line
+			}
+		}
+		g.jump(l)
+		g.startBlock(g.f.NewLabel())
+	case SLabel:
+		l, ok := g.userLabels[s.Name]
+		if !ok {
+			l = g.f.NewLabel()
+			g.userLabels[s.Name] = l
+		}
+		delete(g.usedLabels, s.Name)
+		g.startBlock(l)
+	case SReturn:
+		if s.Expr != nil {
+			if g.fd.Ret.Kind == TyVoid {
+				panic(errf(s.Line, "return with value in void function %q", g.fd.Name))
+			}
+			v := decay(g.addressIfArray(s.Expr))
+			if v.typ != nil && v.typ.Kind == TyVoid {
+				panic(errf(s.Line, "returning a void value"))
+			}
+			g.emit(rtl.Inst{Kind: rtl.Ret, Src: v.op})
+		} else {
+			g.emit(rtl.Inst{Kind: rtl.Ret, Src: rtl.None()})
+		}
+		g.startBlock(g.f.NewLabel())
+	default:
+		panic(errf(s.Line, "unsupported statement"))
+	}
+}
+
+func (g *generator) genDecl(s *Stmt) {
+	d := s.Decl
+	if d.Type.Kind == TyVoid {
+		panic(errf(s.Line, "variable %q has void type", d.Name))
+	}
+	off := g.allocLocal(d.Type.SizeCells())
+	g.scope.define(s.Line, d.Name, &symbol{kind: symLocal, typ: d.Type, off: off})
+	if d.Type.IsScalar() {
+		g.f.ScalarLocals = append(g.f.ScalarLocals, off)
+	}
+	switch {
+	case d.HasStr:
+		for i, ch := range []byte(d.StrInit) {
+			g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.Local(off + int64(i)), Src: rtl.Imm(int64(ch))})
+		}
+		g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.Local(off + int64(len(d.StrInit))), Src: rtl.Imm(0)})
+	case d.ArrayInit != nil:
+		for i, e := range d.ArrayInit {
+			v := g.genExpr(e)
+			g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.Local(off + int64(i)), Src: v.op})
+		}
+	case d.Init != nil:
+		v := decay(g.addressIfArray(d.Init))
+		g.emit(rtl.Inst{Kind: rtl.Move, Dst: rtl.Local(off), Src: v.op})
+	}
+}
+
+func (g *generator) genSwitch(s *Stmt) {
+	sel := g.intoReg(g.genExpr(s.Expr))
+	lEnd := g.f.NewLabel()
+	lDefault := lEnd
+	type caseInfo struct {
+		val   int64
+		label rtl.Label
+	}
+	var cases []caseInfo
+	caseLabels := make([]rtl.Label, len(s.Cases))
+	seen := map[int64]bool{}
+	for i, cs := range s.Cases {
+		caseLabels[i] = g.f.NewLabel()
+		if cs.IsDefault {
+			if lDefault != lEnd {
+				panic(errf(s.Line, "multiple default cases in switch"))
+			}
+			lDefault = caseLabels[i]
+			continue
+		}
+		if seen[cs.Val] {
+			panic(errf(s.Line, "duplicate case value %d", cs.Val))
+		}
+		seen[cs.Val] = true
+		cases = append(cases, caseInfo{cs.Val, caseLabels[i]})
+	}
+	// Dense value sets use a jump table (an indirect jump, which the
+	// replication algorithm must exclude); sparse sets use a compare chain.
+	lo, hi := int64(0), int64(0)
+	if len(cases) > 0 {
+		lo, hi = cases[0].val, cases[0].val
+		for _, ci := range cases {
+			if ci.val < lo {
+				lo = ci.val
+			}
+			if ci.val > hi {
+				hi = ci.val
+			}
+		}
+	}
+	span := hi - lo + 1
+	if len(cases) >= 4 && span <= 3*int64(len(cases)) {
+		g.emit(rtl.Inst{Kind: rtl.Cmp, Src: sel.op, Src2: rtl.Imm(lo)})
+		g.emit(rtl.Inst{Kind: rtl.Br, BrRel: rtl.Lt, Target: lDefault})
+		g.startBlock(g.f.NewLabel())
+		g.emit(rtl.Inst{Kind: rtl.Cmp, Src: sel.op, Src2: rtl.Imm(hi)})
+		g.emit(rtl.Inst{Kind: rtl.Br, BrRel: rtl.Gt, Target: lDefault})
+		g.startBlock(g.f.NewLabel())
+		table := make([]rtl.Label, span)
+		for i := range table {
+			table[i] = lDefault
+		}
+		for _, ci := range cases {
+			table[ci.val-lo] = ci.label
+		}
+		g.emit(rtl.Inst{Kind: rtl.IJmp, Src: sel.op, Lo: lo, Table: table})
+	} else {
+		for _, ci := range cases {
+			g.emit(rtl.Inst{Kind: rtl.Cmp, Src: sel.op, Src2: rtl.Imm(ci.val)})
+			g.emit(rtl.Inst{Kind: rtl.Br, BrRel: rtl.Eq, Target: ci.label})
+			g.startBlock(g.f.NewLabel())
+		}
+		g.jump(lDefault)
+	}
+	g.breaks = append(g.breaks, lEnd)
+	for i, cs := range s.Cases {
+		g.startBlock(caseLabels[i])
+		for _, st := range cs.Body {
+			g.genStmt(st)
+		}
+		// fall through to the next case, as in C
+	}
+	g.breaks = g.breaks[:len(g.breaks)-1]
+	g.startBlock(lEnd)
+}

@@ -1,0 +1,289 @@
+package mcc
+
+import "fmt"
+
+// Lexer tokenizes mini-C source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Lex returns all tokens in src, ending with a TEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos < len(lx.src) {
+		return lx.src[lx.pos]
+	}
+	return 0
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 < len(lx.src) {
+		return lx.src[lx.pos+1]
+	}
+	return 0
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func (lx *Lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errf("unterminated comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *Lexer) escape() (byte, error) {
+	if lx.pos >= len(lx.src) {
+		return 0, lx.errf("unterminated escape")
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	}
+	return 0, lx.errf("unknown escape \\%c", c)
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line := lx.line
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TEOF, Line: line}, nil
+	}
+	c := lx.advance()
+	mk := func(k TokKind) (Token, error) { return Token{Kind: k, Line: line}, nil }
+	two := func(next byte, kTwo, kOne TokKind) (Token, error) {
+		if lx.peek() == next {
+			lx.advance()
+			return mk(kTwo)
+		}
+		return mk(kOne)
+	}
+	switch {
+	case isAlpha(c):
+		start := lx.pos - 1
+		for lx.pos < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.pos]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Line: line}, nil
+		}
+		return Token{Kind: TIdent, Text: word, Line: line}, nil
+	case isDigit(c):
+		var v int64
+		if c == '0' && (lx.peek() == 'x' || lx.peek() == 'X') {
+			lx.advance()
+			if !isHex(lx.peek()) {
+				return Token{}, lx.errf("malformed hex literal")
+			}
+			for isHex(lx.peek()) {
+				d := lx.advance()
+				switch {
+				case isDigit(d):
+					v = v*16 + int64(d-'0')
+				case d >= 'a':
+					v = v*16 + int64(d-'a'+10)
+				default:
+					v = v*16 + int64(d-'A'+10)
+				}
+			}
+		} else {
+			v = int64(c - '0')
+			for isDigit(lx.peek()) {
+				v = v*10 + int64(lx.advance()-'0')
+			}
+		}
+		return Token{Kind: TNum, Val: v, Line: line}, nil
+	case c == '\'':
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf("unterminated char literal")
+		}
+		var v byte
+		var err error
+		if ch := lx.advance(); ch == '\\' {
+			if v, err = lx.escape(); err != nil {
+				return Token{}, err
+			}
+		} else {
+			v = ch
+		}
+		if lx.pos >= len(lx.src) || lx.advance() != '\'' {
+			return Token{}, lx.errf("unterminated char literal")
+		}
+		return Token{Kind: TChar, Val: int64(v), Line: line}, nil
+	case c == '"':
+		var body []byte
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf("unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				e, err := lx.escape()
+				if err != nil {
+					return Token{}, err
+				}
+				body = append(body, e)
+				continue
+			}
+			body = append(body, ch)
+		}
+		return Token{Kind: TStr, Text: string(body), Line: line}, nil
+	case c == '(':
+		return mk(TLParen)
+	case c == ')':
+		return mk(TRParen)
+	case c == '{':
+		return mk(TLBrace)
+	case c == '}':
+		return mk(TRBrace)
+	case c == '[':
+		return mk(TLBrack)
+	case c == ']':
+		return mk(TRBrack)
+	case c == ';':
+		return mk(TSemi)
+	case c == ',':
+		return mk(TComma)
+	case c == ':':
+		return mk(TColon)
+	case c == '?':
+		return mk(TQuest)
+	case c == '~':
+		return mk(TTilde)
+	case c == '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return mk(TInc)
+		}
+		return two('=', TPlusEq, TPlus)
+	case c == '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return mk(TDec)
+		}
+		return two('=', TMinusEq, TMinus)
+	case c == '*':
+		return two('=', TStarEq, TStar)
+	case c == '/':
+		return two('=', TSlashEq, TSlash)
+	case c == '%':
+		return two('=', TPercentEq, TPercent)
+	case c == '^':
+		return two('=', TCaretEq, TCaret)
+	case c == '=':
+		return two('=', TEq, TAssign)
+	case c == '!':
+		return two('=', TNe, TBang)
+	case c == '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return mk(TAndAnd)
+		}
+		return two('=', TAmpEq, TAmp)
+	case c == '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return mk(TOrOr)
+		}
+		return two('=', TPipeEq, TPipe)
+	case c == '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return two('=', TShlEq, TShl)
+		}
+		return two('=', TLe, TLt)
+	case c == '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return two('=', TShrEq, TShr)
+		}
+		return two('=', TGe, TGt)
+	}
+	return Token{}, lx.errf("unexpected character %q", c)
+}

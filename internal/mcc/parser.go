@@ -1,0 +1,768 @@
+package mcc
+
+import "fmt"
+
+// Parser builds an AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a mini-C translation unit.
+func Parse(src string) (*Unit, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.unit()
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		want := tokNames[k]
+		if want == "" {
+			want = fmt.Sprintf("token %d", k)
+		}
+		return Token{}, fmt.Errorf("line %d: expected %q, found %q", p.cur().Line, want, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+// isTypeStart reports whether the current token starts a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case TKwInt, TKwChar, TKwVoid:
+		return true
+	}
+	return false
+}
+
+// baseType parses int/char/void.
+func (p *Parser) baseType() (*Type, error) {
+	switch p.next().Kind {
+	case TKwInt:
+		return IntType, nil
+	case TKwChar:
+		return CharType, nil
+	case TKwVoid:
+		return VoidType, nil
+	}
+	p.pos--
+	return nil, p.errf("expected type, found %q", p.cur())
+}
+
+// declarator parses `*... name [N]...` and returns the full type and name.
+func (p *Parser) declarator(base *Type) (*Type, string, error) {
+	t := base
+	for p.accept(TStar) {
+		t = PtrTo(t)
+	}
+	nameTok, err := p.expect(TIdent)
+	if err != nil {
+		return nil, "", err
+	}
+	// Array suffixes, innermost last: int a[2][3] is array(2) of array(3).
+	var dims []int64
+	for p.accept(TLBrack) {
+		if p.accept(TRBrack) {
+			dims = append(dims, -1) // unsized; must have an initializer
+			continue
+		}
+		n, err := p.expect(TNum)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := p.expect(TRBrack); err != nil {
+			return nil, "", err
+		}
+		dims = append(dims, n.Val)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = ArrayOf(t, dims[i])
+	}
+	return t, nameTok.Text, nil
+}
+
+// unit parses the whole translation unit.
+func (p *Parser) unit() (*Unit, error) {
+	u := &Unit{}
+	for p.cur().Kind != TEOF {
+		if !p.isTypeStart() {
+			return nil, p.errf("expected declaration, found %q", p.cur())
+		}
+		line := p.cur().Line
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		typ, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == TLParen {
+			fn, err := p.funcRest(typ, name, line)
+			if err != nil {
+				return nil, err
+			}
+			u.Funcs = append(u.Funcs, fn)
+			continue
+		}
+		// Global variable(s).
+		for {
+			d, err := p.declRest(typ, name, line)
+			if err != nil {
+				return nil, err
+			}
+			u.Globals = append(u.Globals, d)
+			if p.accept(TComma) {
+				typ, name, err = p.declarator(base)
+				if err != nil {
+					return nil, err
+				}
+				line = p.cur().Line
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// declRest parses the optional initializer of a declaration.
+func (p *Parser) declRest(typ *Type, name string, line int) (*Decl, error) {
+	d := &Decl{Name: name, Type: typ, Line: line}
+	if !p.accept(TAssign) {
+		if typ.Kind == TyArray && typ.N < 0 {
+			return nil, p.errf("array %q needs an explicit size or initializer", name)
+		}
+		return d, nil
+	}
+	switch {
+	case p.cur().Kind == TLBrace:
+		p.next()
+		for p.cur().Kind != TRBrace {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.ArrayInit = append(d.ArrayInit, e)
+			if !p.accept(TComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TRBrace); err != nil {
+			return nil, err
+		}
+		if typ.Kind != TyArray {
+			return nil, p.errf("brace initializer on non-array %q", name)
+		}
+		if typ.N < 0 {
+			d.Type = ArrayOf(typ.Elem, int64(len(d.ArrayInit)))
+		}
+	case p.cur().Kind == TStr && typ.Kind == TyArray && typ.Elem.Kind == TyChar:
+		s := p.next()
+		d.StrInit, d.HasStr = s.Text, true
+		if typ.N < 0 {
+			d.Type = ArrayOf(typ.Elem, int64(len(s.Text))+1)
+		}
+	default:
+		e, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if d.Type.Kind == TyArray && d.Type.N < 0 {
+		return nil, p.errf("cannot infer size of array %q", name)
+	}
+	return d, nil
+}
+
+// funcRest parses a function definition after its name.
+func (p *Parser) funcRest(ret *Type, name string, line int) (*FuncDecl, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name, Ret: ret, Line: line}
+	if !p.accept(TRParen) {
+		if p.cur().Kind == TKwVoid && p.peek().Kind == TRParen {
+			p.next()
+			p.next()
+		} else {
+			for {
+				base, err := p.baseType()
+				if err != nil {
+					return nil, err
+				}
+				typ, pname, err := p.declarator(base)
+				if err != nil {
+					return nil, err
+				}
+				if typ.Kind == TyArray {
+					typ = PtrTo(typ.Elem) // arrays decay in parameters
+				}
+				fn.Params = append(fn.Params, Param{Name: pname, Type: typ})
+				if !p.accept(TComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block parses `{ stmt* }`.
+func (p *Parser) block() (*Stmt, error) {
+	lb, err := p.expect(TLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: SBlock, Line: lb.Line}
+	for p.cur().Kind != TRBrace {
+		if p.cur().Kind == TEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Body = append(blk.Body, s)
+	}
+	p.next()
+	return blk, nil
+}
+
+// localDecls parses `type declarator (= init)? (, declarator (= init)?)* ;`
+// returning one SDecl per variable wrapped in an SBlock when several.
+func (p *Parser) localDecls() (*Stmt, error) {
+	line := p.cur().Line
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []*Stmt
+	for {
+		typ, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.declRest(typ, name, line)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, &Stmt{Kind: SDecl, Line: line, Decl: d})
+		if !p.accept(TComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Stmt{Kind: SBlock, Line: line, Body: decls, Flat: true}, nil
+}
+
+func (p *Parser) stmt() (*Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TLBrace:
+		return p.block()
+	case TSemi:
+		p.next()
+		return &Stmt{Kind: SEmpty, Line: t.Line}, nil
+	case TKwInt, TKwChar:
+		return p.localDecls()
+	case TKwIf:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SIf, Line: t.Line, Expr: cond, Then: then}
+		if p.accept(TKwElse) {
+			if s.Else, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case TKwWhile:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SWhile, Line: t.Line, Expr: cond, Then: body}, nil
+	case TKwDo:
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TKwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SDoWhile, Line: t.Line, Expr: cond, Then: body}, nil
+	case TKwFor:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: SFor, Line: t.Line}
+		if p.cur().Kind == TSemi {
+			p.next()
+			s.Init = &Stmt{Kind: SEmpty, Line: t.Line}
+		} else if p.isTypeStart() {
+			init, err := p.localDecls()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TSemi); err != nil {
+				return nil, err
+			}
+			s.Init = &Stmt{Kind: SExpr, Line: t.Line, Expr: e}
+		}
+		if p.cur().Kind != TSemi {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = cond
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != TRParen {
+			post, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Then = body
+		return s, nil
+	case TKwSwitch:
+		return p.switchStmt()
+	case TKwBreak:
+		p.next()
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SBreak, Line: t.Line}, nil
+	case TKwContinue:
+		p.next()
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SContinue, Line: t.Line}, nil
+	case TKwGoto:
+		p.next()
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: SGoto, Line: t.Line, Name: name.Text}, nil
+	case TKwReturn:
+		p.next()
+		s := &Stmt{Kind: SReturn, Line: t.Line}
+		if p.cur().Kind != TSemi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TIdent:
+		if p.peek().Kind == TColon {
+			p.next()
+			p.next()
+			return &Stmt{Kind: SLabel, Line: t.Line, Name: t.Text}, nil
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: SExpr, Line: t.Line, Expr: e}, nil
+}
+
+func (p *Parser) switchStmt() (*Stmt, error) {
+	t := p.next() // switch
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	sel, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: SSwitch, Line: t.Line, Expr: sel}
+	var cur *SwitchCase
+	for p.cur().Kind != TRBrace {
+		switch p.cur().Kind {
+		case TEOF:
+			return nil, p.errf("unterminated switch")
+		case TKwCase:
+			p.next()
+			neg := p.accept(TMinus)
+			v, err := p.expect2(TNum, TChar)
+			if err != nil {
+				return nil, err
+			}
+			val := v.Val
+			if neg {
+				val = -val
+			}
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			cur = &SwitchCase{Val: val}
+			s.Cases = append(s.Cases, cur)
+		case TKwDefault:
+			p.next()
+			if _, err := p.expect(TColon); err != nil {
+				return nil, err
+			}
+			cur = &SwitchCase{IsDefault: true}
+			s.Cases = append(s.Cases, cur)
+		default:
+			if cur == nil {
+				return nil, p.errf("statement before first case in switch")
+			}
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Body = append(cur.Body, st)
+		}
+	}
+	p.next()
+	return s, nil
+}
+
+func (p *Parser) expect2(k1, k2 TokKind) (Token, error) {
+	if p.cur().Kind == k1 || p.cur().Kind == k2 {
+		return p.next(), nil
+	}
+	return Token{}, p.errf("expected %q or %q, found %q", tokNames[k1], tokNames[k2], p.cur())
+}
+
+// --- expressions ---
+
+func (p *Parser) expr() (*Expr, error) { return p.assignExpr() }
+
+var assignOps = map[TokKind]string{
+	TAssign: "", TPlusEq: "+", TMinusEq: "-", TStarEq: "*", TSlashEq: "/",
+	TPercentEq: "%", TAmpEq: "&", TPipeEq: "|", TCaretEq: "^",
+	TShlEq: "<<", TShrEq: ">>",
+}
+
+func (p *Parser) assignExpr() (*Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := assignOps[p.cur().Kind]; ok {
+		line := p.next().Line
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EAssign, Line: line, X: lhs, Y: rhs, Op: op}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) condExpr() (*Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TQuest) {
+		return c, nil
+	}
+	t, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TColon); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: ECond, Line: c.Line, X: c, Y: t, Z: f}, nil
+}
+
+type binLevel struct {
+	toks map[TokKind]string
+	kind ExprKind
+}
+
+var binLevels = []binLevel{
+	{map[TokKind]string{TOrOr: "||"}, ELogOr},
+	{map[TokKind]string{TAndAnd: "&&"}, ELogAnd},
+	{map[TokKind]string{TPipe: "|"}, EBin},
+	{map[TokKind]string{TCaret: "^"}, EBin},
+	{map[TokKind]string{TAmp: "&"}, EBin},
+	{map[TokKind]string{TEq: "==", TNe: "!="}, ECmp},
+	{map[TokKind]string{TLt: "<", TLe: "<=", TGt: ">", TGe: ">="}, ECmp},
+	{map[TokKind]string{TShl: "<<", TShr: ">>"}, EBin},
+	{map[TokKind]string{TPlus: "+", TMinus: "-"}, EBin},
+	{map[TokKind]string{TStar: "*", TSlash: "/", TPercent: "%"}, EBin},
+}
+
+func (p *Parser) binExpr(level int) (*Expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	lv := binLevels[level]
+	for {
+		op, ok := lv.toks[p.cur().Kind]
+		if !ok {
+			return lhs, nil
+		}
+		line := p.next().Line
+		rhs, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: lv.kind, Line: line, X: lhs, Y: rhs, Op: op}
+	}
+}
+
+func (p *Parser) unaryExpr() (*Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TMinus:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ENeg, Line: t.Line, X: x}, nil
+	case TBang:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ENot, Line: t.Line, X: x}, nil
+	case TTilde:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EBitNot, Line: t.Line, X: x}, nil
+	case TStar:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EDeref, Line: t.Line, X: x}, nil
+	case TAmp:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: EAddr, Line: t.Line, X: x}, nil
+	case TInc, TDec:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		d := int64(1)
+		if t.Kind == TDec {
+			d = -1
+		}
+		return &Expr{Kind: EIncDec, Line: t.Line, X: x, Prefix: true, Delta: d}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (*Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TLBrack:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBrack); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: EIndex, Line: t.Line, X: e, Y: idx}
+		case TLParen:
+			if e.Kind != EVar {
+				return nil, p.errf("call of non-function expression")
+			}
+			p.next()
+			call := &Expr{Kind: ECall, Line: t.Line, Str: e.Str}
+			if !p.accept(TRParen) {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TRParen); err != nil {
+					return nil, err
+				}
+			}
+			e = call
+		case TInc, TDec:
+			p.next()
+			d := int64(1)
+			if t.Kind == TDec {
+				d = -1
+			}
+			e = &Expr{Kind: EIncDec, Line: t.Line, X: e, Delta: d}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (*Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TNum, TChar:
+		return &Expr{Kind: ENum, Line: t.Line, Val: t.Val}, nil
+	case TStr:
+		return &Expr{Kind: EStr, Line: t.Line, Str: t.Text}, nil
+	case TIdent:
+		return &Expr{Kind: EVar, Line: t.Line, Str: t.Text}, nil
+	case TLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	p.pos--
+	return nil, p.errf("unexpected %q in expression", t)
+}

@@ -1,0 +1,129 @@
+// Package mcc implements the mini-C front end: lexer, parser, semantic
+// checks and RTL code generation. It plays the role of VPCC in the paper —
+// in particular its code generator deliberately uses the same naive lowering
+// of loops and conditionals (jump-to-test loops, jump-over-else
+// conditionals) that produces the unconditional jumps the optimizer then
+// attacks.
+package mcc
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TNum
+	TStr
+	TChar
+	// keywords
+	TKwInt
+	TKwChar
+	TKwVoid
+	TKwIf
+	TKwElse
+	TKwWhile
+	TKwFor
+	TKwDo
+	TKwSwitch
+	TKwCase
+	TKwDefault
+	TKwBreak
+	TKwContinue
+	TKwGoto
+	TKwReturn
+	// punctuation and operators
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBrack
+	TRBrack
+	TSemi
+	TComma
+	TColon
+	TQuest
+	TAssign
+	TPlusEq
+	TMinusEq
+	TStarEq
+	TSlashEq
+	TPercentEq
+	TAmpEq
+	TPipeEq
+	TCaretEq
+	TShlEq
+	TShrEq
+	TOrOr
+	TAndAnd
+	TPipe
+	TCaret
+	TAmp
+	TEq
+	TNe
+	TLt
+	TLe
+	TGt
+	TGe
+	TShl
+	TShr
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TBang
+	TTilde
+	TInc
+	TDec
+)
+
+var keywords = map[string]TokKind{
+	"int": TKwInt, "char": TKwChar, "void": TKwVoid, "if": TKwIf,
+	"else": TKwElse, "while": TKwWhile, "for": TKwFor, "do": TKwDo,
+	"switch": TKwSwitch, "case": TKwCase, "default": TKwDefault,
+	"break": TKwBreak, "continue": TKwContinue, "goto": TKwGoto,
+	"return": TKwReturn,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier or string body (escapes resolved)
+	Val  int64  // numeric or character value
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TIdent:
+		return t.Text
+	case TNum:
+		return fmt.Sprintf("%d", t.Val)
+	case TStr:
+		return fmt.Sprintf("%q", t.Text)
+	case TEOF:
+		return "<eof>"
+	}
+	return tokNames[t.Kind]
+}
+
+var tokNames = map[TokKind]string{
+	TKwInt: "int", TKwChar: "char", TKwVoid: "void", TKwIf: "if",
+	TKwElse: "else", TKwWhile: "while", TKwFor: "for", TKwDo: "do",
+	TKwSwitch: "switch", TKwCase: "case", TKwDefault: "default",
+	TKwBreak: "break", TKwContinue: "continue", TKwGoto: "goto",
+	TKwReturn: "return",
+	TLParen:   "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBrack: "[", TRBrack: "]", TSemi: ";", TComma: ",", TColon: ":",
+	TQuest: "?", TAssign: "=", TPlusEq: "+=", TMinusEq: "-=",
+	TStarEq: "*=", TSlashEq: "/=", TPercentEq: "%=", TAmpEq: "&=",
+	TPipeEq: "|=", TCaretEq: "^=", TShlEq: "<<=", TShrEq: ">>=",
+	TOrOr: "||", TAndAnd: "&&", TPipe: "|", TCaret: "^", TAmp: "&",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TShl: "<<", TShr: ">>", TPlus: "+", TMinus: "-", TStar: "*",
+	TSlash: "/", TPercent: "%", TBang: "!", TTilde: "~",
+	TInc: "++", TDec: "--", TChar: "<char>",
+}

@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// ensurePreheader returns the loop's preheader block, creating one when
+// needed: a block positionally just before the header that receives every
+// edge into the header from outside the loop. The paper's §3.3.3 points out
+// that replication relocates these preheaders profitably; creating them
+// lazily here reproduces that interaction.
+func ensurePreheader(f *cfg.Func, e *cfg.Edges, l *cfg.Loop) *cfg.Block {
+	h := l.Header
+	// An existing preheader: a sole outside predecessor that falls through
+	// or jumps directly to the header.
+	var outside []*cfg.Block
+	for _, p := range e.Preds[h.Index] {
+		if !l.Contains(p.Index) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 1 {
+		p := outside[0]
+		if t := p.Term(); (t == nil || t.Kind == rtl.Jmp && t.Target == h.Label) &&
+			len(e.Succs[p.Index]) == 1 {
+			return p
+		}
+	}
+	// If an in-loop block falls through into the header (a fall-through
+	// back edge), give it an explicit jump block first so the preheader
+	// does not intercept the back edge and execute every iteration.
+	if h.Index > 0 {
+		prev := f.Blocks[h.Index-1]
+		if l.Contains(prev.Index) && f.FallThrough(prev) == h {
+			jb := &cfg.Block{
+				Label: f.NewLabel(),
+				Insts: []rtl.Inst{{Kind: rtl.Jmp, Target: h.Label}},
+			}
+			f.InsertBlocksAfter(prev.Index, jb)
+		}
+	}
+	// Build a new preheader immediately before the header.
+	ph := &cfg.Block{Label: f.NewLabel()}
+	// Any outside block falling through into the header now falls into the
+	// preheader instead, which falls into the header.
+	f.InsertBlocksAfter(h.Index-1, ph)
+	// Retarget all outside edges that *branch* to the header.
+	for _, p := range outside {
+		if p == ph {
+			continue
+		}
+		for ii := range p.Insts {
+			in := &p.Insts[ii]
+			switch in.Kind {
+			case rtl.Jmp, rtl.Br:
+				if in.Target == h.Label {
+					in.Target = ph.Label
+				}
+			case rtl.IJmp:
+				for ti := range in.Table {
+					if in.Table[ti] == h.Label {
+						in.Table[ti] = ph.Label
+					}
+				}
+			}
+		}
+	}
+	return ph
+}
+
+// appendBeforeTerm adds instructions at the end of b but before its
+// terminating control transfer, if any.
+func appendBeforeTerm(b *cfg.Block, insts ...rtl.Inst) {
+	if t := b.Term(); t != nil {
+		term := *t
+		b.Insts = append(b.Insts[:len(b.Insts)-1], insts...)
+		b.Insts = append(b.Insts, term)
+		return
+	}
+	b.Insts = append(b.Insts, insts...)
+}
+
+// CodeMotion hoists loop-invariant register computations into loop
+// preheaders. Only pure register/constant computations are moved (no memory
+// reads), and only when the destination has a single static definition in
+// the loop, is not live into the header, and has no uses outside the loop.
+// Reports whether anything changed.
+func CodeMotion(f *cfg.Func) bool {
+	changed := false
+	// Loops are recomputed after each successful hoist set because
+	// preheader insertion renumbers blocks.
+	for iter := 0; iter < 20; iter++ {
+		e := cfg.ComputeEdges(f)
+		d := cfg.ComputeDominators(e)
+		loops := cfg.NaturalLoops(e, d)
+		if len(loops) == 0 {
+			return changed
+		}
+		lv := ComputeLiveness(f, e)
+
+		hoisted := false
+		for _, l := range loops {
+			// Registers live out of the loop (live into any outside
+			// successor of a loop block): their in-loop defs must stay.
+			liveOut := regSet{}
+			for bi := range l.Blocks {
+				for _, s := range e.Succs[bi] {
+					if !l.Contains(s.Index) {
+						for r := range lv.In[s.Index] {
+							liveOut.add(r)
+						}
+					}
+				}
+			}
+			// Registers defined anywhere in the loop.
+			definedInLoop := map[rtl.Reg]int{}
+			for bi := range l.Blocks {
+				for ii := range f.Blocks[bi].Insts {
+					if r := f.Blocks[bi].Insts[ii].DefReg(); r != rtl.RegNone {
+						definedInLoop[r]++
+					}
+				}
+			}
+			var moves []rtl.Inst
+			for bi := range l.Blocks {
+				b := f.Blocks[bi]
+				kept := b.Insts[:0]
+				for ii := range b.Insts {
+					in := b.Insts[ii]
+					// Safe to hoist when: the computation is pure and its
+					// sources are loop-invariant; this is the only in-loop
+					// definition of the destination; the destination's
+					// value neither flows into the loop from outside
+					// (live-in at the header) nor out of it (live at an
+					// exit) — so defs of the same register elsewhere (e.g.
+					// in replicated copies of this loop) cannot interact.
+					if !invariantCandidate(&in, l, definedInLoop) ||
+						in.Dst.Kind != rtl.OReg || !in.Dst.Reg.IsVirtual() ||
+						definedInLoop[in.Dst.Reg] != 1 ||
+						lv.In[l.Header.Index].has(in.Dst.Reg) ||
+						liveOut.has(in.Dst.Reg) {
+						kept = append(kept, in)
+						continue
+					}
+					moves = append(moves, in)
+					// The hoisted destination now counts as loop-invariant
+					// for later candidates in this same sweep.
+					delete(definedInLoop, in.Dst.Reg)
+				}
+				b.Insts = kept
+			}
+			if len(moves) > 0 {
+				ph := ensurePreheader(f, e, l)
+				appendBeforeTerm(ph, moves...)
+				hoisted = true
+				changed = true
+				break // graph changed; recompute everything
+			}
+		}
+		if !hoisted {
+			return changed
+		}
+	}
+	return changed
+}
+
+// invariantCandidate reports whether in computes a register value from
+// operands invariant in the loop: constants, addresses, or registers with
+// no definition inside the loop.
+func invariantCandidate(in *rtl.Inst, l *cfg.Loop, definedInLoop map[rtl.Reg]int) bool {
+	switch in.Kind {
+	case rtl.Move, rtl.Bin, rtl.Un:
+	default:
+		return false
+	}
+	if in.Dst.Kind != rtl.OReg {
+		return false
+	}
+	// A bare materialization (r = constant/address) costs the same inside
+	// or outside the loop; hoisting it only lengthens live ranges and
+	// raises register pressure, so leave it where it is.
+	if in.Kind == rtl.Move && in.Src.IsImmLike() {
+		return false
+	}
+	for _, o := range in.SrcOperands() {
+		switch o.Kind {
+		case rtl.OImm, rtl.OAddrLocal, rtl.OAddrGlobal:
+		case rtl.OReg:
+			if n, defined := definedInLoop[o.Reg]; defined && n > 0 {
+				return false // source is computed inside the loop
+			}
+		default:
+			return false // memory reads are not hoisted
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// FoldConstants simplifies instructions with constant operands and applies
+// algebraic identities. Reports whether anything changed.
+func FoldConstants(f *cfg.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			switch in.Kind {
+			case rtl.Bin:
+				if in.Src.Kind == rtl.OImm && in.Src2.Kind == rtl.OImm {
+					*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.Imm(in.BOp.Eval(in.Src.Val, in.Src2.Val))}
+					changed = true
+					continue
+				}
+				if simplifyAlgebraic(in) {
+					changed = true
+				}
+			case rtl.Un:
+				if in.Src.Kind == rtl.OImm {
+					*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.Imm(in.UOp.Eval(in.Src.Val))}
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// simplifyAlgebraic applies identities like x+0, x*1, x*0, x-0, x<<0.
+func simplifyAlgebraic(in *rtl.Inst) bool {
+	imm := func(o rtl.Operand, v int64) bool { return o.Kind == rtl.OImm && o.Val == v }
+	switch in.BOp {
+	case rtl.Add, rtl.Or, rtl.Xor:
+		if imm(in.Src2, 0) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: in.Src}
+			return true
+		}
+		if imm(in.Src, 0) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: in.Src2}
+			return true
+		}
+	case rtl.Sub, rtl.Shl, rtl.Shr:
+		if imm(in.Src2, 0) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: in.Src}
+			return true
+		}
+	case rtl.Mul:
+		if imm(in.Src2, 1) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: in.Src}
+			return true
+		}
+		if imm(in.Src, 1) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: in.Src2}
+			return true
+		}
+		if imm(in.Src2, 0) || imm(in.Src, 0) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.Imm(0)}
+			return true
+		}
+	case rtl.Div:
+		if imm(in.Src2, 1) {
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: in.Src}
+			return true
+		}
+	}
+	return false
+}
+
+// FoldBranches performs constant folding at conditional branches (§3.3.1):
+// a comparison of two constants decides the branch statically, so the
+// branch is deleted or becomes an unconditional jump (which a subsequent
+// replication pass can then attack). Also deletes conditional branches
+// whose target is the fall-through block. Reports whether anything changed.
+func FoldBranches(f *cfg.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Kind != rtl.Br {
+			continue
+		}
+		// Branch to the positionally next block: both outcomes coincide.
+		if b.Index+1 < len(f.Blocks) && f.Blocks[b.Index+1].Label == t.Target {
+			b.Insts = b.Insts[:len(b.Insts)-1]
+			changed = true
+			continue
+		}
+		// A Cmp of two constants immediately before the branch decides it.
+		if len(b.Insts) >= 2 {
+			c := &b.Insts[len(b.Insts)-2]
+			if c.Kind == rtl.Cmp && c.Src.Kind == rtl.OImm && c.Src2.Kind == rtl.OImm {
+				taken := t.BrRel.Holds(c.Src.Val, c.Src2.Val)
+				target := t.Target
+				b.Insts = b.Insts[:len(b.Insts)-2]
+				if taken {
+					b.Insts = append(b.Insts, rtl.Inst{Kind: rtl.Jmp, Target: target})
+				}
+				changed = true
+			}
+		}
+	}
+	return changed
+}

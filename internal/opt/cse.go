@@ -1,0 +1,298 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// vnState is the value-numbering state within one basic block.
+type vnState struct {
+	m       *machine.Machine
+	constOf map[rtl.Reg]int64
+	copyOf  map[rtl.Reg]rtl.Reg
+	exprOf  map[string]rtl.Reg // expression key -> register holding it
+	memVal  map[string]rtl.Reg // memory operand key -> register holding its value
+}
+
+func newVNState(m *machine.Machine) *vnState {
+	return &vnState{
+		m:       m,
+		constOf: map[rtl.Reg]int64{},
+		copyOf:  map[rtl.Reg]rtl.Reg{},
+		exprOf:  map[string]rtl.Reg{},
+		memVal:  map[string]rtl.Reg{},
+	}
+}
+
+// clone copies the state for propagation into a single-predecessor
+// successor (extended-basic-block value numbering).
+func (s *vnState) clone() *vnState {
+	c := newVNState(s.m)
+	for k, v := range s.constOf {
+		c.constOf[k] = v
+	}
+	for k, v := range s.copyOf {
+		c.copyOf[k] = v
+	}
+	for k, v := range s.exprOf {
+		c.exprOf[k] = v
+	}
+	for k, v := range s.memVal {
+		c.memVal[k] = v
+	}
+	return c
+}
+
+// resolve follows copy chains to the canonical source register.
+func (s *vnState) resolve(r rtl.Reg) rtl.Reg {
+	for i := 0; i < 8; i++ {
+		c, ok := s.copyOf[r]
+		if !ok {
+			return r
+		}
+		r = c
+	}
+	return r
+}
+
+// regKey is the canonical key fragment for a register; keyUsesReg searches
+// for exactly this fragment.
+func regKey(r rtl.Reg) string { return "r" + r.String() }
+
+func opKey(o rtl.Operand) string {
+	switch o.Kind {
+	case rtl.OReg:
+		return regKey(o.Reg)
+	case rtl.OImm:
+		return fmt.Sprintf("#%d", o.Val)
+	case rtl.OLocal:
+		return fmt.Sprintf("l%d", o.Val)
+	case rtl.OGlobal:
+		return fmt.Sprintf("g%s+%d", o.Sym, o.Val)
+	case rtl.OMem:
+		if o.Index == rtl.RegNone {
+			return fmt.Sprintf("m%s+%d", regKey(o.Reg), o.Val)
+		}
+		return fmt.Sprintf("m%s+%d+%s*%d", regKey(o.Reg), o.Val, regKey(o.Index), o.Scale)
+	case rtl.OAddrLocal:
+		return fmt.Sprintf("al%d", o.Val)
+	case rtl.OAddrGlobal:
+		return fmt.Sprintf("ag%s+%d", o.Sym, o.Val)
+	}
+	return "?"
+}
+
+// exprKey builds a canonical key for a pure computation.
+func exprKey(in *rtl.Inst) string {
+	switch in.Kind {
+	case rtl.Bin:
+		a, b := opKey(in.Src), opKey(in.Src2)
+		if in.BOp.Commutative() && b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("b%d|%s|%s", in.BOp, a, b)
+	case rtl.Un:
+		return fmt.Sprintf("u%d|%s", in.UOp, opKey(in.Src))
+	}
+	return ""
+}
+
+// keyUsesReg reports whether an expression/memory key mentions register r.
+// Keys embed register numbers through regKey, so this is a containment
+// test on the canonical fragment.
+func keyUsesReg(key string, r rtl.Reg) bool {
+	frag := regKey(r)
+	for i := 0; i+len(frag) <= len(key); i++ {
+		if key[i:i+len(frag)] == frag {
+			// Avoid matching r1 inside r12: next byte must be a separator.
+			j := i + len(frag)
+			if j == len(key) || !(key[j] >= '0' && key[j] <= '9') {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// invalidateReg drops every piece of state that mentions r.
+func (s *vnState) invalidateReg(r rtl.Reg) {
+	delete(s.constOf, r)
+	delete(s.copyOf, r)
+	for x, c := range s.copyOf {
+		if c == r {
+			delete(s.copyOf, x)
+		}
+	}
+	for k, v := range s.exprOf {
+		if v == r || keyUsesReg(k, r) {
+			delete(s.exprOf, k)
+		}
+	}
+	for k, v := range s.memVal {
+		if v == r || keyUsesReg(k, r) {
+			delete(s.memVal, k)
+		}
+	}
+}
+
+// invalidateMemory drops all memory-derived state (after stores and calls).
+func (s *vnState) invalidateMemory() {
+	s.memVal = map[string]rtl.Reg{}
+	// Expressions never read memory (only Move does), so exprOf survives.
+}
+
+// substSrc rewrites one source operand using known constants, copies and
+// loaded values, keeping the instruction legal for the machine. check runs
+// machine legality on the whole instruction after a tentative rewrite.
+func (s *vnState) substSrc(in *rtl.Inst, o *rtl.Operand) bool {
+	changed := false
+	try := func(repl rtl.Operand) bool {
+		old := *o
+		*o = repl
+		if s.m == nil || s.m.LegalInst(in) {
+			return true
+		}
+		*o = old
+		return false
+	}
+	switch o.Kind {
+	case rtl.OReg:
+		r := s.resolve(o.Reg)
+		if v, ok := s.constOf[r]; ok && try(rtl.Imm(v)) {
+			return true
+		}
+		if r != o.Reg && try(rtl.R(r)) {
+			changed = true
+		}
+	case rtl.OMem:
+		// Canonicalize base/index through copies first.
+		no := *o
+		no.Reg = s.resolve(o.Reg)
+		if no.Index != rtl.RegNone {
+			no.Index = s.resolve(no.Index)
+		}
+		if !no.Equal(*o) && try(no) {
+			changed = true
+		}
+		fallthrough
+	case rtl.OLocal, rtl.OGlobal:
+		if r, ok := s.memVal[opKey(*o)]; ok && try(rtl.R(r)) {
+			return true
+		}
+	}
+	return changed
+}
+
+// CommonSubexpressions performs value numbering with constant and copy
+// propagation and store-to-load forwarding, over extended basic blocks: a
+// block with exactly one predecessor inherits that predecessor's exit
+// state, so availability flows down branch fans without a full dataflow
+// framework. Machine legality is preserved. Reports whether anything
+// changed.
+func CommonSubexpressions(f *cfg.Func, m *machine.Machine) bool {
+	changed := false
+	e := cfg.ComputeEdges(f)
+	// exit[i] is block i's end-of-block state, for forward propagation.
+	exit := make([]*vnState, len(f.Blocks))
+	for _, b := range f.Blocks {
+		var s *vnState
+		// Inherit from a single already-processed predecessor. Layout
+		// order approximates reverse postorder for the fronted-generated
+		// graphs; a predecessor later in layout (a back edge) simply
+		// yields a fresh state.
+		if preds := e.Preds[b.Index]; len(preds) == 1 && preds[0].Index < b.Index && exit[preds[0].Index] != nil {
+			s = exit[preds[0].Index].clone()
+		} else {
+			s = newVNState(m)
+		}
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			// Substitute into sources.
+			switch in.Kind {
+			case rtl.Move, rtl.Bin, rtl.Un, rtl.Cmp, rtl.Arg, rtl.Ret, rtl.IJmp:
+				for _, o := range in.SrcOperands() {
+					if s.substSrc(in, o) {
+						changed = true
+					}
+				}
+			}
+			// Fold if fully constant now.
+			if in.Kind == rtl.Bin && in.Src.Kind == rtl.OImm && in.Src2.Kind == rtl.OImm {
+				*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.Imm(in.BOp.Eval(in.Src.Val, in.Src2.Val))}
+				changed = true
+			}
+			if in.Kind == rtl.Un && in.Src.Kind == rtl.OImm {
+				*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.Imm(in.UOp.Eval(in.Src.Val))}
+				changed = true
+			}
+			// Reuse an available expression.
+			if (in.Kind == rtl.Bin || in.Kind == rtl.Un) && in.Dst.Kind == rtl.OReg {
+				if key := exprKey(in); key != "" {
+					if r, ok := s.exprOf[key]; ok && r != in.Dst.Reg {
+						*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.R(r)}
+						changed = true
+					}
+				}
+			}
+			// Reuse a materialized constant or address: a second
+			// `r' = &sym` becomes a copy of the first, and copy
+			// propagation then retires r' entirely.
+			if in.Kind == rtl.Move && in.Dst.Kind == rtl.OReg &&
+				(in.Src.Kind == rtl.OAddrLocal || in.Src.Kind == rtl.OAddrGlobal || in.Src.Kind == rtl.OImm) {
+				key := "mat|" + opKey(in.Src)
+				if r, ok := s.exprOf[key]; ok && r != in.Dst.Reg {
+					*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.R(r)}
+					changed = true
+				}
+			}
+			// Update state.
+			switch in.Kind {
+			case rtl.Move:
+				if in.Dst.Kind == rtl.OReg {
+					d := in.Dst.Reg
+					s.invalidateReg(d)
+					switch in.Src.Kind {
+					case rtl.OImm:
+						s.constOf[d] = in.Src.Val
+						s.exprOf["mat|"+opKey(in.Src)] = d
+					case rtl.OAddrLocal, rtl.OAddrGlobal:
+						s.exprOf["mat|"+opKey(in.Src)] = d
+					case rtl.OReg:
+						if in.Src.Reg != d {
+							s.copyOf[d] = s.resolve(in.Src.Reg)
+						}
+					case rtl.OLocal, rtl.OGlobal, rtl.OMem:
+						s.memVal[opKey(in.Src)] = d
+					}
+				} else if in.Dst.IsMem() {
+					s.invalidateMemory()
+					if in.Src.Kind == rtl.OReg {
+						s.memVal[opKey(in.Dst)] = s.resolve(in.Src.Reg)
+					}
+				}
+			case rtl.Bin, rtl.Un:
+				if in.Dst.Kind == rtl.OReg {
+					d := in.Dst.Reg
+					key := exprKey(in)
+					usesSelf := keyUsesReg(key, d)
+					s.invalidateReg(d)
+					if key != "" && !usesSelf {
+						s.exprOf[key] = d
+					}
+				} else if in.Dst.IsMem() {
+					s.invalidateMemory()
+				}
+			case rtl.Call:
+				s.invalidateMemory()
+				if in.Dst.Kind == rtl.OReg {
+					s.invalidateReg(in.Dst.Reg)
+				}
+			}
+		}
+		exit[b.Index] = s
+	}
+	return changed
+}

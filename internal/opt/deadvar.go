@@ -1,0 +1,58 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// DeadVariableElimination removes register assignments whose result is
+// never used, and comparisons whose condition code no branch consumes.
+// Reports whether anything changed.
+func DeadVariableElimination(f *cfg.Func) bool {
+	e := cfg.ComputeEdges(f)
+	lv := ComputeLiveness(f, e)
+	changed := false
+	var scratch []rtl.Reg
+	for _, b := range f.Blocks {
+		live := lv.Out[b.Index].clone()
+		// Walk backwards, deleting dead pure definitions.
+		keep := make([]bool, len(b.Insts))
+		for ii := len(b.Insts) - 1; ii >= 0; ii-- {
+			in := &b.Insts[ii]
+			d := instDef(in)
+			dead := false
+			switch in.Kind {
+			case rtl.Move, rtl.Bin, rtl.Un:
+				dead = in.Dst.Kind == rtl.OReg && !live.has(in.Dst.Reg)
+				// Self-moves are dead regardless of liveness.
+				if in.Kind == rtl.Move && in.Dst.Equal(in.Src) {
+					dead = true
+				}
+			case rtl.Cmp:
+				dead = !live.has(ccReg)
+			}
+			if dead {
+				changed = true
+				continue
+			}
+			keep[ii] = true
+			if d != rtl.RegNone {
+				delete(live, d)
+			}
+			scratch = instUses(in, scratch[:0])
+			for _, r := range scratch {
+				live.add(r)
+			}
+		}
+		if changed {
+			out := b.Insts[:0]
+			for ii := range b.Insts {
+				if keep[ii] {
+					out = append(out, b.Insts[ii])
+				}
+			}
+			b.Insts = out
+		}
+	}
+	return changed
+}

@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// FillDelaySlots gives every branch, jump, indirect jump and return a delay
+// slot, as the SPARC requires: the nearest preceding independent
+// instruction moves into the slot; when none qualifies a no-op is inserted.
+// Call delay slots are modelled as always filled (on a real SPARC the last
+// argument move almost always occupies them), so calls get no explicit
+// slot; see DESIGN.md §6. This must be the final pass — afterwards blocks
+// no longer end with their terminator and the CFG passes must not run
+// again. The VM executes any instructions after a CTI before honouring the
+// transfer, which is exactly delay-slot semantics.
+//
+// Returns the number of slots filled with useful instructions and the
+// number of no-ops inserted.
+func FillDelaySlots(f *cfg.Func, m *machine.Machine) (filled, nops int) {
+	if !m.DelaySlots {
+		return 0, 0
+	}
+	// Work-list over labels: target-filling splits branch-target blocks,
+	// whose tails must still receive slots themselves.
+	queue := make([]rtl.Label, 0, len(f.Blocks))
+	processed := map[rtl.Label]bool{}
+	for _, b := range f.Blocks {
+		queue = append(queue, b.Label)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		b := f.BlockByLabel(queue[qi])
+		if b == nil || processed[b.Label] {
+			continue
+		}
+		processed[b.Label] = true
+		n := len(b.Insts)
+		if n == 0 {
+			continue
+		}
+		var out []rtl.Inst
+		for ii := 0; ii < n; ii++ {
+			in := b.Insts[ii]
+			if !isCTIKind(in.Kind) {
+				out = append(out, in)
+				continue
+			}
+			// First choice: pull an earlier independent instruction down.
+			if si := slotCandidate(out, &in); si >= 0 {
+				slot := out[si]
+				out = append(out[:si], out[si+1:]...)
+				out = append(out, in, slot)
+				filled++
+				continue
+			}
+			// Second choice: copy the first instruction of the branch
+			// target into the slot — annulled for conditional branches so
+			// the fall-through path squashes it (the SPARC ",a" form).
+			if slot, ok := targetFill(f, b, &in, processed, &queue); ok {
+				out = append(out, in, slot)
+				filled++
+				continue
+			}
+			// Third choice: a single-block loop (Br back to its own block,
+			// the shape rotation and block merging produce). Peel the first
+			// instruction off into this block and move the loop body into a
+			// new tail block, so the annulled slot can replay it.
+			if in.Kind == rtl.Br && in.Target == b.Label && ii == n-1 && len(out) >= 2 {
+				if k := out[0].Kind; k == rtl.Move || k == rtl.Bin || k == rtl.Un {
+					slot := out[0].Clone()
+					tail := &cfg.Block{Label: f.NewLabel()}
+					in.Annul = true
+					in.Target = tail.Label
+					tail.Insts = append(tail.Insts, out[1:]...)
+					tail.Insts = append(tail.Insts, in, slot)
+					out = out[:1]
+					b.Insts = out
+					f.InsertBlocksAfter(b.Index, tail)
+					processed[tail.Label] = true
+					filled++
+					// The block was fully rewritten; nothing further to
+					// process in it.
+					out = b.Insts
+					break
+				}
+			}
+			out = append(out, in, rtl.Inst{Kind: rtl.Nop})
+			nops++
+		}
+		b.Insts = out
+	}
+	return filled, nops
+}
+
+// targetFill tries to fill the slot of a Br/Jmp from its target block: the
+// target's first instruction is copied into the slot, the target split
+// after that instruction, and the transfer retargeted to the split point.
+// Conditional branches become annulling so the untaken path squashes the
+// copy. Returns the slot instruction on success; the CTI's target is
+// updated in place.
+func targetFill(f *cfg.Func, cur *cfg.Block, cti *rtl.Inst, processed map[rtl.Label]bool, queue *[]rtl.Label) (rtl.Inst, bool) {
+	if cti.Kind != rtl.Br && cti.Kind != rtl.Jmp {
+		return rtl.Inst{}, false
+	}
+	tgt := f.BlockByLabel(cti.Target)
+	if tgt == nil || tgt == cur || len(tgt.Insts) < 2 {
+		return rtl.Inst{}, false
+	}
+	t0 := tgt.Insts[0]
+	switch t0.Kind {
+	case rtl.Move, rtl.Bin, rtl.Un:
+	default:
+		return rtl.Inst{}, false
+	}
+	// Split the target after its first instruction; other predecessors
+	// still enter at the top and fall into the tail.
+	tail := &cfg.Block{Label: f.NewLabel(), Insts: append([]rtl.Inst{}, tgt.Insts[1:]...)}
+	tgt.Insts = tgt.Insts[:1]
+	f.InsertBlocksAfter(tgt.Index, tail)
+	if processed[tgt.Label] {
+		// The target's slots were already placed; the tail must not be
+		// slotted again.
+		processed[tail.Label] = true
+	} else {
+		*queue = append(*queue, tail.Label)
+	}
+	cti.Target = tail.Label
+	if cti.Kind == rtl.Br {
+		cti.Annul = true
+	}
+	return t0.Clone(), true
+}
+
+func isCTIKind(k rtl.Kind) bool {
+	switch k {
+	case rtl.Br, rtl.Jmp, rtl.IJmp, rtl.Ret:
+		return true
+	}
+	return false
+}
+
+// slotCandidate returns the index in prefix of an instruction that can move
+// after the CTI, or -1. The candidate must not feed the CTI (its condition
+// code comparison, selector, or return value), must not itself transfer
+// control or order-depend on argument setup, and nothing between it and the
+// CTI may read what it writes or write what it reads. Up to maxSlotScan
+// candidates are examined, nearest first.
+func slotCandidate(prefix []rtl.Inst, cti *rtl.Inst) int {
+	const maxSlotScan = 4
+	tried := 0
+	for i := len(prefix) - 1; i >= 0 && tried < maxSlotScan; i-- {
+		switch prefix[i].Kind {
+		case rtl.Cmp, rtl.Arg:
+			continue // pinned before their consumer; look past them
+		case rtl.Move, rtl.Bin, rtl.Un:
+			tried++
+			if slotMovable(prefix, i, cti) {
+				return i
+			}
+		default:
+			return -1 // never move across calls, CTIs, nops
+		}
+	}
+	return -1
+}
+
+// slotMovable reports whether prefix[i] can move to the delay slot.
+func slotMovable(prefix []rtl.Inst, i int, cti *rtl.Inst) bool {
+	cand := &prefix[i]
+	// The candidate moves past prefix[i+1:] and the CTI. Nothing it writes
+	// may be read by them; nothing it reads may be written by them.
+	var candReads, between []rtl.Reg
+	candReads = instUses(cand, candReads)
+	candDef := instDef(cand)
+	candWritesMem := writesMemory(cand)
+	candReadsMem := readsMemory(cand)
+	check := func(in *rtl.Inst) bool {
+		between = instUses(in, between[:0])
+		if candDef != rtl.RegNone {
+			for _, r := range between {
+				if r == candDef {
+					return false
+				}
+			}
+			if in.Dst.Kind == rtl.OMem && in.Dst.UsesReg(candDef) {
+				return false
+			}
+		}
+		d := instDef(in)
+		for _, r := range candReads {
+			if r == d {
+				return false
+			}
+		}
+		if candWritesMem && (readsMemory(in) || writesMemory(in)) {
+			return false
+		}
+		if candReadsMem && writesMemory(in) {
+			return false
+		}
+		return true
+	}
+	for j := i + 1; j < len(prefix); j++ {
+		if !check(&prefix[j]) {
+			return false
+		}
+	}
+	return check(cti)
+}

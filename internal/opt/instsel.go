@@ -1,0 +1,224 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// InstructionSelection combines adjacent or nearby RTLs into single legal
+// machine instructions, in the VPO style: the effect of two instructions is
+// symbolically composed and kept when the machine can encode it. On the
+// 68020 this folds loads into memory-operand ALU instructions and rebuilds
+// read-modify-write forms; on the SPARC it mostly eliminates redundant
+// copies. Reports whether anything changed.
+func InstructionSelection(f *cfg.Func, m *machine.Machine) bool {
+	e := cfg.ComputeEdges(f)
+	lv := ComputeLiveness(f, e)
+	changed := false
+	for _, b := range f.Blocks {
+		for combineBlock(b, m, lv.Out[b.Index]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// regReads reports whether instruction in reads register r (including
+// through memory addressing).
+func regReads(in *rtl.Inst, r rtl.Reg) bool {
+	for _, o := range in.SrcOperands() {
+		if o.UsesReg(r) {
+			return true
+		}
+	}
+	if in.Dst.Kind == rtl.OMem && in.Dst.UsesReg(r) {
+		return true
+	}
+	return false
+}
+
+// readsMemory reports whether the instruction reads any memory cell.
+func readsMemory(in *rtl.Inst) bool {
+	for _, o := range in.SrcOperands() {
+		if o.IsMem() {
+			return true
+		}
+	}
+	return false
+}
+
+// writesMemory reports whether the instruction writes memory (calls count:
+// the callee may store anywhere).
+func writesMemory(in *rtl.Inst) bool {
+	if in.Kind == rtl.Call {
+		return true
+	}
+	switch in.Kind {
+	case rtl.Move, rtl.Bin, rtl.Un:
+		return in.Dst.IsMem()
+	}
+	return false
+}
+
+// operandDepsStable reports whether operand o evaluates to the same value
+// at both ends of the instruction window (exclusive); the window
+// instructions are insts[from+1 .. to-1].
+func operandDepsStable(insts []rtl.Inst, from, to int, o rtl.Operand) bool {
+	for k := from + 1; k < to; k++ {
+		in := &insts[k]
+		switch o.Kind {
+		case rtl.OReg:
+			if instDef(in) == o.Reg {
+				return false
+			}
+		case rtl.OMem:
+			if instDef(in) == o.Reg || o.Index != rtl.RegNone && instDef(in) == o.Index {
+				return false
+			}
+			if writesMemory(in) {
+				return false
+			}
+		case rtl.OLocal, rtl.OGlobal:
+			if writesMemory(in) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// substituteReg replaces register r with operand x everywhere it is read in
+// the instruction, folding address constants into memory operands where
+// possible. Returns false (and leaves in untouched) if a read of r cannot
+// be expressed.
+func substituteReg(in *rtl.Inst, r rtl.Reg, x rtl.Operand) bool {
+	repl := *in
+	repl.Table = in.Table // shared; only targets matter and are unchanged
+	replaceOp := func(o rtl.Operand) (rtl.Operand, bool) {
+		switch o.Kind {
+		case rtl.OReg:
+			if o.Reg == r {
+				return x, true
+			}
+		case rtl.OMem:
+			base, idx := o.Reg, o.Index
+			if base == r {
+				switch x.Kind {
+				case rtl.OReg:
+					o.Reg = x.Reg
+				case rtl.OAddrLocal:
+					// M[(&fp+v) + d (+ i*s)] = local access.
+					if idx == rtl.RegNone {
+						return rtl.Local(x.Val + o.Val), true
+					}
+					return rtl.MemIdx(rtl.FP, x.Val+o.Val, idx, o.Scale), true
+				default:
+					return o, false
+				}
+			}
+			if idx == r {
+				if x.Kind == rtl.OReg {
+					o.Index = x.Reg
+				} else if x.Kind == rtl.OImm && o.Reg != r {
+					// Fold a constant index into the displacement.
+					o.Val += x.Val * o.Scale
+					o.Index = rtl.RegNone
+					o.Scale = 0
+				} else {
+					return o, false
+				}
+			}
+			return o, true
+		}
+		return o, true
+	}
+	var ok bool
+	for _, field := range []*rtl.Operand{&repl.Src, &repl.Src2} {
+		if *field, ok = replaceOp(*field); !ok {
+			return false
+		}
+	}
+	// A memory destination's addressing registers are reads too.
+	if repl.Dst.Kind == rtl.OMem {
+		if repl.Dst, ok = replaceOp(repl.Dst); !ok {
+			return false
+		}
+	}
+	*in = repl
+	return true
+}
+
+// combineBlock performs one round of peephole combining in b; it returns
+// true if it changed anything (callers loop to a fixed point).
+func combineBlock(b *cfg.Block, m *machine.Machine, liveOut regSet) bool {
+	insts := b.Insts
+	for i := 0; i < len(insts); i++ {
+		in := &insts[i]
+		// Pattern A: Move r <- x, with exactly one later read of r in the
+		// block before any redefinition; fold x into the reader.
+		if in.Kind == rtl.Move && in.Dst.Kind == rtl.OReg && in.Dst.Reg.IsVirtual() {
+			r := in.Dst.Reg
+			if in.Src.UsesReg(r) {
+				continue
+			}
+			useIdx, uses, redefined := scanUses(insts, i+1, r)
+			if uses == 1 && (redefined || !liveOut.has(r)) &&
+				operandDepsStable(insts, i, useIdx, in.Src) {
+				cand := insts[useIdx]
+				if instDef(&cand) == r && regReads(&cand, r) {
+					// r = r op x style: substitution still fine.
+					_ = cand
+				}
+				if substituteReg(&cand, r, in.Src) && m.LegalInst(&cand) && !regReads(&cand, r) {
+					insts[useIdx] = cand
+					// Delete the move.
+					b.Insts = append(insts[:i], insts[i+1:]...)
+					return true
+				}
+			}
+		}
+		// Pattern B: {Bin,Un} r <- ..., immediately followed by
+		// Move mem <- r with r otherwise dead: write the result directly.
+		if (in.Kind == rtl.Bin || in.Kind == rtl.Un) &&
+			in.Dst.Kind == rtl.OReg && in.Dst.Reg.IsVirtual() && i+1 < len(insts) {
+			r := in.Dst.Reg
+			nx := &insts[i+1]
+			if nx.Kind == rtl.Move && nx.Dst.IsMem() && nx.Src.Kind == rtl.OReg && nx.Src.Reg == r &&
+				!nx.Dst.UsesReg(r) {
+				_, uses, redefined := scanUses(insts, i+2, r)
+				if uses == 0 && (redefined || !liveOut.has(r)) {
+					cand := *in
+					cand.Dst = nx.Dst
+					if m.LegalInst(&cand) {
+						insts[i] = cand
+						b.Insts = append(insts[:i+1], insts[i+2:]...)
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// scanUses finds reads of r in insts[from:]: the index of the first reading
+// instruction, the number of reading instructions before r is redefined,
+// and whether a redefinition was found. An instruction that both reads and
+// redefines r counts as a use and stops the scan after itself.
+func scanUses(insts []rtl.Inst, from int, r rtl.Reg) (firstUse, uses int, redefined bool) {
+	firstUse = -1
+	for k := from; k < len(insts); k++ {
+		in := &insts[k]
+		if regReads(in, r) {
+			if firstUse < 0 {
+				firstUse = k
+			}
+			uses++
+		}
+		if instDef(in) == r {
+			return firstUse, uses, true
+		}
+	}
+	return firstUse, uses, false
+}

@@ -1,0 +1,134 @@
+// Package opt implements the standard VPO optimizations of the paper's
+// Figure 3: branch chaining, dead code elimination, constant folding
+// (including at conditional branches), common subexpression elimination,
+// dead variable elimination, code motion, strength reduction, instruction
+// selection and register allocation, plus SPARC delay-slot filling.
+//
+// All passes operate on the cfg/rtl representation shared with the
+// code-replication algorithms in internal/replicate.
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// ccReg is a pseudo-register representing the condition code in liveness
+// analysis: Cmp defines it, Br uses it. The front end always emits a Cmp and
+// its Br in the same block, and every pass preserves that pairing.
+const ccReg rtl.Reg = -100
+
+// instUses appends the registers (and CC pseudo-register) read by in.
+func instUses(in *rtl.Inst, dst []rtl.Reg) []rtl.Reg {
+	dst = in.UsedRegs(dst)
+	if in.Kind == rtl.Br {
+		dst = append(dst, ccReg)
+	}
+	return dst
+}
+
+// instDef returns the register defined by in (RegNone if none). Cmp defines
+// the CC pseudo-register.
+func instDef(in *rtl.Inst) rtl.Reg {
+	if in.Kind == rtl.Cmp {
+		return ccReg
+	}
+	return in.DefReg()
+}
+
+// regSet is a small mutable register set.
+type regSet map[rtl.Reg]struct{}
+
+func (s regSet) add(r rtl.Reg) bool {
+	if _, ok := s[r]; ok {
+		return false
+	}
+	s[r] = struct{}{}
+	return true
+}
+
+func (s regSet) has(r rtl.Reg) bool { _, ok := s[r]; return ok }
+
+func (s regSet) clone() regSet {
+	c := make(regSet, len(s))
+	for r := range s {
+		c[r] = struct{}{}
+	}
+	return c
+}
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	In  []regSet
+	Out []regSet
+}
+
+// ComputeLiveness runs backward iterative liveness over the function's
+// registers (including the CC pseudo-register).
+func ComputeLiveness(f *cfg.Func, e *cfg.Edges) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]regSet, n), Out: make([]regSet, n)}
+	gen := make([]regSet, n)
+	kill := make([]regSet, n)
+	var scratch []rtl.Reg
+	for i, b := range f.Blocks {
+		g, k := regSet{}, regSet{}
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			scratch = instUses(in, scratch[:0])
+			for _, r := range scratch {
+				if !k.has(r) {
+					g.add(r)
+				}
+			}
+			if d := instDef(in); d != rtl.RegNone {
+				k.add(d)
+			}
+		}
+		gen[i], kill[i] = g, k
+		lv.In[i], lv.Out[i] = regSet{}, regSet{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := regSet{}
+			for _, s := range e.Succs[i] {
+				for r := range lv.In[s.Index] {
+					out.add(r)
+				}
+			}
+			in := gen[i].clone()
+			for r := range out {
+				if !kill[i].has(r) {
+					in.add(r)
+				}
+			}
+			if len(out) != len(lv.Out[i]) || len(in) != len(lv.In[i]) {
+				lv.Out[i], lv.In[i] = out, in
+				changed = true
+				continue
+			}
+			same := true
+			for r := range in {
+				if !lv.In[i].has(r) {
+					same = false
+					break
+				}
+			}
+			if same {
+				for r := range out {
+					if !lv.Out[i].has(r) {
+						same = false
+						break
+					}
+				}
+			}
+			if !same {
+				lv.Out[i], lv.In[i] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}

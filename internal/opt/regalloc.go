@@ -1,0 +1,499 @@
+package opt
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// PromoteLocals is the paper's "register assignment" phase: scalar locals
+// and parameters whose address is never taken are assigned to (virtual)
+// registers, turning frame traffic into register traffic. Parameters gain a
+// prologue copy out of their incoming frame slot. Reports whether anything
+// changed.
+func PromoteLocals(f *cfg.Func) bool {
+	// Offsets whose address escapes cannot be promoted.
+	blocked := map[int64]bool{}
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			ops := []rtl.Operand{in.Dst, in.Src, in.Src2}
+			for _, o := range ops {
+				if o.Kind == rtl.OAddrLocal {
+					blocked[o.Val] = true
+				}
+			}
+		}
+	}
+	promoted := map[int64]rtl.Reg{}
+	for _, off := range f.ScalarLocals {
+		if !blocked[off] {
+			promoted[off] = f.NewVReg()
+		}
+	}
+	if len(promoted) == 0 {
+		return false
+	}
+	rewrite := func(o *rtl.Operand) {
+		if o.Kind == rtl.OLocal {
+			if r, ok := promoted[o.Val]; ok {
+				*o = rtl.R(r)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			rewrite(&in.Dst)
+			rewrite(&in.Src)
+			rewrite(&in.Src2)
+		}
+	}
+	// Prologue copies for promoted parameters (the calling convention
+	// delivers arguments in the frame).
+	var prologue []rtl.Inst
+	for i := 0; i < f.NParams; i++ {
+		if r, ok := promoted[int64(i)]; ok {
+			prologue = append(prologue, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: rtl.Local(int64(i))})
+		}
+	}
+	if len(prologue) > 0 {
+		entry := f.Entry()
+		entry.Insts = append(prologue, entry.Insts...)
+	}
+	return true
+}
+
+// AllocateRegisters maps every virtual register to one of the machine's
+// allocatable registers by graph colouring, spilling to fresh frame slots
+// when the graph is uncolourable ("register allocation by register
+// coloring" in Figure 3). The simulated call convention gives every frame
+// its own register file, so calls clobber nothing.
+func AllocateRegisters(f *cfg.Func, m *machine.Machine) {
+	// Defensive: hand-constructed functions (tests, fixtures) may use
+	// virtual registers the function never allocated; make sure fresh
+	// temporaries cannot collide with them.
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			for _, o := range []rtl.Operand{in.Dst, in.Src, in.Src2} {
+				for _, r := range []rtl.Reg{o.Reg, o.Index} {
+					if r.IsVirtual() && int(r-rtl.VRegBase) >= f.NVRegs {
+						f.NVRegs = int(r-rtl.VRegBase) + 1
+					}
+				}
+			}
+		}
+	}
+	// Conservative move coalescing (Briggs): merging copy-related,
+	// non-interfering registers deletes the copies outright and shortens
+	// the code the tables measure.
+	for i := 0; i < 200; i++ {
+		if !coalesceOne(f, m) {
+			break
+		}
+	}
+	// temps accumulates the short-range temporaries created by spilling;
+	// they are never chosen as spill victims again (re-spilling them makes
+	// no progress).
+	temps := regSet{}
+	for round := 0; round < 60; round++ {
+		if tryColor(f, m, temps) {
+			return
+		}
+	}
+	panic("opt: register allocation did not converge for " + f.Name)
+}
+
+// coalesceOne finds one coalescible register copy `a = b` — both virtual,
+// non-interfering, and safe by the Briggs criterion (the merged node has
+// fewer than K neighbours of significant degree, so coalescing cannot turn
+// a colourable graph uncolourable) — rewrites b to a everywhere and drops
+// the copy. Reports whether it coalesced anything.
+func coalesceOne(f *cfg.Func, m *machine.Machine) bool {
+	g := buildInterference(f)
+	k := m.NumRegs
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			if in.Kind != rtl.Move || in.Dst.Kind != rtl.OReg || in.Src.Kind != rtl.OReg {
+				continue
+			}
+			dst, src := in.Dst.Reg, in.Src.Reg
+			if dst == src || !dst.IsVirtual() || !src.IsVirtual() {
+				continue
+			}
+			if g.adj[dst].has(src) {
+				continue // live ranges overlap; the copy is load-bearing
+			}
+			// Briggs: count merged neighbours with degree >= K.
+			significant := 0
+			seen := regSet{}
+			for n := range g.adj[dst] {
+				if seen.add(n) && len(g.adj[n]) >= k {
+					significant++
+				}
+			}
+			for n := range g.adj[src] {
+				if seen.add(n) && len(g.adj[n]) >= k {
+					significant++
+				}
+			}
+			if significant >= k {
+				continue
+			}
+			renameReg(f, src, dst)
+			// The copy became `a = a`; delete it.
+			b.Insts = append(b.Insts[:ii], b.Insts[ii+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// renameReg rewrites every occurrence of register old to new.
+func renameReg(f *cfg.Func, old, new rtl.Reg) {
+	rw := func(o *rtl.Operand) {
+		switch o.Kind {
+		case rtl.OReg:
+			if o.Reg == old {
+				o.Reg = new
+			}
+		case rtl.OMem:
+			if o.Reg == old {
+				o.Reg = new
+			}
+			if o.Index == old {
+				o.Index = new
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			rw(&in.Dst)
+			rw(&in.Src)
+			rw(&in.Src2)
+		}
+	}
+}
+
+// interference is the allocator's view of a function: the interference
+// graph over virtual registers and loop-depth-weighted use counts.
+type interference struct {
+	adj      map[rtl.Reg]regSet
+	useCount map[rtl.Reg]int
+}
+
+// buildInterference computes the interference graph. A copy's source does
+// not interfere with its destination, which both enables coalescing and
+// avoids wasting a colour on pure moves.
+func buildInterference(f *cfg.Func) *interference {
+	e := cfg.ComputeEdges(f)
+	lv := ComputeLiveness(f, e)
+	// Spill costs weight each use by 10^(loop depth) so inner-loop values
+	// stay in registers and cold values get spilled first.
+	d := cfg.ComputeDominators(e)
+	loops := cfg.NaturalLoops(e, d)
+	depthWeight := make([]int, len(f.Blocks))
+	for i := range depthWeight {
+		w := 1
+		for _, l := range loops {
+			if l.Contains(i) {
+				w *= 10
+				if w >= 10000 {
+					break
+				}
+			}
+		}
+		depthWeight[i] = w
+	}
+	g := &interference{adj: map[rtl.Reg]regSet{}, useCount: map[rtl.Reg]int{}}
+	ensure := func(r rtl.Reg) {
+		if g.adj[r] == nil {
+			g.adj[r] = regSet{}
+		}
+	}
+	addEdge := func(a, b rtl.Reg) {
+		if a == b || !a.IsVirtual() || !b.IsVirtual() {
+			return
+		}
+		ensure(a)
+		ensure(b)
+		g.adj[a].add(b)
+		g.adj[b].add(a)
+	}
+	var scratch []rtl.Reg
+	for _, b := range f.Blocks {
+		live := lv.Out[b.Index].clone()
+		for ii := len(b.Insts) - 1; ii >= 0; ii-- {
+			in := &b.Insts[ii]
+			d := instDef(in)
+			if d != rtl.RegNone && d.IsVirtual() {
+				ensure(d)
+				var copySrc rtl.Reg = rtl.RegNone
+				if in.Kind == rtl.Move && in.Src.Kind == rtl.OReg {
+					copySrc = in.Src.Reg
+				}
+				for l := range live {
+					if l != copySrc {
+						addEdge(d, l)
+					}
+				}
+			}
+			if d != rtl.RegNone {
+				delete(live, d)
+			}
+			scratch = instUses(in, scratch[:0])
+			for _, r := range scratch {
+				live.add(r)
+				if r.IsVirtual() {
+					ensure(r)
+					g.useCount[r] += depthWeight[b.Index]
+				}
+			}
+		}
+	}
+	return g
+}
+
+// tryColor attempts one colouring; on failure it inserts spill code for the
+// chosen victims and reports false.
+func tryColor(f *cfg.Func, m *machine.Machine, temps regSet) bool {
+	g := buildInterference(f)
+	adj, useCount := g.adj, g.useCount
+	if len(adj) == 0 {
+		return true
+	}
+	// Chaitin–Briggs simplification with optimistic colouring.
+	k := m.NumRegs
+	degree := map[rtl.Reg]int{}
+	for r, s := range adj {
+		degree[r] = len(s)
+	}
+	removed := regSet{}
+	var stack []rtl.Reg
+	nodes := make([]rtl.Reg, 0, len(adj))
+	for r := range adj {
+		nodes = append(nodes, r)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for len(stack) < len(nodes) {
+		picked := rtl.RegNone
+		for _, r := range nodes {
+			if !removed.has(r) && degree[r] < k {
+				picked = r
+				break
+			}
+		}
+		if picked == rtl.RegNone {
+			// Optimistic: push the cheapest high-degree node.
+			best, bestScore := rtl.RegNone, 0.0
+			for _, r := range nodes {
+				if removed.has(r) {
+					continue
+				}
+				score := float64(useCount[r]+1) / float64(degree[r]+1)
+				if best == rtl.RegNone || score < bestScore {
+					best, bestScore = r, score
+				}
+			}
+			picked = best
+		}
+		removed.add(picked)
+		stack = append(stack, picked)
+		for n := range adj[picked] {
+			if !removed.has(n) {
+				degree[n]--
+			}
+		}
+	}
+	color := map[rtl.Reg]int{}
+	var spills []rtl.Reg
+	for i := len(stack) - 1; i >= 0; i-- {
+		r := stack[i]
+		used := make([]bool, k)
+		for n := range adj[r] {
+			if c, ok := color[n]; ok {
+				used[c] = true
+			}
+		}
+		assigned := -1
+		for c := 0; c < k; c++ {
+			if !used[c] {
+				assigned = c
+				break
+			}
+		}
+		if assigned < 0 {
+			spills = append(spills, r)
+			continue
+		}
+		color[r] = assigned
+	}
+	if len(spills) > 0 {
+		// Map each uncolourable node to a spill victim that can actually
+		// relieve pressure: the node itself unless it is a spill
+		// temporary, in which case the cheapest interfering non-temporary.
+		victims := regSet{}
+		for _, r := range spills {
+			v := r
+			if temps.has(r) {
+				v = rtl.RegNone
+				bestScore := 0.0
+				for n := range adj[r] {
+					if temps.has(n) {
+						continue
+					}
+					score := float64(useCount[n]+1) / float64(len(adj[n])+1)
+					if v == rtl.RegNone || score < bestScore {
+						v, bestScore = n, score
+					}
+				}
+				if v == rtl.RegNone {
+					v = r // pathological; spill the temp anyway
+				}
+			}
+			victims.add(v)
+		}
+		if debugSpills != nil {
+			spills = spills[:0]
+			for v := range victims {
+				spills = append(spills, v)
+			}
+			debugSpills(f, spills)
+		}
+		for v := range victims {
+			spillReg(f, v, temps)
+		}
+		return false
+	}
+	// Rewrite virtual registers with their colours.
+	rewrite := func(o *rtl.Operand) {
+		switch o.Kind {
+		case rtl.OReg:
+			if o.Reg.IsVirtual() {
+				o.Reg = rtl.FirstAlloc + rtl.Reg(color[o.Reg])
+			}
+		case rtl.OMem:
+			if o.Reg.IsVirtual() {
+				o.Reg = rtl.FirstAlloc + rtl.Reg(color[o.Reg])
+			}
+			if o.Index != rtl.RegNone && o.Index.IsVirtual() {
+				o.Index = rtl.FirstAlloc + rtl.Reg(color[o.Index])
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			rewrite(&in.Dst)
+			rewrite(&in.Src)
+			rewrite(&in.Src2)
+		}
+	}
+	return true
+}
+
+// spillReg rewrites every use/def of r through a dedicated frame slot with
+// short-lived temporaries. A register whose only definition materializes a
+// constant or address is rematerialized at each use instead of being kept
+// in memory.
+func spillReg(f *cfg.Func, r rtl.Reg, temps regSet) {
+	if rematerialize(f, r, temps) {
+		return
+	}
+	slot := int64(f.NLocals)
+	f.NLocals++
+	for _, b := range f.Blocks {
+		var out []rtl.Inst
+		for ii := range b.Insts {
+			in := b.Insts[ii]
+			reads := regReads(&in, r)
+			defines := instDef(&in) == r
+			if !reads && !defines {
+				out = append(out, in)
+				continue
+			}
+			t := f.NewVReg()
+			temps.add(t)
+			if reads {
+				out = append(out, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(t), Src: rtl.Local(slot)})
+				substituteReg(&in, r, rtl.R(t))
+			}
+			if defines {
+				// Replace the defined register too.
+				if in.Dst.Kind == rtl.OReg && in.Dst.Reg == r {
+					in.Dst.Reg = t
+				}
+				out = append(out, in)
+				out = append(out, rtl.Inst{Kind: rtl.Move, Dst: rtl.Local(slot), Src: rtl.R(t)})
+			} else {
+				out = append(out, in)
+			}
+		}
+		b.Insts = out
+	}
+}
+
+// rematerialize handles the cheap-spill case: r has exactly one definition
+// and it is `r = <imm or address>`. Each use is rewritten to recompute the
+// value into a fresh short-lived temporary (or to use the constant operand
+// directly when no addressing is involved), and the single definition is
+// left for dead-variable elimination. Reports whether it applied.
+func rematerialize(f *cfg.Func, r rtl.Reg, temps regSet) bool {
+	var defOp rtl.Operand
+	defs := 0
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			if instDef(in) == r {
+				defs++
+				if defs > 1 || in.Kind != rtl.Move || !in.Src.IsImmLike() {
+					return false
+				}
+				defOp = in.Src
+			}
+		}
+	}
+	if defs != 1 {
+		return false
+	}
+	for _, b := range f.Blocks {
+		var out []rtl.Inst
+		for ii := range b.Insts {
+			in := b.Insts[ii]
+			if instDef(&in) == r && in.Kind == rtl.Move && in.Src.Equal(defOp) {
+				continue // drop the original definition
+			}
+			if !regReads(&in, r) {
+				out = append(out, in)
+				continue
+			}
+			t := f.NewVReg()
+			temps.add(t)
+			out = append(out, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(t), Src: defOp})
+			substituteReg(&in, r, rtl.R(t))
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+	return true
+}
+
+// debugSpills is set by tests/debug mains to trace spill decisions.
+var debugSpills func(f *cfg.Func, spills []rtl.Reg)
+
+// DebugSpillsHook installs a stderr tracer for spill decisions (debug aid).
+func DebugSpillsHook() {
+	round := 0
+	debugSpills = func(f *cfg.Func, spills []rtl.Reg) {
+		round++
+		fmt.Fprintf(os.Stderr, "round %d: %d spills: %v (RTLs=%d, vregs=%d)\n",
+			round, len(spills), spills[:min(len(spills), 8)], f.NumRTLs(), f.NVRegs)
+	}
+}

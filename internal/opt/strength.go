@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// StrengthReduction replaces multiplications of basic induction variables
+// by loop constants with running additions (covering Figure 3's
+// "recurrences" as well). For a loop with a basic induction variable
+//
+//	i = i + c        (single definition of i in the loop, c constant)
+//
+// every in-loop computation t = i * k (k constant) becomes a derived
+// variable s maintained as s = s + c*k next to i's update, initialized as
+// s = i * k in the preheader; the original instruction becomes t = s.
+// Reports whether anything changed.
+func StrengthReduction(f *cfg.Func) bool {
+	changed := false
+	for iter := 0; iter < 10; iter++ {
+		e := cfg.ComputeEdges(f)
+		d := cfg.ComputeDominators(e)
+		loops := cfg.NaturalLoops(e, d)
+		reduced := false
+		for _, l := range loops {
+			if reduceLoop(f, e, l) {
+				reduced = true
+				changed = true
+				break // block indices moved; recompute analyses
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+	return changed
+}
+
+// bivInfo describes a basic induction variable.
+type bivInfo struct {
+	reg   rtl.Reg
+	step  int64
+	block int // block index of the update
+	inst  int // instruction index of the update
+}
+
+func reduceLoop(f *cfg.Func, e *cfg.Edges, l *cfg.Loop) bool {
+	// Find basic induction variables: registers with exactly one in-loop
+	// definition of the shape r = r + c or r = r - c.
+	defs := map[rtl.Reg][]bivInfo{}
+	for bi := range l.Blocks {
+		b := f.Blocks[bi]
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			r := in.DefReg()
+			if r == rtl.RegNone {
+				continue
+			}
+			info := bivInfo{reg: r, block: bi, inst: ii}
+			if in.Kind == rtl.Bin && in.Dst.Kind == rtl.OReg &&
+				in.Src.Kind == rtl.OReg && in.Src.Reg == r && in.Src2.Kind == rtl.OImm {
+				switch in.BOp {
+				case rtl.Add:
+					info.step = in.Src2.Val
+				case rtl.Sub:
+					info.step = -in.Src2.Val
+				}
+			}
+			defs[r] = append(defs[r], info)
+		}
+	}
+	bivs := map[rtl.Reg]bivInfo{}
+	for r, infos := range defs {
+		if len(infos) == 1 && infos[0].step != 0 {
+			bivs[r] = infos[0]
+		}
+	}
+	if len(bivs) == 0 {
+		return false
+	}
+	// Find a candidate multiplication t = biv * k.
+	for bi := range l.Blocks {
+		b := f.Blocks[bi]
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			if in.Kind != rtl.Bin || in.BOp != rtl.Mul || in.Dst.Kind != rtl.OReg {
+				continue
+			}
+			var iv bivInfo
+			var k int64
+			switch {
+			case in.Src.Kind == rtl.OReg && in.Src2.Kind == rtl.OImm:
+				var ok bool
+				if iv, ok = bivs[in.Src.Reg]; !ok {
+					continue
+				}
+				k = in.Src2.Val
+			case in.Src2.Kind == rtl.OReg && in.Src.Kind == rtl.OImm:
+				var ok bool
+				if iv, ok = bivs[in.Src2.Reg]; !ok {
+					continue
+				}
+				k = in.Src.Val
+			default:
+				continue
+			}
+			if in.Dst.Reg == iv.reg || k == 0 {
+				continue
+			}
+			// s tracks biv*k across the loop. Capture block pointers and
+			// rewrite the multiplication before any structural change
+			// invalidates indices.
+			s := f.NewVReg()
+			ub := f.Blocks[iv.block]
+			*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.R(s)}
+			// Insert the maintenance add right after the biv update.
+			upd := rtl.Inst{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(s), Src: rtl.R(s), Src2: rtl.Imm(iv.step * k)}
+			rest := append([]rtl.Inst{}, ub.Insts[iv.inst+1:]...)
+			ub.Insts = append(ub.Insts[:iv.inst+1], upd)
+			ub.Insts = append(ub.Insts, rest...)
+			// Initialize s on loop entry.
+			ph := ensurePreheader(f, e, l)
+			appendBeforeTerm(ph, rtl.Inst{
+				Kind: rtl.Bin, BOp: rtl.Mul,
+				Dst: rtl.R(s), Src: rtl.R(iv.reg), Src2: rtl.Imm(k),
+			})
+			return true
+		}
+	}
+	return false
+}

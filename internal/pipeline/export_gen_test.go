@@ -1,0 +1,15 @@
+package pipeline_test
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDumpSeed writes one generated program to a file for inspection; it
+// only runs when REPRO_DUMP_SEED is set.
+func TestDumpSeed(t *testing.T) {
+	if os.Getenv("REPRO_DUMP_SEED") == "" {
+		t.Skip("set REPRO_DUMP_SEED to dump")
+	}
+	os.WriteFile("/tmp/seed.c", []byte(generate(18)), 0644)
+}

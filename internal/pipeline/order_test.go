@@ -1,0 +1,120 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/rtl"
+	"repro/internal/vm"
+)
+
+// TestPipelineOrderFinalShape checks the Figure-3 contract on the final
+// code: SPARC code has a delay slot after every CTI, no machine-illegal
+// operand shapes, no virtual registers, and no unconditional jumps to the
+// next block.
+func TestPipelineOrderFinalShape(t *testing.T) {
+	src := `
+int a[20];
+int f(int x) { return x > 3 ? x - 1 : x + 1; }
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 20; i++)
+		a[i] = f(i);
+	for (i = 0; i < 20; i++)
+		s += a[i];
+	printint(s);
+	return 0;
+}`
+	for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+		for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+			prog, err := mcc.Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: lv})
+			for _, f := range prog.Funcs {
+				for _, b := range f.Blocks {
+					for ii := range b.Insts {
+						in := &b.Insts[ii]
+						if !m.LegalInst(in) {
+							t.Errorf("%s/%s %s: illegal final instruction %v", m.Name, lv, f.Name, in)
+						}
+						for _, o := range []rtl.Operand{in.Dst, in.Src, in.Src2} {
+							if o.Kind == rtl.OReg && o.Reg.IsVirtual() ||
+								o.Kind == rtl.OMem && (o.Reg.IsVirtual() || o.Index != rtl.RegNone && o.Index.IsVirtual()) {
+								t.Errorf("%s/%s %s: virtual register in final code: %v", m.Name, lv, f.Name, in)
+							}
+						}
+						if m.DelaySlots {
+							switch in.Kind {
+							case rtl.Br, rtl.Jmp, rtl.IJmp, rtl.Ret:
+								if ii+1 >= len(b.Insts) {
+									t.Errorf("%s/%s %s: CTI without delay slot: %v", m.Name, lv, f.Name, in)
+								}
+							}
+						}
+					}
+					if !m.DelaySlots {
+						// Without slots, a Jmp to the positionally next
+						// block should have been removed.
+						if tm := b.Term(); tm != nil && tm.Kind == rtl.Jmp &&
+							b.Index+1 < len(f.Blocks) && f.Blocks[b.Index+1].Label == tm.Target {
+							t.Errorf("%s/%s %s: jump to next block survived", m.Name, lv, f.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStatsReported checks the pipeline reports coherent statistics.
+func TestStatsReported(t *testing.T) {
+	prog, err := mcc.Compile(`int main() { int i; for (i = 0; i < 5; i++) putchar('x'); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pipeline.Optimize(prog, pipeline.Config{Machine: machine.SPARC, Level: pipeline.Jumps})
+	if st.StaticInsts != prog.NumRTLs() {
+		t.Errorf("StaticInsts %d != NumRTLs %d", st.StaticInsts, prog.NumRTLs())
+	}
+	if st.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	if st.SlotsFilled+st.SlotsNops == 0 {
+		t.Error("SPARC must have placed delay slots")
+	}
+	if st.StaticNops != st.SlotsNops {
+		t.Errorf("static nops %d != slot nops %d", st.StaticNops, st.SlotsNops)
+	}
+	res, err := vm.Run(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Output), "xxxxx") {
+		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestParseLevel covers the level parser used by the CLIs.
+func TestParseLevel(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want pipeline.Level
+	}{{"simple", pipeline.Simple}, {"LOOPS", pipeline.Loops}, {"jumps", pipeline.Jumps}} {
+		got, err := pipeline.ParseLevel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := pipeline.ParseLevel("turbo"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+	if pipeline.Simple.String() != "SIMPLE" || pipeline.Jumps.String() != "JUMPS" {
+		t.Error("Level.String broken")
+	}
+}

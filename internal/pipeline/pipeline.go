@@ -1,0 +1,222 @@
+// Package pipeline drives the optimization phases in the order of the
+// paper's Figure 3, parameterized by the optimization level under study:
+//
+//	SIMPLE — the standard optimizations only,
+//	LOOPS  — plus conventional loop-condition replication,
+//	JUMPS  — plus generalized code replication.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/replicate"
+	"repro/internal/rtl"
+)
+
+// Level is the optimization level of the paper's experiments.
+type Level uint8
+
+// Optimization levels.
+const (
+	Simple Level = iota
+	Loops
+	Jumps
+)
+
+func (l Level) String() string {
+	switch l {
+	case Simple:
+		return "SIMPLE"
+	case Loops:
+		return "LOOPS"
+	case Jumps:
+		return "JUMPS"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// ParseLevel converts a string (any case) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "simple", "SIMPLE":
+		return Simple, nil
+	case "loops", "LOOPS":
+		return Loops, nil
+	case "jumps", "JUMPS":
+		return Jumps, nil
+	}
+	return Simple, fmt.Errorf("pipeline: unknown level %q (want simple, loops or jumps)", s)
+}
+
+// Config selects the machine, level and replication options.
+type Config struct {
+	Machine *machine.Machine
+	Level   Level
+	// Replication tunes the JUMPS algorithm (ignored for other levels).
+	Replication replicate.Options
+	// MaxIterations caps the do-while loop of Figure 3 (0 = default 30).
+	MaxIterations int
+}
+
+func (c Config) maxIterations() int {
+	if c.MaxIterations == 0 {
+		return 30
+	}
+	return c.MaxIterations
+}
+
+// Stats summarizes what the pipeline did.
+type Stats struct {
+	// StaticInsts is the final static instruction count.
+	StaticInsts int
+	// StaticJumps / StaticBranches / StaticNops count final unconditional
+	// jumps (incl. indirect), conditional branches and no-ops.
+	StaticJumps    int
+	StaticIndirect int
+	StaticBranches int
+	StaticNops     int
+	// SlotsFilled / SlotsNops report delay-slot filling (SPARC only).
+	SlotsFilled int
+	SlotsNops   int
+	// Iterations is the number of Figure-3 loop iterations used.
+	Iterations int
+}
+
+// Optimize runs the full Figure-3 pipeline over every function of the
+// program and returns static statistics of the final code.
+func Optimize(p *cfg.Program, c Config) Stats {
+	var st Stats
+	for _, f := range p.Funcs {
+		st0 := optimizeFunc(f, c)
+		st.SlotsFilled += st0.SlotsFilled
+		st.SlotsNops += st0.SlotsNops
+		if st0.Iterations > st.Iterations {
+			st.Iterations = st0.Iterations
+		}
+	}
+	count(p, &st)
+	return st
+}
+
+// replicatePass runs the configured replication algorithm.
+func replicatePass(f *cfg.Func, c Config) bool {
+	switch c.Level {
+	case Loops:
+		return replicate.LOOPS(f)
+	case Jumps:
+		return replicate.JUMPS(f, c.Replication)
+	}
+	return false
+}
+
+func optimizeFunc(f *cfg.Func, c Config) Stats {
+	m := c.Machine
+	var st Stats
+
+	// Shape the naive front-end RTLs for the target machine.
+	machine.Legalize(f, m)
+
+	// Figure 3, prologue: branch chaining; dead code elimination; reorder
+	// basic blocks to minimize jumps; code replication; dead code
+	// elimination.
+	opt.BranchChaining(f)
+	opt.DeadCodeElimination(f)
+	cfg.ReorderBlocks(f)
+	replicatePass(f, c)
+	opt.DeadCodeElimination(f)
+
+	// Register assignment: promote scalars to registers.
+	opt.PromoteLocals(f)
+
+	// Figure 3, main do-while loop. Replication only counts as progress
+	// while it still lowers the function's unconditional-jump count —
+	// interactions are otherwise "treated conservatively to avoid the
+	// potential of replication ad infinitum" (§5.2).
+	iters := 0
+	replicating := true
+	for iters < c.maxIterations() {
+		iters++
+		changed := false
+		changed = opt.CommonSubexpressions(f, m) || changed
+		changed = opt.DeadVariableElimination(f) || changed
+		changed = opt.CodeMotion(f) || changed
+		changed = opt.StrengthReduction(f) || changed
+		changed = opt.FoldConstants(f) || changed
+		changed = opt.InstructionSelection(f, m) || changed
+		changed = opt.BranchChaining(f) || changed
+		changed = opt.FoldBranches(f) || changed
+		changed = cfg.DeleteJumpsToNext(f) || changed
+		if replicating {
+			before := staticJumpCount(f)
+			repChanged := replicatePass(f, c)
+			opt.DeadCodeElimination(f)
+			after := staticJumpCount(f)
+			if after < before {
+				changed = true
+			} else if repChanged {
+				// Replication churned without net progress: stop invoking
+				// it for this function.
+				replicating = false
+			}
+		}
+		changed = opt.DeadCodeElimination(f) || changed
+		changed = opt.MergeBlocks(f) || changed
+		if !changed {
+			break
+		}
+	}
+	st.Iterations = iters
+
+	// Safety: anything an optimization left in a machine-illegal shape is
+	// re-expanded (idempotent for already-legal code).
+	machine.Legalize(f, m)
+
+	// Register allocation by colouring, then final cleanups.
+	opt.AllocateRegisters(f, m)
+	opt.DeadVariableElimination(f)
+	opt.BranchChaining(f)
+	cfg.DeleteJumpsToNext(f)
+	opt.DeadCodeElimination(f)
+
+	// Filling of delay slots for RISCs: the final pass.
+	st.SlotsFilled, st.SlotsNops = opt.FillDelaySlots(f, m)
+	return st
+}
+
+// staticJumpCount counts unconditional direct jumps in the function.
+func staticJumpCount(f *cfg.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			if b.Insts[ii].Kind == rtl.Jmp {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// count fills the static instruction statistics.
+func count(p *cfg.Program, st *Stats) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for ii := range b.Insts {
+				st.StaticInsts++
+				switch b.Insts[ii].Kind {
+				case rtl.Jmp:
+					st.StaticJumps++
+				case rtl.IJmp:
+					st.StaticJumps++
+					st.StaticIndirect++
+				case rtl.Br:
+					st.StaticBranches++
+				case rtl.Nop:
+					st.StaticNops++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,559 @@
+package replicate
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// Heuristic selects between the two candidate replication sequences of
+// step 2 of the JUMPS algorithm.
+type Heuristic uint8
+
+// Heuristics for choosing a replication sequence.
+const (
+	// HeurShortest picks whichever candidate sequence replicates fewer
+	// RTLs (the paper's guiding principle of minimal code growth).
+	HeurShortest Heuristic = iota
+	// HeurReturns prefers sequences ending in a return.
+	HeurReturns
+	// HeurLoops prefers sequences reconnecting to the fall-through block.
+	HeurLoops
+	// HeurFrequency estimates execution frequency statically: jumps inside
+	// loops prefer the favoring-loops sequence (the rotation keeps the hot
+	// path falling through), jumps outside loops prefer favoring returns
+	// (separating cold exit paths); ties fall back to fewest RTLs.
+	HeurFrequency
+)
+
+// Options configures the JUMPS algorithm.
+type Options struct {
+	// Heuristic picks between favoring-returns and favoring-loops
+	// candidates. The non-preferred candidate is still attempted when the
+	// preferred one fails the reducibility check (step 6).
+	Heuristic Heuristic
+	// MaxSeqRTLs caps the replicated RTLs per jump (0 = unlimited); the
+	// paper's §6 suggests this to curb code growth for small caches.
+	MaxSeqRTLs int
+	// AllowIndirect enables the §6 extension: a block ending in an
+	// indirect jump may terminate a replication sequence.
+	AllowIndirect bool
+	// NoLoopCompletion disables step 3 (whole-natural-loop inclusion);
+	// used for ablation only — expect more reducibility rollbacks.
+	NoLoopCompletion bool
+	// MaxFuncRTLs stops replication once a function reaches this many RTLs
+	// (0 = default 20000); a safety valve against pathological growth.
+	MaxFuncRTLs int
+	// MaxReplications bounds replications per invocation (0 = default 500).
+	MaxReplications int
+}
+
+func (o Options) maxFuncRTLs() int {
+	if o.MaxFuncRTLs == 0 {
+		return 20000
+	}
+	return o.MaxFuncRTLs
+}
+
+func (o Options) maxReplications() int {
+	if o.MaxReplications == 0 {
+		return 500
+	}
+	return o.MaxReplications
+}
+
+// maxFutile bounds consecutive replications that fail to lower the
+// function's unconditional-jump count; the paper notes that interactions
+// must be "treated conservatively to avoid the potential of replication ad
+// infinitum".
+const maxFutile = 16
+
+// jumpKey identifies one unconditional jump for the per-invocation
+// blacklist of failed replications.
+type jumpKey struct {
+	block  rtl.Label
+	target rtl.Label
+}
+
+// countJumps returns the static number of unconditional (direct) jumps.
+func countJumps(f *cfg.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			if b.Insts[ii].Kind == rtl.Jmp {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// JUMPS applies the generalized code-replication algorithm to f until no
+// further unconditional jump can be replaced, the growth budget is
+// exhausted, or progress stalls. Reports whether anything changed.
+// Unreachable blocks may remain; callers run dead code elimination
+// afterwards, per Figure 3.
+func JUMPS(f *cfg.Func, opts Options) bool {
+	changed := false
+	blacklist := map[jumpKey]bool{}
+	reps := 0
+	best := countJumps(f)
+	futile := 0
+	for reps < opts.maxReplications() && futile < maxFutile {
+		if f.NumRTLs() > opts.maxFuncRTLs() {
+			break
+		}
+		made := sweep(f, opts, blacklist, &reps, &best, &futile)
+		if made == 0 {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// sweep builds the shortest-path matrix once (step 1) and then walks the
+// blocks replacing jumps (steps 2–6), reusing the matrix for every lookup
+// exactly as the paper describes. Returns the number of replications made.
+func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, futile *int) int {
+	e := cfg.ComputeEdges(f)
+	m := newPathMatrix(f, e)
+	// Label-space view of the matrix: rows were assigned in block order at
+	// build time.
+	rowOf := make(map[rtl.Label]int, len(f.Blocks))
+	labelOf := make([]rtl.Label, len(f.Blocks))
+	for i, b := range f.Blocks {
+		rowOf[b.Label] = i
+		labelOf[i] = b.Label
+	}
+	made := 0
+
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		if *reps >= opts.maxReplications() || *futile >= maxFutile {
+			break
+		}
+		if f.NumRTLs() > opts.maxFuncRTLs() {
+			break
+		}
+		b := f.Blocks[bi]
+		t := b.Term()
+		if t == nil || t.Kind != rtl.Jmp {
+			continue
+		}
+		key := jumpKey{b.Label, t.Target}
+		if blacklist[key] {
+			continue
+		}
+		tgt := f.BlockByLabel(t.Target)
+		if tgt == nil {
+			continue
+		}
+		// A jump to the positionally next block is simply deleted.
+		if tgt.Index == b.Index+1 {
+			b.Insts = b.Insts[:len(b.Insts)-1]
+			made++
+			continue
+		}
+		// The matrix only knows blocks that existed when it was built;
+		// jumps into fresh copies wait for the next sweep.
+		if _, ok := rowOf[tgt.Label]; !ok {
+			continue
+		}
+		// Flow analyses are cheap and must be current for steps 3, 5, 6.
+		e := cfg.ComputeEdges(f)
+		d := cfg.ComputeDominators(e)
+		loops := cfg.NaturalLoops(e, d)
+
+		cands := candidates(f, m, rowOf, labelOf, loops, opts, b, tgt)
+		ok := false
+		for _, c := range cands {
+			if attemptReplication(f, loops, b.Index, c) {
+				ok = true
+				break
+			}
+			b = f.Blocks[bi]
+		}
+		if !ok {
+			blacklist[key] = true
+			continue
+		}
+		made++
+		*reps++
+		if now := countJumps(f); now < *best {
+			*best = now
+			*futile = 0
+		} else {
+			*futile++
+		}
+	}
+	return made
+}
+
+// candidate is one possible replication sequence for a jump.
+type candidate struct {
+	seq []rtl.Label // block labels in replica order
+	// fallsTo is the label execution reaches after the last replica block
+	// by fall-through (favoring loops), or NoLabel when the sequence ends
+	// in a return / indirect jump (favoring returns).
+	fallsTo rtl.Label
+	rtls    int
+}
+
+// candidates computes the step-2 options for replacing b's jump to tgt,
+// ordered by the configured heuristic: favoring returns (a path to a
+// return) and favoring loops (a path reconnecting to the block positionally
+// following b). Step 3 (natural-loop completion) is applied to each.
+func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []rtl.Label,
+	loops []*cfg.Loop, opts Options, b, tgt *cfg.Block) []candidate {
+	var out []candidate
+	tr := rowOf[tgt.Label]
+
+	toLabels := func(rows []int) []rtl.Label {
+		ls := make([]rtl.Label, len(rows))
+		for i, r := range rows {
+			ls[i] = labelOf[r]
+		}
+		return ls
+	}
+	// For each option, the bare path is tried first and the loop-completed
+	// sequence (step 3) kept as the fallback: completion exists to repair
+	// the two-entry loops that partial replication can create (Figure 1),
+	// and when the bare path already yields a reducible graph — the common
+	// rotation of a bottom-test loop — it would only inflate code size.
+	addVariants := func(path []rtl.Label, fallsTo rtl.Label) {
+		bare, okBare := finishCandidate(f, loops, opts, b, path, fallsTo, false)
+		if okBare {
+			out = append(out, bare)
+		}
+		if opts.NoLoopCompletion {
+			return
+		}
+		full, okFull := finishCandidate(f, loops, opts, b, path, fallsTo, true)
+		if okFull && (!okBare || len(full.seq) != len(bare.seq)) {
+			out = append(out, full)
+		}
+	}
+
+	// Favoring returns: shortest path from tgt to any return block (or, in
+	// the §6 extension, to an indirect-jump block).
+	bestRet, bestRetDist := -1, inf
+	for _, rb := range f.Blocks {
+		term := rb.Term()
+		if term == nil {
+			continue
+		}
+		isEnd := term.Kind == rtl.Ret || opts.AllowIndirect && term.Kind == rtl.IJmp
+		if !isEnd {
+			continue
+		}
+		rr, known := rowOf[rb.Label]
+		if !known {
+			continue
+		}
+		var dd int
+		if rb == tgt {
+			dd = m.cost[tr]
+		} else if m.dist[tr][rr] < inf {
+			dd = m.dist[tr][rr]
+		} else {
+			continue
+		}
+		if dd < bestRetDist {
+			bestRet, bestRetDist = rr, dd
+		}
+	}
+	if bestRet >= 0 {
+		if p := m.path(tr, bestRet); p != nil {
+			addVariants(toLabels(p), rtl.NoLabel)
+		}
+	}
+
+	// Favoring loops: shortest path from tgt to the block positionally
+	// following b, replicating everything but that final block.
+	if b.Index+1 < len(f.Blocks) {
+		fb := f.Blocks[b.Index+1]
+		if fr, known := rowOf[fb.Label]; known && fb != tgt && m.dist[tr][fr] < inf {
+			if p := m.path(tr, fr); len(p) >= 2 {
+				addVariants(toLabels(p[:len(p)-1]), fb.Label)
+			}
+		}
+	}
+
+	// Order by heuristic; the runner tries candidates in order, falling to
+	// the next on a reducibility rollback. Within equal preference the
+	// bare variant stays ahead of its loop-completed fallback because the
+	// sort is stable and bare sequences are never longer.
+	h := opts.Heuristic
+	if h == HeurFrequency {
+		if cfg.InnermostLoopContaining(loops, b.Index) != nil {
+			h = HeurLoops
+		} else {
+			h = HeurReturns
+		}
+	}
+	sortCandidates(out, h)
+	return out
+}
+
+// sortCandidates stably orders candidates per the (already frequency-
+// resolved) heuristic.
+func sortCandidates(cs []candidate, h Heuristic) {
+	less := func(a, b candidate) bool {
+		switch h {
+		case HeurReturns:
+			if (a.fallsTo == rtl.NoLabel) != (b.fallsTo == rtl.NoLabel) {
+				return a.fallsTo == rtl.NoLabel
+			}
+		case HeurLoops:
+			if (a.fallsTo == rtl.NoLabel) != (b.fallsTo == rtl.NoLabel) {
+				return a.fallsTo != rtl.NoLabel
+			}
+		}
+		return a.rtls < b.rtls
+	}
+	// Insertion sort keeps it stable and the slices are tiny.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// finishCandidate turns a path into a replication sequence, optionally
+// applying step 3 (loop completion), and enforces the length cap.
+func finishCandidate(f *cfg.Func, loops []*cfg.Loop, opts Options, b *cfg.Block, path []rtl.Label, fallsTo rtl.Label, complete bool) (candidate, bool) {
+	seq := make([]rtl.Label, 0, len(path))
+	inSeq := map[rtl.Label]bool{}
+	appendBlock := func(l rtl.Label) {
+		if !inSeq[l] {
+			inSeq[l] = true
+			seq = append(seq, l)
+		}
+	}
+	prev := b
+	for _, pl := range path {
+		pb := f.BlockByLabel(pl)
+		if pb == nil {
+			return candidate{}, false
+		}
+		if inSeq[pl] {
+			prev = pb
+			continue
+		}
+		l := cfg.LoopHeaderOf(loops, pb)
+		if l != nil && complete && !l.Contains(prev.Index) {
+			// Step 3: pull the entire natural loop in, in positional order.
+			// When this happens for the very first collected block, control
+			// enters the replica by falling out of the jump block, so the
+			// copy of the jump target must come first: rotate the segment
+			// to start at the header. (Mid-path segments are entered via
+			// explicitly retargeted branches, so positional order is fine.)
+			var segment []rtl.Label
+			for _, lb := range f.Blocks {
+				if l.Contains(lb.Index) {
+					segment = append(segment, lb.Label)
+				}
+			}
+			if len(seq) == 0 {
+				for si, sl := range segment {
+					if sl == pl {
+						rot := make([]rtl.Label, 0, len(segment))
+						rot = append(rot, segment[si:]...)
+						rot = append(rot, segment[:si]...)
+						segment = rot
+						break
+					}
+				}
+			}
+			for _, sl := range segment {
+				appendBlock(sl)
+			}
+		} else {
+			appendBlock(pl)
+		}
+		prev = pb
+	}
+	rtls := 0
+	for _, l := range seq {
+		rtls += len(f.BlockByLabel(l).Insts)
+	}
+	if opts.MaxSeqRTLs > 0 && rtls > opts.MaxSeqRTLs {
+		return candidate{}, false
+	}
+	return candidate{seq: seq, fallsTo: fallsTo, rtls: rtls}, true
+}
+
+// attemptReplication performs steps 4–6 for one candidate: splice the
+// copies in place of the jump, adjust control flow, redirect in-loop
+// branches, and verify reducibility, rolling everything back on failure.
+func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate) bool {
+	b := f.Blocks[bIdx]
+	snapshot := f.Clone()
+	// Step 5 needs the membership of the loop the jump lives in, captured
+	// by label before splicing invalidates indices.
+	var loopLabels map[rtl.Label]bool
+	if l := cfg.InnermostLoopContaining(loops, b.Index); l != nil {
+		loopLabels = map[rtl.Label]bool{}
+		for bi := range l.Blocks {
+			loopLabels[f.Blocks[bi].Label] = true
+		}
+	}
+
+	firstCopy := splice(f, b, c)
+
+	// Step 5: preserve loop structure around partially copied loops.
+	if loopLabels != nil {
+		redirectLoopBranches(f, loopLabels, firstCopy)
+	}
+
+	if !cfg.IsReducible(f) {
+		*f = *snapshot
+		return false
+	}
+	return true
+}
+
+// splice replaces b's terminating jump with copies of the candidate blocks
+// (step 4): fresh labels, intra-replica retargeting with forward
+// preference, branch reversal where the replica's layout requires it, and
+// elimination of jumps that became fall-throughs. It returns the mapping
+// from each original block label to the label of its first copy.
+func splice(f *cfg.Func, b *cfg.Block, c candidate) map[rtl.Label]rtl.Label {
+	n := len(c.seq)
+	copies := make([]*cfg.Block, n)
+	// copyOf[label] lists replica indices holding copies of that label.
+	copyOf := map[rtl.Label][]int{}
+	originals := make([]*cfg.Block, n)
+	for i, l := range c.seq {
+		orig := f.BlockByLabel(l)
+		originals[i] = orig
+		nb := orig.Clone()
+		nb.Label = f.NewLabel()
+		copies[i] = nb
+		copyOf[orig.Label] = append(copyOf[orig.Label], i)
+	}
+	// Record original -> first-copy labels now, before fix-up inserts
+	// auxiliary jump blocks into the copies slice.
+	first := make(map[rtl.Label]rtl.Label, n)
+	for i, orig := range originals {
+		if _, ok := first[orig.Label]; !ok {
+			first[orig.Label] = copies[i].Label
+		}
+	}
+	// mapped resolves a control-flow target from replica position i:
+	// forward copy first, then backward copy, then the original.
+	mapped := func(i int, target rtl.Label) rtl.Label {
+		idxs := copyOf[target]
+		if len(idxs) == 0 {
+			return target
+		}
+		for _, j := range idxs {
+			if j > i {
+				return copies[j].Label
+			}
+		}
+		return copies[idxs[len(idxs)-1]].Label
+	}
+
+	// Auxiliary jump blocks created during fix-up, keyed by the replica
+	// position they follow; spliced into the final layout afterwards so
+	// positions stay stable during the sweep.
+	aux := map[int][]*cfg.Block{}
+	for i, nb := range copies {
+		orig := originals[i]
+		// wantNext is what the replica falls into after this block.
+		wantNext := rtl.NoLabel
+		if i+1 < n {
+			wantNext = copies[i+1].Label
+		} else if c.fallsTo != rtl.NoLabel {
+			wantNext = c.fallsTo
+		}
+		term := nb.Term()
+		switch {
+		case term == nil:
+			// Original fell through to its positional successor.
+			var ft rtl.Label = rtl.NoLabel
+			if orig.Index+1 < len(f.Blocks) {
+				ft = f.Blocks[orig.Index+1].Label
+			}
+			tgt := mapped(i, ft)
+			if tgt != wantNext && ft != rtl.NoLabel {
+				nb.Insts = append(nb.Insts, rtl.Inst{Kind: rtl.Jmp, Target: tgt})
+			}
+		case term.Kind == rtl.Jmp:
+			tgt := mapped(i, term.Target)
+			if tgt == wantNext {
+				nb.Insts = nb.Insts[:len(nb.Insts)-1]
+			} else {
+				term.Target = tgt
+			}
+		case term.Kind == rtl.Br:
+			var ft rtl.Label = rtl.NoLabel
+			if orig.Index+1 < len(f.Blocks) {
+				ft = f.Blocks[orig.Index+1].Label
+			}
+			tTaken := mapped(i, term.Target)
+			tFall := mapped(i, ft)
+			switch {
+			case tFall == wantNext:
+				term.Target = tTaken
+			case tTaken == wantNext && tFall != rtl.NoLabel:
+				// Reverse the branch so the replica's layout falls through
+				// (step 4's branch reversal).
+				term.BrRel = term.BrRel.Negate()
+				term.Target = tFall
+			default:
+				// Neither side matches the layout: keep the branch and add
+				// an explicit jump block for the fall-through edge, spliced
+				// in after this copy once the fix-up sweep finishes.
+				term.Target = tTaken
+				if ft != rtl.NoLabel {
+					aux[i] = append(aux[i], &cfg.Block{
+						Label: f.NewLabel(),
+						Insts: []rtl.Inst{{Kind: rtl.Jmp, Target: tFall}},
+					})
+				}
+			}
+		case term.Kind == rtl.IJmp:
+			for ti := range term.Table {
+				term.Table[ti] = mapped(i, term.Table[ti])
+			}
+		case term.Kind == rtl.Ret:
+			// Nothing to adjust.
+		}
+	}
+
+	// Delete the jump and splice the copies right after b; execution falls
+	// from b into the first copy, and from the last copy into c.fallsTo
+	// (which is exactly the block positionally after b) when favoring
+	// loops.
+	b.Insts = b.Insts[:len(b.Insts)-1]
+	final := make([]*cfg.Block, 0, len(copies)+len(aux))
+	for i, nb := range copies {
+		final = append(final, nb)
+		final = append(final, aux[i]...)
+	}
+	f.InsertBlocksAfter(b.Index, final...)
+	return first
+}
+
+// redirectLoopBranches implements step 5: when the replication was
+// initiated from inside a natural loop and copied part of that loop, the
+// conditional branches of uncopied loop blocks that target copied blocks
+// are redirected to the copies, preventing partially overlapping loops.
+func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy map[rtl.Label]rtl.Label) {
+	for _, x := range f.Blocks {
+		if !loopLabels[x.Label] {
+			continue
+		}
+		if _, wasCopied := firstCopy[x.Label]; wasCopied {
+			continue
+		}
+		t := x.Term()
+		if t == nil || t.Kind != rtl.Br {
+			continue
+		}
+		if nc, ok := firstCopy[t.Target]; ok {
+			t.Target = nc
+		}
+	}
+}

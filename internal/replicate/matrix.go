@@ -1,0 +1,104 @@
+// Package replicate implements the paper's contribution: the JUMPS
+// algorithm, which removes unconditional jumps by replicating the shortest
+// sequence of basic blocks reachable from the jump target, and the LOOPS
+// algorithm, the conventional loop-condition replication it is compared
+// against.
+package replicate
+
+import (
+	"math"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// inf is the "no path" distance.
+const inf = math.MaxInt32
+
+// pathMatrix holds all-pairs shortest paths over the flow graph, where the
+// length of a path is the total number of RTLs in the traversed blocks
+// (both endpoints included). Built once per sweep with Warshall/Floyd, as
+// in step 1 of the paper's algorithm, and then used for every lookup.
+type pathMatrix struct {
+	f    *cfg.Func
+	cost []int   // RTL count per block
+	dist [][]int // dist[i][j]: min RTLs over paths i..j (inclusive); inf if none
+	next [][]int // next[i][j]: successor of i on the shortest path to j
+}
+
+// newPathMatrix builds the matrix. Self-reflexive transitions are excluded,
+// as are all transitions out of blocks ending in indirect jumps (their
+// replication is handled only as sequence terminators, and only in the §6
+// extension mode).
+func newPathMatrix(f *cfg.Func, e *cfg.Edges) *pathMatrix {
+	n := len(f.Blocks)
+	m := &pathMatrix{
+		f:    f,
+		cost: make([]int, n),
+		dist: make([][]int, n),
+		next: make([][]int, n),
+	}
+	for i, b := range f.Blocks {
+		m.cost[i] = len(b.Insts)
+		m.dist[i] = make([]int, n)
+		m.next[i] = make([]int, n)
+		for j := range m.dist[i] {
+			m.dist[i][j] = inf
+			m.next[i][j] = -1
+		}
+	}
+	for i, b := range f.Blocks {
+		if t := b.Term(); t != nil && t.Kind == rtl.IJmp {
+			continue // paths may not traverse indirect jumps
+		}
+		for _, s := range e.Succs[i] {
+			j := s.Index
+			if j == i {
+				continue // no self-reflexive transitions
+			}
+			if d := m.cost[i] + m.cost[j]; d < m.dist[i][j] {
+				m.dist[i][j] = d
+				m.next[i][j] = j
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if i == k || m.dist[i][k] == inf {
+				continue
+			}
+			dik := m.dist[i][k]
+			for j := 0; j < n; j++ {
+				if j == k || m.dist[k][j] == inf {
+					continue
+				}
+				if d := dik + m.dist[k][j] - m.cost[k]; d < m.dist[i][j] {
+					m.dist[i][j] = d
+					m.next[i][j] = m.next[i][k]
+				}
+			}
+		}
+	}
+	return m
+}
+
+// path returns the block-index sequence of the shortest path from i to j
+// (inclusive of both), or nil if none exists. For i == j it returns the
+// single-block path.
+func (m *pathMatrix) path(i, j int) []int {
+	if i == j {
+		return []int{i}
+	}
+	if m.next[i][j] < 0 {
+		return nil
+	}
+	seq := []int{i}
+	for i != j {
+		i = m.next[i][j]
+		seq = append(seq, i)
+		if len(seq) > len(m.cost)+1 {
+			return nil // corrupt matrix; fail safe
+		}
+	}
+	return seq
+}

@@ -1,0 +1,349 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseOperand parses the textual operand notation produced by
+// Operand.String: registers (r3, fp, sp, rv, v12), immediates (#5), frame
+// cells (L[fp+3]), globals (L[sym] / L[sym+1]), register-indirect memory
+// (M[r3+2+r4*1]) and addresses (&fp+3, &sym, &sym+1). The blank operand is
+// "_".
+func ParseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "" || s == "_":
+		return None(), nil
+	case strings.HasPrefix(s, "#"):
+		v, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad immediate %q", s)
+		}
+		return Imm(v), nil
+	case strings.HasPrefix(s, "L[fp"):
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, fmt.Errorf("rtl: unterminated operand %q", s)
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(s, "L[fp"), "]")
+		off, err := parseSignedOff(body)
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad frame operand %q", s)
+		}
+		return Local(off), nil
+	case strings.HasPrefix(s, "L["):
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, fmt.Errorf("rtl: unterminated operand %q", s)
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(s, "L["), "]")
+		sym, off, err := parseSymOff(body)
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad global operand %q", s)
+		}
+		return Global(sym, off), nil
+	case strings.HasPrefix(s, "M["):
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, fmt.Errorf("rtl: unterminated operand %q", s)
+		}
+		return parseMem(s)
+	case strings.HasPrefix(s, "&fp"):
+		off, err := parseSignedOff(strings.TrimPrefix(s, "&fp"))
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad frame address %q", s)
+		}
+		return AddrLocal(off), nil
+	case strings.HasPrefix(s, "&"):
+		sym, off, err := parseSymOff(s[1:])
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad address %q", s)
+		}
+		return AddrGlobal(sym, off), nil
+	}
+	r, err := parseReg(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return R(r), nil
+}
+
+func parseReg(s string) (Reg, error) {
+	switch s {
+	case "fp":
+		return FP, nil
+	case "sp":
+		return SP, nil
+	case "rv":
+		return RV, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'v') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 {
+			if s[0] == 'v' {
+				return VRegBase + Reg(n), nil
+			}
+			return Reg(n), nil
+		}
+	}
+	return RegNone, fmt.Errorf("rtl: bad register %q", s)
+}
+
+// parseSignedOff parses "", "+3" or "-3".
+func parseSignedOff(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// parseSymOff parses "sym", "sym+3" or "sym-3".
+func parseSymOff(s string) (string, int64, error) {
+	i := strings.IndexAny(s, "+-")
+	// A leading sign cannot start a symbol.
+	if i <= 0 {
+		if s == "" {
+			return "", 0, fmt.Errorf("empty symbol")
+		}
+		return s, 0, nil
+	}
+	off, err := strconv.ParseInt(s[i:], 10, 64)
+	if err != nil {
+		return "", 0, err
+	}
+	return s[:i], off, nil
+}
+
+// parseMem parses M[base(+disp)?(+idx*scale)?].
+func parseMem(s string) (Operand, error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "M["), "]")
+	parts := strings.Split(body, "+")
+	if len(parts) == 0 {
+		return Operand{}, fmt.Errorf("rtl: bad memory operand %q", s)
+	}
+	// A negative displacement glues to the base: "M[r3-2]".
+	basePart, neg := parts[0], int64(0)
+	if i := strings.Index(basePart, "-"); i > 0 {
+		d, err := strconv.ParseInt(basePart[i:], 10, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad displacement in %q", s)
+		}
+		basePart, neg = basePart[:i], d
+	}
+	base, err := parseReg(basePart)
+	if err != nil {
+		return Operand{}, fmt.Errorf("rtl: bad memory base in %q", s)
+	}
+	op := Mem(base, neg)
+	for _, p := range parts[1:] {
+		if star := strings.Index(p, "*"); star >= 0 {
+			idx, err := parseReg(p[:star])
+			if err != nil {
+				return Operand{}, fmt.Errorf("rtl: bad index register in %q", s)
+			}
+			scale, err := strconv.ParseInt(p[star+1:], 10, 64)
+			if err != nil {
+				return Operand{}, fmt.Errorf("rtl: bad scale in %q", s)
+			}
+			op.Index, op.Scale = idx, scale
+			continue
+		}
+		// Displacement; String always renders it with an explicit sign
+		// glued to the previous '+' (e.g. "r3+-2" never occurs — negative
+		// displacements print as "r3-2", handled below).
+		d, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("rtl: bad displacement in %q", s)
+		}
+		op.Val += d
+	}
+	return op, nil
+}
+
+var binOpSymbols = map[string]BinOp{
+	"+": Add, "-": Sub, "*": Mul, "/": Div, "%": Mod,
+	"&": And, "|": Or, "^": Xor, "<<": Shl, ">>": Shr,
+}
+
+var relSymbols = map[string]Rel{
+	"==": Eq, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge,
+}
+
+// ParseLabel parses "L7".
+func ParseLabel(s string) (Label, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != 'L' {
+		return NoLabel, fmt.Errorf("rtl: bad label %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return NoLabel, fmt.Errorf("rtl: bad label %q", s)
+	}
+	return Label(n), nil
+}
+
+// ParseInst parses one instruction in the notation produced by
+// Inst.String. The inverse property `ParseInst(in.String()) == in` holds
+// for every instruction the compiler can emit.
+func ParseInst(line string) (Inst, error) {
+	s := strings.TrimSpace(line)
+	switch {
+	case s == "nop":
+		return Inst{Kind: Nop}, nil
+	case s == "PC = RT":
+		return Inst{Kind: Ret, Src: None()}, nil
+	case strings.HasPrefix(s, "PC = RT, rv="):
+		src, err := ParseOperand(strings.TrimPrefix(s, "PC = RT, rv="))
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Kind: Ret, Src: src}, nil
+	case strings.HasPrefix(s, "PC = CC "):
+		return parseBranch(s)
+	case strings.HasPrefix(s, "PC = tbl["):
+		return parseIJmp(s)
+	case strings.HasPrefix(s, "PC = "):
+		l, err := ParseLabel(strings.TrimPrefix(s, "PC = "))
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Kind: Jmp, Target: l}, nil
+	case strings.HasPrefix(s, "CC = "):
+		lhs, rhs, ok := strings.Cut(strings.TrimPrefix(s, "CC = "), " ? ")
+		if !ok {
+			return Inst{}, fmt.Errorf("rtl: bad compare %q", s)
+		}
+		a, err := ParseOperand(lhs)
+		if err != nil {
+			return Inst{}, err
+		}
+		b, err := ParseOperand(rhs)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Kind: Cmp, Src: a, Src2: b}, nil
+	case strings.HasPrefix(s, "arg["):
+		return parseArg(s)
+	case strings.HasPrefix(s, "call "):
+		return Inst{Kind: Call, Sym: strings.TrimPrefix(s, "call "), Dst: None()}, nil
+	}
+	// Assignment forms: dst = call f | dst = src | dst = a op b | dst = -x.
+	dstS, rhs, ok := strings.Cut(s, " = ")
+	if !ok {
+		return Inst{}, fmt.Errorf("rtl: unrecognized instruction %q", s)
+	}
+	dst, err := ParseOperand(dstS)
+	if err != nil {
+		return Inst{}, err
+	}
+	if name, isCall := strings.CutPrefix(rhs, "call "); isCall {
+		return Inst{Kind: Call, Sym: name, Dst: dst}, nil
+	}
+	if strings.HasPrefix(rhs, "-") && !isNumeric(rhs) {
+		src, err := ParseOperand(rhs[1:])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Kind: Un, UOp: Neg, Dst: dst, Src: src}, nil
+	}
+	if strings.HasPrefix(rhs, "~") {
+		src, err := ParseOperand(rhs[1:])
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Kind: Un, UOp: Not, Dst: dst, Src: src}, nil
+	}
+	// Binary: "a op b" with spaces around op.
+	for _, opSym := range []string{" << ", " >> ", " + ", " - ", " * ", " / ", " % ", " & ", " | ", " ^ "} {
+		if l, r, found := strings.Cut(rhs, opSym); found {
+			a, err := ParseOperand(l)
+			if err != nil {
+				return Inst{}, err
+			}
+			b, err := ParseOperand(r)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Kind: Bin, BOp: binOpSymbols[strings.TrimSpace(opSym)], Dst: dst, Src: a, Src2: b}, nil
+		}
+	}
+	src, err := ParseOperand(rhs)
+	if err != nil {
+		return Inst{}, err
+	}
+	return Inst{Kind: Move, Dst: dst, Src: src}, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseInt(s, 10, 64)
+	return err == nil
+}
+
+func parseBranch(s string) (Inst, error) {
+	annul := false
+	if strings.HasSuffix(s, " (annul)") {
+		annul = true
+		s = strings.TrimSuffix(s, " (annul)")
+	}
+	body := strings.TrimPrefix(s, "PC = CC ")
+	// "<rel> 0, L<k>"
+	relS, rest, ok := strings.Cut(body, " 0, ")
+	if !ok {
+		return Inst{}, fmt.Errorf("rtl: bad branch %q", s)
+	}
+	rel, known := relSymbols[relS]
+	if !known {
+		return Inst{}, fmt.Errorf("rtl: bad relation %q in %q", relS, s)
+	}
+	l, err := ParseLabel(rest)
+	if err != nil {
+		return Inst{}, err
+	}
+	return Inst{Kind: Br, BrRel: rel, Target: l, Annul: annul}, nil
+}
+
+func parseIJmp(s string) (Inst, error) {
+	// "PC = tbl[<src>-<lo>]{L1,L2,...}"
+	body := strings.TrimPrefix(s, "PC = tbl[")
+	head, tblS, ok := strings.Cut(body, "]{")
+	if !ok || !strings.HasSuffix(tblS, "}") {
+		return Inst{}, fmt.Errorf("rtl: bad indirect jump %q", s)
+	}
+	i := strings.LastIndex(head, "-")
+	if i < 0 {
+		return Inst{}, fmt.Errorf("rtl: bad indirect jump selector %q", s)
+	}
+	src, err := ParseOperand(head[:i])
+	if err != nil {
+		return Inst{}, err
+	}
+	lo, err := strconv.ParseInt(head[i+1:], 10, 64)
+	if err != nil {
+		return Inst{}, fmt.Errorf("rtl: bad table base in %q", s)
+	}
+	var table []Label
+	for _, ls := range strings.Split(strings.TrimSuffix(tblS, "}"), ",") {
+		l, err := ParseLabel(ls)
+		if err != nil {
+			return Inst{}, err
+		}
+		table = append(table, l)
+	}
+	return Inst{Kind: IJmp, Src: src, Lo: lo, Table: table}, nil
+}
+
+func parseArg(s string) (Inst, error) {
+	// "arg[<n>] = <src>"
+	idxS, rhs, ok := strings.Cut(strings.TrimPrefix(s, "arg["), "] = ")
+	if !ok {
+		return Inst{}, fmt.Errorf("rtl: bad argument move %q", s)
+	}
+	idx, err := strconv.Atoi(idxS)
+	if err != nil {
+		return Inst{}, fmt.Errorf("rtl: bad argument index in %q", s)
+	}
+	src, err := ParseOperand(rhs)
+	if err != nil {
+		return Inst{}, err
+	}
+	return Inst{Kind: Arg, ArgIdx: idx, Src: src}, nil
+}

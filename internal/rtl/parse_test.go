@@ -1,0 +1,122 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomOperand produces any operand the compiler can print.
+func randomOperand(r *rand.Rand) Operand {
+	switch r.Intn(7) {
+	case 0:
+		return R(Reg(r.Intn(30)))
+	case 1:
+		return R(VRegBase + Reg(r.Intn(100)))
+	case 2:
+		return Imm(int64(r.Intn(2000) - 1000))
+	case 3:
+		return Local(int64(r.Intn(40)))
+	case 4:
+		return Global("sym", int64(r.Intn(5)))
+	case 5:
+		if r.Intn(2) == 0 {
+			return Mem(Reg(3+r.Intn(10)), int64(r.Intn(9)-4))
+		}
+		return MemIdx(Reg(3+r.Intn(10)), int64(r.Intn(5)), VRegBase+Reg(r.Intn(5)), 1+int64(r.Intn(3)))
+	default:
+		if r.Intn(2) == 0 {
+			return AddrLocal(int64(r.Intn(20)))
+		}
+		return AddrGlobal("g", int64(r.Intn(4)))
+	}
+}
+
+func randomReg(r *rand.Rand) Operand { return R(VRegBase + Reg(r.Intn(20))) }
+
+// randomInst produces any instruction shape the compiler can print.
+func randomInst(r *rand.Rand) Inst {
+	switch r.Intn(11) {
+	case 0:
+		return Inst{Kind: Move, Dst: randomReg(r), Src: randomOperand(r)}
+	case 1:
+		return Inst{Kind: Bin, BOp: BinOp(r.Intn(10)), Dst: randomReg(r),
+			Src: randomOperand(r), Src2: randomOperand(r)}
+	case 2:
+		return Inst{Kind: Un, UOp: UnOp(r.Intn(2)), Dst: randomReg(r), Src: randomReg(r)}
+	case 3:
+		return Inst{Kind: Cmp, Src: randomOperand(r), Src2: randomOperand(r)}
+	case 4:
+		return Inst{Kind: Br, BrRel: Rel(r.Intn(6)), Target: Label(r.Intn(50)), Annul: r.Intn(2) == 0}
+	case 5:
+		return Inst{Kind: Jmp, Target: Label(r.Intn(50))}
+	case 6:
+		tbl := make([]Label, 1+r.Intn(5))
+		for i := range tbl {
+			tbl[i] = Label(r.Intn(50))
+		}
+		return Inst{Kind: IJmp, Src: randomReg(r), Lo: int64(r.Intn(5)), Table: tbl}
+	case 7:
+		return Inst{Kind: Arg, ArgIdx: r.Intn(6), Src: randomOperand(r)}
+	case 8:
+		if r.Intn(2) == 0 {
+			return Inst{Kind: Call, Sym: "fn", Dst: None()}
+		}
+		return Inst{Kind: Call, Sym: "fn", Dst: randomReg(r)}
+	case 9:
+		if r.Intn(2) == 0 {
+			return Inst{Kind: Ret, Src: None()}
+		}
+		return Inst{Kind: Ret, Src: randomOperand(r)}
+	default:
+		return Inst{Kind: Nop}
+	}
+}
+
+// TestParseInstRoundTrip: printing and reparsing any instruction is the
+// identity (up to String equality, which covers every semantic field).
+func TestParseInstRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		in := randomInst(r)
+		text := in.String()
+		back, err := ParseInst(text)
+		if err != nil {
+			t.Fatalf("trial %d: ParseInst(%q): %v", trial, text, err)
+		}
+		if got := back.String(); got != text {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, text, got)
+		}
+	}
+}
+
+// TestParseOperandRoundTrip does the same at operand granularity.
+func TestParseOperandRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		o := randomOperand(r)
+		text := o.String()
+		back, err := ParseOperand(text)
+		if err != nil {
+			t.Fatalf("trial %d: ParseOperand(%q): %v", trial, text, err)
+		}
+		if !back.Equal(o) {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, text, back)
+		}
+	}
+}
+
+func TestParseOperandErrors(t *testing.T) {
+	for _, s := range []string{"q9", "#x", "L[zz", "M[#3]", "&", "r-1", "M[r3+x]"} {
+		if _, err := ParseOperand(s); err == nil {
+			t.Errorf("ParseOperand(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseInstErrors(t *testing.T) {
+	for _, s := range []string{"", "PC =", "CC = x", "arg[x] = r3", "PC = CC <> 0, L1", "v0"} {
+		if _, err := ParseInst(s); err == nil {
+			t.Errorf("ParseInst(%q) should fail", s)
+		}
+	}
+}

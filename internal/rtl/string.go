@@ -1,0 +1,88 @@
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operand in a compact VPO-like notation:
+// registers as-is, #imm, L[fp+3] for locals, L[sym+1] for globals,
+// M[r5+2+r6*4] for indirect memory, &fp+3 / &sym for addresses.
+func (o Operand) String() string {
+	switch o.Kind {
+	case ONone:
+		return "_"
+	case OReg:
+		return o.Reg.String()
+	case OImm:
+		return fmt.Sprintf("#%d", o.Val)
+	case OLocal:
+		return fmt.Sprintf("L[fp%+d]", o.Val)
+	case OGlobal:
+		if o.Val == 0 {
+			return fmt.Sprintf("L[%s]", o.Sym)
+		}
+		return fmt.Sprintf("L[%s%+d]", o.Sym, o.Val)
+	case OMem:
+		var b strings.Builder
+		fmt.Fprintf(&b, "M[%s", o.Reg)
+		if o.Val != 0 {
+			fmt.Fprintf(&b, "%+d", o.Val)
+		}
+		if o.Index != RegNone {
+			fmt.Fprintf(&b, "+%s*%d", o.Index, o.Scale)
+		}
+		b.WriteString("]")
+		return b.String()
+	case OAddrLocal:
+		return fmt.Sprintf("&fp%+d", o.Val)
+	case OAddrGlobal:
+		if o.Val == 0 {
+			return "&" + o.Sym
+		}
+		return fmt.Sprintf("&%s%+d", o.Sym, o.Val)
+	}
+	return "?"
+}
+
+// String renders the instruction in a VPO-like one-line notation.
+func (in *Inst) String() string {
+	switch in.Kind {
+	case Move:
+		return fmt.Sprintf("%s = %s", in.Dst, in.Src)
+	case Bin:
+		return fmt.Sprintf("%s = %s %s %s", in.Dst, in.Src, in.BOp, in.Src2)
+	case Un:
+		return fmt.Sprintf("%s = %s%s", in.Dst, in.UOp, in.Src)
+	case Cmp:
+		return fmt.Sprintf("CC = %s ? %s", in.Src, in.Src2)
+	case Br:
+		if in.Annul {
+			return fmt.Sprintf("PC = CC %s 0, %s (annul)", in.BrRel, in.Target)
+		}
+		return fmt.Sprintf("PC = CC %s 0, %s", in.BrRel, in.Target)
+	case Jmp:
+		return fmt.Sprintf("PC = %s", in.Target)
+	case IJmp:
+		parts := make([]string, len(in.Table))
+		for i, l := range in.Table {
+			parts[i] = l.String()
+		}
+		return fmt.Sprintf("PC = tbl[%s-%d]{%s}", in.Src, in.Lo, strings.Join(parts, ","))
+	case Arg:
+		return fmt.Sprintf("arg[%d] = %s", in.ArgIdx, in.Src)
+	case Call:
+		if in.Dst.Kind != ONone {
+			return fmt.Sprintf("%s = call %s", in.Dst, in.Sym)
+		}
+		return fmt.Sprintf("call %s", in.Sym)
+	case Ret:
+		if in.Src.Kind != ONone {
+			return fmt.Sprintf("PC = RT, rv=%s", in.Src)
+		}
+		return "PC = RT"
+	case Nop:
+		return "nop"
+	}
+	return fmt.Sprintf("?%s", in.Kind)
+}

@@ -1,0 +1,113 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+	"repro/internal/vm"
+)
+
+// mkMain wraps instructions into a one-block main.
+func mkMain(nlocals int, insts ...rtl.Inst) *cfg.Program {
+	f := cfg.NewFunc("main", 0)
+	f.NLocals = nlocals
+	b := f.NewBlock()
+	b.Insts = insts
+	return &cfg.Program{Funcs: []*cfg.Func{f}}
+}
+
+func TestErrNoMain(t *testing.T) {
+	f := cfg.NewFunc("notmain", 0)
+	f.NewBlock().Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.None()}}
+	_, err := vm.Run(&cfg.Program{Funcs: []*cfg.Func{f}}, vm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrUnknownCall(t *testing.T) {
+	p := mkMain(0,
+		rtl.Inst{Kind: rtl.Call, Sym: "ghost", Dst: rtl.None()},
+		rtl.Inst{Kind: rtl.Ret, Src: rtl.None()})
+	_, err := vm.Run(p, vm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "unknown function") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrUnknownLabel(t *testing.T) {
+	p := mkMain(0, rtl.Inst{Kind: rtl.Jmp, Target: 99})
+	_, err := vm.Run(p, vm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "unknown label") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrJumpTableRange(t *testing.T) {
+	f := cfg.NewFunc("main", 0)
+	b := f.NewBlock()
+	b2 := f.NewBlock()
+	b.Insts = []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.R(rtl.VRegBase), Src: rtl.Imm(7)},
+		{Kind: rtl.IJmp, Src: rtl.R(rtl.VRegBase), Lo: 0, Table: []rtl.Label{b2.Label}},
+	}
+	b2.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.None()}}
+	_, err := vm.Run(&cfg.Program{Funcs: []*cfg.Func{f}}, vm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrBudget(t *testing.T) {
+	f := cfg.NewFunc("main", 0)
+	b := f.NewBlock()
+	b.Insts = []rtl.Inst{{Kind: rtl.Jmp, Target: b.Label}}
+	_, err := vm.Run(&cfg.Program{Funcs: []*cfg.Func{f}}, vm.Config{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrStackOverflow(t *testing.T) {
+	// Infinite recursion must be caught by the stack guard, not crash.
+	f := cfg.NewFunc("main", 0)
+	f.NLocals = 1000
+	b := f.NewBlock()
+	b.Insts = []rtl.Inst{
+		{Kind: rtl.Call, Sym: "main", Dst: rtl.None()},
+		{Kind: rtl.Ret, Src: rtl.None()},
+	}
+	_, err := vm.Run(&cfg.Program{Funcs: []*cfg.Func{f}}, vm.Config{MemCells: 1 << 16})
+	if err == nil || !strings.Contains(err.Error(), "stack") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrWildStore(t *testing.T) {
+	p := mkMain(1,
+		rtl.Inst{Kind: rtl.Move, Dst: rtl.R(rtl.VRegBase), Src: rtl.Imm(1 << 40)},
+		rtl.Inst{Kind: rtl.Move, Dst: rtl.Mem(rtl.VRegBase, 0), Src: rtl.Imm(1)},
+		rtl.Inst{Kind: rtl.Ret, Src: rtl.None()})
+	_, err := vm.Run(p, vm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "memory fault") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFallOffFunctionEnd(t *testing.T) {
+	p := mkMain(0, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(rtl.VRegBase), Src: rtl.Imm(1)})
+	_, err := vm.Run(p, vm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "fell off") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExitCodePropagation(t *testing.T) {
+	p := mkMain(0, rtl.Inst{Kind: rtl.Ret, Src: rtl.Imm(42)})
+	res, err := vm.Run(p, vm.Config{})
+	if err != nil || res.ExitCode != 42 {
+		t.Errorf("res = %+v, err = %v", res, err)
+	}
+}

@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cfg"
+)
+
+// Intrinsic reports whether name is a runtime intrinsic and how many
+// arguments it takes. The set mirrors internal/mcc.Intrinsics; vm keeps its
+// own table so the two packages stay decoupled.
+func Intrinsic(name string) (nargs int, ok bool) {
+	switch name {
+	case "getchar":
+		return 0, true
+	case "putchar", "printint", "printstr", "exit":
+		return 1, true
+	}
+	return 0, false
+}
+
+// intrinsic executes one intrinsic call. Intrinsics model the C library the
+// paper could not measure: they consume no instruction counts and fetch no
+// code addresses.
+func (m *machineState) intrinsic(caller *cfg.Func, name string, args []int64) (int64, error) {
+	arg := func(i int) int64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	switch name {
+	case "getchar":
+		if m.inPos >= len(m.in) {
+			return -1, nil
+		}
+		c := m.in[m.inPos]
+		m.inPos++
+		return int64(c), nil
+	case "putchar":
+		m.out.WriteByte(byte(arg(0)))
+		return 0, nil
+	case "printint":
+		m.out.WriteString(strconv.FormatInt(arg(0), 10))
+		return 0, nil
+	case "printstr":
+		a := arg(0)
+		for a >= 0 && a < int64(len(m.mem)) && m.mem[a] != 0 {
+			m.out.WriteByte(byte(m.mem[a]))
+			a++
+		}
+		return 0, nil
+	case "exit":
+		return 0, errExit{code: arg(0)}
+	}
+	return 0, fmt.Errorf("vm: unknown intrinsic %q", name)
+}

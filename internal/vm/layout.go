@@ -1,0 +1,63 @@
+// Package vm executes RTL programs, playing the role of the paper's EASE
+// environment: it produces exact dynamic instruction counts and an
+// instruction-fetch address trace for the cache simulations. Intrinsic
+// runtime routines (the stand-ins for the C library, which the paper could
+// not measure either) execute but are not counted and fetch no addresses.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+)
+
+// Layout assigns a code address and byte size to every instruction of a
+// program for one machine. Addresses are only used for instruction-cache
+// simulation; data lives in a separate cell-addressed space.
+type Layout struct {
+	Machine *machine.Machine
+	// Addr[fi][bi][ii] is the start address of instruction ii of block bi
+	// of function fi; Size gives its byte size.
+	Addr [][][]int64
+	Size [][][]int64
+	// FuncBase[fi] is the first address of function fi.
+	FuncBase []int64
+	// CodeBytes is the total code size in bytes.
+	CodeBytes int64
+}
+
+// NewLayout lays the program out contiguously, function by function in
+// program order, blocks in positional order.
+func NewLayout(p *cfg.Program, m *machine.Machine) *Layout {
+	l := &Layout{Machine: m}
+	addr := int64(0)
+	align := m.Align
+	for _, f := range p.Funcs {
+		if rem := addr % align; rem != 0 {
+			addr += align - rem
+		}
+		l.FuncBase = append(l.FuncBase, addr)
+		fa := make([][]int64, len(f.Blocks))
+		fs := make([][]int64, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			fa[bi] = make([]int64, len(b.Insts))
+			fs[bi] = make([]int64, len(b.Insts))
+			for ii := range b.Insts {
+				sz := m.InstSize(&b.Insts[ii])
+				fa[bi][ii] = addr
+				fs[bi][ii] = sz
+				addr += sz
+			}
+		}
+		l.Addr = append(l.Addr, fa)
+		l.Size = append(l.Size, fs)
+	}
+	l.CodeBytes = addr
+	return l
+}
+
+// String summarizes the layout.
+func (l *Layout) String() string {
+	return fmt.Sprintf("layout(%s): %d funcs, %d code bytes", l.Machine.Name, len(l.FuncBase), l.CodeBytes)
+}

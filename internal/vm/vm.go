@@ -1,0 +1,358 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// Counts are the dynamic execution counters EASE would report.
+type Counts struct {
+	// Exec is the total number of instructions executed.
+	Exec int64
+	// UncondJumps counts executed unconditional transfers (Jmp and IJmp),
+	// the quantity the paper's Table 4 tracks.
+	UncondJumps int64
+	// IndirectJumps counts the IJmp subset of UncondJumps.
+	IndirectJumps int64
+	// CondBranches counts executed conditional branches; TakenBranches
+	// those that transferred control.
+	CondBranches  int64
+	TakenBranches int64
+	// Calls and Rets count executed call/return instructions.
+	Calls int64
+	Rets  int64
+	// Nops counts executed no-ops (unfilled delay slots on the SPARC).
+	Nops int64
+	// Transfers counts every executed control-transfer opportunity
+	// (conditional branches, jumps, indirect jumps, calls, returns); used
+	// for the instructions-between-branches statistic.
+	Transfers int64
+}
+
+// Result is the outcome of a program run.
+type Result struct {
+	Counts   Counts
+	ExitCode int64
+	Output   []byte
+	Steps    int64
+}
+
+// Config controls a run.
+type Config struct {
+	// Input is the byte stream getchar() consumes.
+	Input []byte
+	// MaxSteps bounds execution (0 = default of 500M instructions).
+	MaxSteps int64
+	// Layout and OnFetch enable instruction-fetch tracing: OnFetch is
+	// called with (address, size) for every executed instruction.
+	Layout  *Layout
+	OnFetch func(addr, size int64)
+	// MemCells sizes the data memory (0 = default 1<<22 cells).
+	MemCells int64
+	// Trace, when non-nil, receives one line per executed instruction:
+	// function, block label, and the instruction text. Expensive; for
+	// debugging miscompiles.
+	Trace io.Writer
+}
+
+type frame struct {
+	fn    *cfg.Func
+	fnIdx int
+	fp    int64
+	regs  map[rtl.Reg]int64
+	// Return site: block/instruction indices in the caller.
+	retBlock, retInst int
+	retDst            rtl.Operand
+	// Condition code operand values at the last Cmp.
+	ccX, ccY int64
+}
+
+type errExit struct{ code int64 }
+
+func (errExit) Error() string { return "exit" }
+
+// machineState is the whole simulated machine.
+type machineState struct {
+	prog    *cfg.Program
+	cfgIdx  map[*cfg.Func]int
+	labels  []map[rtl.Label]int // per function: label -> block index
+	mem     []int64
+	gaddr   map[string]int64
+	sp      int64
+	in      []byte
+	inPos   int
+	out     bytes.Buffer
+	counts  Counts
+	steps   int64
+	max     int64
+	layout  *Layout
+	onFetch func(addr, size int64)
+	trace   io.Writer
+	args    []int64 // pending outgoing arguments
+}
+
+// Run executes the program's main function.
+func Run(p *cfg.Program, cfgr Config) (res *Result, err error) {
+	defer func() {
+		// Wild memory accesses surface as slice-bounds panics; report them
+		// as runtime errors rather than crashing the host.
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("vm: memory fault: %v", r)
+		}
+	}()
+	return run(p, cfgr)
+}
+
+func run(p *cfg.Program, cfgr Config) (*Result, error) {
+	memCells := cfgr.MemCells
+	if memCells == 0 {
+		memCells = 1 << 22
+	}
+	max := cfgr.MaxSteps
+	if max == 0 {
+		max = 500_000_000
+	}
+	m := &machineState{
+		prog:    p,
+		cfgIdx:  map[*cfg.Func]int{},
+		mem:     make([]int64, memCells),
+		gaddr:   map[string]int64{},
+		in:      cfgr.Input,
+		max:     max,
+		layout:  cfgr.Layout,
+		onFetch: cfgr.OnFetch,
+		trace:   cfgr.Trace,
+	}
+	if m.onFetch != nil && m.layout == nil {
+		return nil, errors.New("vm: OnFetch requires a Layout")
+	}
+	for i, f := range p.Funcs {
+		m.cfgIdx[f] = i
+		lm := make(map[rtl.Label]int, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			lm[b.Label] = bi
+		}
+		m.labels = append(m.labels, lm)
+	}
+	// Place globals at the bottom of memory.
+	addr := int64(1) // cell 0 reserved so no global has address 0 (NULL)
+	for _, g := range p.Globals {
+		m.gaddr[g.Name] = addr
+		copy(m.mem[addr:addr+g.Size], g.Init)
+		addr += g.Size
+	}
+	m.sp = addr
+	mainFn := p.Func("main")
+	if mainFn == nil {
+		return nil, errors.New("vm: no main function")
+	}
+	rv, err := m.call(mainFn, nil)
+	res := &Result{Counts: m.counts, Output: m.out.Bytes(), Steps: m.steps, ExitCode: rv}
+	var ee errExit
+	if errors.As(err, &ee) {
+		res.ExitCode = ee.code
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (m *machineState) runtimeErr(f *cfg.Func, format string, args ...interface{}) error {
+	return fmt.Errorf("vm: in %s: %s", f.Name, fmt.Sprintf(format, args...))
+}
+
+// call pushes a frame for fn with the given arguments and interprets it to
+// its return, yielding the return value.
+func (m *machineState) call(fn *cfg.Func, args []int64) (int64, error) {
+	if int64(fn.NLocals)+m.sp+64 >= int64(len(m.mem)) {
+		return 0, m.runtimeErr(fn, "out of stack memory")
+	}
+	fr := &frame{fn: fn, fnIdx: m.cfgIdx[fn], fp: m.sp, regs: map[rtl.Reg]int64{}}
+	m.sp += int64(fn.NLocals)
+	defer func() { m.sp = fr.fp }()
+	for i, a := range args {
+		if i < fn.NParams {
+			m.mem[fr.fp+int64(i)] = a
+		}
+	}
+	fr.regs[rtl.FP] = fr.fp
+	fr.regs[rtl.SP] = m.sp
+
+	labels := m.labels[fr.fnIdx]
+	bi := 0
+	for {
+		if bi < 0 || bi >= len(fn.Blocks) {
+			return 0, m.runtimeErr(fn, "control fell off the end of the function")
+		}
+		b := fn.Blocks[bi]
+		// Interpret the block. A control-transfer instruction records the
+		// pending transfer; any instructions after it (delay slots) still
+		// execute, then the transfer happens — exactly SPARC delay-slot
+		// semantics. On machines without delay slots the CTI is last, so
+		// behaviour is identical.
+		pending := 0 // 0: none, 1: goto label, 2: return
+		var pendingLabel rtl.Label
+		var retVal int64
+		annulled := false
+		for ii := 0; ii < len(b.Insts); ii++ {
+			in := &b.Insts[ii]
+			m.steps++
+			if m.steps > m.max {
+				return 0, m.runtimeErr(fn, "instruction budget exceeded (%d)", m.max)
+			}
+			m.counts.Exec++
+			if m.onFetch != nil {
+				m.onFetch(m.layout.Addr[fr.fnIdx][bi][ii], m.layout.Size[fr.fnIdx][bi][ii])
+			}
+			if annulled {
+				// The delay slot of an untaken annulled branch: fetched
+				// (counted above, including its cache traffic) but
+				// squashed — accounted as a no-op, like the hardware
+				// bubble it is.
+				annulled = false
+				m.counts.Nops++
+				if m.trace != nil {
+					fmt.Fprintf(m.trace, "%s %s\t(squashed) %s\n", fn.Name, b.Label, in)
+				}
+				continue
+			}
+			if m.trace != nil {
+				fmt.Fprintf(m.trace, "%s %s\t%s\n", fn.Name, b.Label, in)
+			}
+			switch in.Kind {
+			case rtl.Move:
+				m.store(fr, in.Dst, m.load(fr, in.Src))
+			case rtl.Bin:
+				m.store(fr, in.Dst, in.BOp.Eval(m.load(fr, in.Src), m.load(fr, in.Src2)))
+			case rtl.Un:
+				m.store(fr, in.Dst, in.UOp.Eval(m.load(fr, in.Src)))
+			case rtl.Cmp:
+				fr.ccX, fr.ccY = m.load(fr, in.Src), m.load(fr, in.Src2)
+			case rtl.Br:
+				m.counts.CondBranches++
+				m.counts.Transfers++
+				if in.BrRel.Holds(fr.ccX, fr.ccY) {
+					m.counts.TakenBranches++
+					pending, pendingLabel = 1, in.Target
+				} else if in.Annul {
+					annulled = true
+				}
+			case rtl.Jmp:
+				m.counts.UncondJumps++
+				m.counts.Transfers++
+				pending, pendingLabel = 1, in.Target
+			case rtl.IJmp:
+				m.counts.UncondJumps++
+				m.counts.IndirectJumps++
+				m.counts.Transfers++
+				v := m.load(fr, in.Src) - in.Lo
+				if v < 0 || v >= int64(len(in.Table)) {
+					return 0, m.runtimeErr(fn, "jump table index out of range: %d", v+in.Lo)
+				}
+				pending, pendingLabel = 1, in.Table[v]
+			case rtl.Arg:
+				for len(m.args) <= in.ArgIdx {
+					m.args = append(m.args, 0)
+				}
+				m.args[in.ArgIdx] = m.load(fr, in.Src)
+			case rtl.Call:
+				m.counts.Calls++
+				m.counts.Transfers++
+				callArgs := append([]int64(nil), m.args...)
+				m.args = m.args[:0]
+				rv, err := m.doCall(fn, in, callArgs)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst.Kind != rtl.ONone {
+					m.store(fr, in.Dst, rv)
+				}
+			case rtl.Ret:
+				m.counts.Rets++
+				m.counts.Transfers++
+				pending = 2
+				if in.Src.Kind != rtl.ONone {
+					retVal = m.load(fr, in.Src)
+				}
+			case rtl.Nop:
+				m.counts.Nops++
+			default:
+				return 0, m.runtimeErr(fn, "unknown instruction kind %v", in.Kind)
+			}
+		}
+		switch pending {
+		case 1:
+			nbi, ok := labels[pendingLabel]
+			if !ok {
+				return 0, m.runtimeErr(fn, "transfer to unknown label %s", pendingLabel)
+			}
+			bi = nbi
+		case 2:
+			return retVal, nil
+		default:
+			bi++ // fall through
+		}
+	}
+}
+
+// doCall dispatches a Call instruction: intrinsic or user function.
+func (m *machineState) doCall(caller *cfg.Func, in *rtl.Inst, args []int64) (int64, error) {
+	if _, ok := Intrinsic(in.Sym); ok {
+		return m.intrinsic(caller, in.Sym, args)
+	}
+	callee := m.prog.Func(in.Sym)
+	if callee == nil {
+		return 0, m.runtimeErr(caller, "call of unknown function %q", in.Sym)
+	}
+	return m.call(callee, args)
+}
+
+// load evaluates an operand as a value.
+func (m *machineState) load(fr *frame, o rtl.Operand) int64 {
+	switch o.Kind {
+	case rtl.OReg:
+		return fr.regs[o.Reg]
+	case rtl.OImm:
+		return o.Val
+	case rtl.OLocal:
+		return m.mem[fr.fp+o.Val]
+	case rtl.OGlobal:
+		return m.mem[m.gaddr[o.Sym]+o.Val]
+	case rtl.OMem:
+		a := fr.regs[o.Reg] + o.Val
+		if o.Index != rtl.RegNone {
+			a += fr.regs[o.Index] * o.Scale
+		}
+		return m.mem[a]
+	case rtl.OAddrLocal:
+		return fr.fp + o.Val
+	case rtl.OAddrGlobal:
+		return m.gaddr[o.Sym] + o.Val
+	}
+	return 0
+}
+
+// store writes a value through a destination operand.
+func (m *machineState) store(fr *frame, o rtl.Operand, v int64) {
+	switch o.Kind {
+	case rtl.OReg:
+		fr.regs[o.Reg] = v
+	case rtl.OLocal:
+		m.mem[fr.fp+o.Val] = v
+	case rtl.OGlobal:
+		m.mem[m.gaddr[o.Sym]+o.Val] = v
+	case rtl.OMem:
+		a := fr.regs[o.Reg] + o.Val
+		if o.Index != rtl.RegNone {
+			a += fr.regs[o.Index] * o.Scale
+		}
+		m.mem[a] = v
+	}
+}
