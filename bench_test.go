@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/bench"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/ease"
 	"repro/internal/machine"
 	"repro/internal/mcc"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
 	"repro/internal/vm"
@@ -293,6 +295,35 @@ func BenchmarkCompiler(b *testing.B) {
 					b.Fatal(err)
 				}
 				pipeline.Optimize(prog, pipeline.Config{Machine: machine.SPARC, Level: lv})
+			}
+		})
+	}
+}
+
+// BenchmarkCompilerTraced measures the telemetry layer's overhead on the
+// compile+optimize cycle. "Off" is the default nil-Tracer configuration —
+// compare against BenchmarkCompiler/JUMPS to verify the disabled state costs
+// nothing beyond its nil checks (<2% is the budget). "Collector" and "JSONL"
+// price the enabled sinks.
+func BenchmarkCompilerTraced(b *testing.B) {
+	p := bench.ProgramByName("compact")
+	for _, v := range []struct {
+		name   string
+		tracer func() obs.Tracer
+	}{
+		{"Off", func() obs.Tracer { return nil }},
+		{"Collector", func() obs.Tracer { return &obs.Collector{} }},
+		{"JSONL", func() obs.Tracer { return obs.NewJSONLWriter(io.Discard) }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := mcc.Compile(p.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pipeline.Optimize(prog, pipeline.Config{
+					Machine: machine.SPARC, Level: pipeline.Jumps, Tracer: v.tracer(),
+				})
 			}
 		})
 	}

@@ -5,6 +5,8 @@
 //
 //	ease -prog wc -machine sparc -level jumps -caches
 //	ease -file myprog.c -in input.txt
+//	ease -prog wc -trace t.jsonl -explain    # telemetry + narrative
+//	ease -prog wc -fetchtrace fetches.txt    # fetch stream for cmd/cachesim
 package main
 
 import (
@@ -12,11 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/ease"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -28,10 +32,14 @@ func main() {
 	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
 	caches := flag.Bool("caches", false, "simulate the Table-6 instruction caches")
 	showOutput := flag.Bool("output", false, "print the program's output")
-	traceFile := flag.String("trace", "", "write the instruction-fetch trace (one `addr size` pair per line) to this file, for cmd/cachesim")
+	fetchTraceFile := flag.String("fetchtrace", "", "write the instruction-fetch trace (one `addr size` pair per line) to this file, for cmd/cachesim")
+	traceFile := flag.String("trace", "", "write a JSONL telemetry trace (phase/pass spans, replication decisions, block profile) to this file")
+	explain := flag.Bool("explain", false, "print a human-readable pass/replication narrative to stderr")
+	profile := flag.Bool("profile", false, "print the hottest blocks to stderr")
+	quiet := flag.Bool("q", false, "suppress the per-cell progress line on stderr")
 	flag.Parse()
 
-	req := ease.Request{SimulateCaches: *caches}
+	req := ease.Request{SimulateCaches: *caches, Profile: *profile}
 	switch {
 	case *progName != "":
 		p := bench.ProgramByName(*progName)
@@ -75,8 +83,8 @@ func main() {
 	}
 	req.Level = lv
 
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	if *fetchTraceFile != "" {
+		f, err := os.Create(*fetchTraceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ease:", err)
 			os.Exit(1)
@@ -87,13 +95,52 @@ func main() {
 		req.OnFetch = func(addr, size int64) {
 			fmt.Fprintf(w, "%d %d\n", addr, size)
 		}
-		defer fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
+		defer fmt.Fprintf(os.Stderr, "fetch trace written to %s\n", *fetchTraceFile)
 	}
 
+	// Telemetry sinks: a JSONL file for -trace, an in-memory collector for
+	// -explain; nil when neither is requested.
+	var collector *obs.Collector
+	if *explain {
+		collector = &obs.Collector{}
+	}
+	var jsonl *obs.JSONLWriter
+	var traceOut *os.File
+	if *traceFile != "" {
+		traceOut, err = os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ease:", err)
+			os.Exit(1)
+		}
+		jsonl = obs.NewJSONLWriter(traceOut)
+	}
+	if collector != nil && jsonl != nil {
+		req.Tracer = obs.Multi(collector, jsonl)
+	} else if collector != nil {
+		req.Tracer = collector
+	} else if jsonl != nil {
+		req.Tracer = jsonl
+	}
+
+	start := time.Now()
 	run, err := ease.Measure(req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "ease: measured %s × %s × %s in %s\n",
+			req.Name, req.Machine.Name, lv, time.Since(start).Round(time.Millisecond))
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err == nil {
+			err = traceOut.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ease:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
 	}
 	if *showOutput {
 		os.Stdout.Write(run.Output)
@@ -103,6 +150,9 @@ func main() {
 	fmt.Printf("  static:  %d instructions (%d bytes), %d jumps (%d indirect), %d branches, %d no-ops\n",
 		run.Static.StaticInsts, run.CodeBytes, run.Static.StaticJumps,
 		run.Static.StaticIndirect, run.Static.StaticBranches, run.Static.StaticNops)
+	fmt.Printf("  replication: %d applied, %d jumps-to-next deleted, %d rollbacks, %d RTLs copied\n",
+		run.Static.Replication.Replications, run.Static.Replication.JumpsDeleted,
+		run.Static.Replication.Rollbacks, run.Static.Replication.RTLsCopied)
 	fmt.Printf("  dynamic: %d executed, %d uncond jumps (%.2f%%), %d branches (%d taken), %d no-ops\n",
 		run.Dynamic.Exec, run.Dynamic.UncondJumps, 100*run.DynamicJumpFraction(),
 		run.Dynamic.CondBranches, run.Dynamic.TakenBranches, run.Dynamic.Nops)
@@ -118,5 +168,15 @@ func main() {
 			fmt.Printf("    %4dKb %s  miss ratio %6.3f%%  fetch cost %d\n",
 				cs.SizeBytes/1024, ctx, 100*cs.MissRatio(), cs.Cost)
 		}
+	}
+	if *profile && run.Profile != nil {
+		fmt.Fprintln(os.Stderr, "hot blocks (by executed instructions):")
+		for _, h := range run.Profile.Hot(10) {
+			fmt.Fprintf(os.Stderr, "  %-12s %-6s %6.2f%%  (%d entries x %d insts = %d)\n",
+				h.Func, h.Label, 100*h.Frac, h.Count, h.Insts, h.ExecInsts)
+		}
+	}
+	if collector != nil {
+		obs.Explain(os.Stderr, collector.Events())
 	}
 }

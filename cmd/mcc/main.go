@@ -7,6 +7,8 @@
 //	mcc -S prog.c                     # emit target assembly syntax
 //	mcc -dot prog.c | dot -Tsvg ...   # flow graph in Graphviz form
 //	mcc -run -in input.txt prog.c     # also execute and report counts
+//	mcc -trace t.jsonl -stats prog.c  # telemetry: pass spans + decisions
+//	mcc -explain prog.c               # replication narrative on stderr
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/machine"
 	"repro/internal/mcc"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
 	"repro/internal/vm"
@@ -32,6 +35,11 @@ func main() {
 	run := flag.Bool("run", false, "execute the optimized program")
 	inFile := flag.String("in", "", "input file for -run (default: empty input)")
 	maxSeq := flag.Int("maxseq", 0, "cap replication sequences at this many RTLs")
+	traceFile := flag.String("trace", "", "write a telemetry trace (pass spans, replication decisions) to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl (one event per line) or chrome (about://tracing)")
+	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
+	explain := flag.Bool("explain", false, "print a human-readable pass/replication narrative to stderr")
+	profile := flag.Bool("profile", false, "with -run: print the hottest blocks to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.c")
@@ -67,10 +75,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcc:", err)
 		os.Exit(2)
 	}
+
+	// Telemetry: an optional file sink (JSONL or Chrome trace_event) plus
+	// an in-memory collector backing -explain. Nil when neither is asked
+	// for, so the pipeline's instrumentation stays on its no-op path.
+	var collector *obs.Collector
+	if *explain {
+		collector = &obs.Collector{}
+	}
+	var fileSink obs.Tracer
+	var finishTrace func() error
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcc:", err)
+			os.Exit(1)
+		}
+		switch *traceFormat {
+		case "jsonl":
+			jw := obs.NewJSONLWriter(f)
+			fileSink = jw
+			finishTrace = func() error {
+				if err := jw.Err(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		case "chrome":
+			cw := obs.NewChromeWriter(f)
+			fileSink = cw
+			finishTrace = func() error {
+				if err := cw.Close(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "mcc: unknown trace format %q (want jsonl or chrome)\n", *traceFormat)
+			os.Exit(2)
+		}
+	}
+	var tracer obs.Tracer
+	if collector != nil {
+		tracer = obs.Multi(collector, fileSink)
+	} else if fileSink != nil {
+		tracer = fileSink
+	}
+
 	st := pipeline.Optimize(prog, pipeline.Config{
 		Machine:     m,
 		Level:       lv,
 		Replication: replicate.Options{MaxSeqRTLs: *maxSeq},
+		Tracer:      tracer,
 	})
 	switch {
 	case *emitAsm:
@@ -87,6 +143,21 @@ func main() {
 	}
 	fmt.Printf("; %s/%s: %d instructions, %d unconditional jumps (%d indirect), %d branches, %d no-ops\n",
 		m.Name, lv, st.StaticInsts, st.StaticJumps, st.StaticIndirect, st.StaticBranches, st.StaticNops)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "mcc: %d pipeline iterations; replication: %d applied, %d jumps-to-next deleted, %d rollbacks, %d RTLs copied\n",
+			st.Iterations, st.Replication.Replications, st.Replication.JumpsDeleted,
+			st.Replication.Rollbacks, st.Replication.RTLsCopied)
+	}
+	if collector != nil {
+		obs.Explain(os.Stderr, collector.Events())
+	}
+	if finishTrace != nil {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcc: trace written to %s\n", *traceFile)
+	}
 	if !*run {
 		return
 	}
@@ -97,7 +168,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	res, err := vm.Run(prog, vm.Config{Input: input})
+	res, err := vm.Run(prog, vm.Config{Input: input, Profile: *profile})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcc:", err)
 		os.Exit(1)
@@ -105,4 +176,11 @@ func main() {
 	os.Stdout.Write(res.Output)
 	fmt.Printf("\n; executed %d instructions (%d unconditional jumps), exit %d\n",
 		res.Counts.Exec, res.Counts.UncondJumps, res.ExitCode)
+	if *profile && res.Profile != nil {
+		fmt.Fprintln(os.Stderr, "mcc: hot blocks (by executed instructions):")
+		for _, h := range res.Profile.Hot(10) {
+			fmt.Fprintf(os.Stderr, "  %-12s %-6s %6.2f%%  (%d entries x %d insts = %d)\n",
+				h.Func, h.Label, 100*h.Frac, h.Count, h.Insts, h.ExecInsts)
+		}
+	}
 }

@@ -1,0 +1,25 @@
+/* The paper's Table 1 kernel: a loop whose exit condition sits in the
+ * middle. Conventional rotation (LOOPS) cannot remove the per-iteration
+ * jump; generalized replication (JUMPS) can. Try:
+ *
+ *	mcc -level jumps -stats -explain examples/minic/midloop.c
+ *	mcc -level jumps -trace /tmp/t.jsonl examples/minic/midloop.c
+ */
+int x[2000];
+int n = 1500;
+
+int main() {
+	int i;
+	for (i = 0; i < 2000; i++)
+		x[i] = i;
+	i = 1;
+	while (1) {
+		if (i > n)      /* exit condition in the middle of the loop */
+			break;
+		x[i-1] = x[i];
+		i++;
+	}
+	printint(x[0] + x[n-1] + x[1999]);
+	putchar('\n');
+	return 0;
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/ease"
@@ -78,8 +79,9 @@ func RunAllSizes(caches bool, cacheSizes []int64, repOpts replicate.Options, pro
 				}
 				res.Cells = append(res.Cells, Cell{p.Name, m.Name, lv, run})
 				if progress != nil {
-					fmt.Fprintf(progress, "measured %-10s %-6s %-6s exec=%d\n",
-						p.Name, m.Name, lv, run.Dynamic.Exec)
+					fmt.Fprintf(progress, "measured %-10s %-6s %-6s exec=%d in %s\n",
+						p.Name, m.Name, lv, run.Dynamic.Exec,
+						run.Elapsed.Round(time.Millisecond))
 				}
 			}
 		}

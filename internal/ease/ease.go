@@ -7,11 +7,13 @@ package ease
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cfg"
 	"repro/internal/machine"
 	"repro/internal/mcc"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
 	"repro/internal/vm"
@@ -37,6 +39,14 @@ type Request struct {
 	OnFetch func(addr, size int64)
 	// MaxSteps optionally bounds execution.
 	MaxSteps int64
+	// Tracer, when non-nil, receives the whole measurement's telemetry:
+	// phase spans (compile, optimize, layout, run), per-pass spans, the
+	// replication decision log, and the VM execution profile (per-block
+	// counts plus a hot-path summary). Nil disables tracing.
+	Tracer obs.Tracer
+	// Profile enables per-block execution counting in the VM; implied by
+	// Tracer. The counts are returned in Run.Profile.
+	Profile bool
 }
 
 // Run is the outcome of one measurement.
@@ -51,6 +61,12 @@ type Run struct {
 	// {1,2,4,8} KB × context switches {on, off} in cache.NewPaperBank
 	// order.
 	Caches []cache.Stats
+	// Profile holds the VM's per-block execution counts (nil unless
+	// Request.Profile or Request.Tracer was set).
+	Profile *vm.Profile
+	// Elapsed is the wall time of the whole measurement (compile through
+	// run), for progress reporting.
+	Elapsed time.Duration
 }
 
 // StaticJumpFraction is the static fraction of instructions that are
@@ -80,24 +96,49 @@ func (r *Run) InstsBetweenBranches() float64 {
 	return float64(r.Dynamic.Exec) / float64(r.Dynamic.Transfers)
 }
 
+// phaseSpan emits one obs.EvPhase span when tracing is enabled.
+func phaseSpan(tr obs.Tracer, name string, start time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(&obs.Event{
+		Type: obs.EvPhase, Name: name,
+		TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)),
+	})
+}
+
 // Measure compiles, optimizes, lays out, and runs one request.
 func Measure(req Request) (*Run, error) {
+	start := time.Now()
 	prog, err := mcc.Compile(req.Source)
+	phaseSpan(req.Tracer, "compile", start)
 	if err != nil {
 		return nil, fmt.Errorf("ease: %s: %w", req.Name, err)
 	}
-	return MeasureProgram(prog, req)
+	run, err := MeasureProgram(prog, req)
+	if run != nil {
+		run.Elapsed = time.Since(start)
+	}
+	return run, err
 }
 
 // MeasureProgram measures an already-compiled (but unoptimized) program.
 func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
+	start := time.Now()
 	st := pipeline.Optimize(prog, pipeline.Config{
 		Machine:     req.Machine,
 		Level:       req.Level,
 		Replication: req.Replication,
+		Tracer:      req.Tracer,
 	})
+	phaseSpan(req.Tracer, "optimize", start)
+	layoutStart := time.Now()
 	layout := vm.NewLayout(prog, req.Machine)
-	cfgr := vm.Config{Input: req.Input, MaxSteps: req.MaxSteps}
+	phaseSpan(req.Tracer, "layout", layoutStart)
+	cfgr := vm.Config{
+		Input: req.Input, MaxSteps: req.MaxSteps,
+		Profile: req.Profile || req.Tracer != nil,
+	}
 	var bank *cache.Bank
 	var fetch func(addr, size int64)
 	if req.SimulateCaches {
@@ -124,7 +165,9 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		cfgr.Layout = layout
 		cfgr.OnFetch = fetch
 	}
+	runStart := time.Now()
 	res, err := vm.Run(prog, cfgr)
+	phaseSpan(req.Tracer, "run", runStart)
 	if err != nil {
 		return nil, fmt.Errorf("ease: %s (%s/%s): %w", req.Name, req.Machine.Name, req.Level, err)
 	}
@@ -135,11 +178,42 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		CodeBytes: layout.CodeBytes,
 		Output:    res.Output,
 		ExitCode:  res.ExitCode,
+		Profile:   res.Profile,
+		Elapsed:   time.Since(start),
 	}
 	if bank != nil {
 		run.Caches = bank.Stats()
 	}
+	emitProfile(req.Tracer, res.Profile)
 	return run, nil
+}
+
+// hotSummaryBlocks is the size of the EvHot hot-path summary.
+const hotSummaryBlocks = 10
+
+// emitProfile reports the VM execution profile to the tracer: one EvBlock
+// event per executed block and an EvHot summary of the hottest blocks.
+func emitProfile(tr obs.Tracer, prof *vm.Profile) {
+	if tr == nil || prof == nil {
+		return
+	}
+	for _, fp := range prof.Funcs {
+		for _, b := range fp.Blocks {
+			if b.Count == 0 {
+				continue
+			}
+			tr.Emit(&obs.Event{
+				Type: obs.EvBlock, Func: fp.Name, Block: b.Label,
+				Count: b.Count, Insts: b.Count * int64(b.Insts),
+			})
+		}
+	}
+	for _, h := range prof.Hot(hotSummaryBlocks) {
+		tr.Emit(&obs.Event{
+			Type: obs.EvHot, Func: h.Func, Block: h.Label,
+			Count: h.Count, Insts: h.ExecInsts, Percent: 100 * h.Frac,
+		})
+	}
 }
 
 // PercentChange returns 100*(new-old)/old (0 when old is 0).

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ChromeWriter renders the trace in the Chrome trace_event JSON array
+// format, loadable in about://tracing or https://ui.perfetto.dev. Events
+// with a duration become complete ("X") slices; the rest become instants
+// ("i"). Events are buffered until Close, which writes the array.
+type ChromeWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events []chromeEvent
+}
+
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"` // microseconds
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	S    string `json:"s,omitempty"` // instant scope
+	Args *Event `json:"args,omitempty"`
+}
+
+// NewChromeWriter returns a Chrome trace sink writing to w on Close.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	return &ChromeWriter{w: w}
+}
+
+// Emit implements Tracer.
+func (c *ChromeWriter) Emit(ev *Event) {
+	ce := chromeEvent{
+		Name: chromeName(ev),
+		Cat:  ev.Type,
+		TS:   ev.TimeNS / 1000,
+		PID:  1,
+		TID:  1,
+		Args: ev,
+	}
+	if ev.DurNS > 0 {
+		ce.Ph = "X"
+		ce.Dur = ev.DurNS / 1000
+		if ce.Dur == 0 {
+			ce.Dur = 1 // sub-microsecond slices would be invisible
+		}
+	} else {
+		ce.Ph, ce.S = "i", "t"
+	}
+	c.mu.Lock()
+	c.events = append(c.events, ce)
+	c.mu.Unlock()
+}
+
+// chromeName builds a display name for the timeline.
+func chromeName(ev *Event) string {
+	switch ev.Type {
+	case EvPass:
+		return fmt.Sprintf("%s %s", ev.Func, ev.Name)
+	case EvPhase:
+		return ev.Name
+	case EvDecision:
+		return fmt.Sprintf("%s: jump %s -> %s (%s)", ev.Func, ev.Block, ev.Target, ev.Outcome)
+	case EvBlock, EvHot:
+		return fmt.Sprintf("%s %s ×%d", ev.Func, ev.Block, ev.Count)
+	}
+	return ev.Type
+}
+
+// Close rebases timestamps so the trace starts at zero and writes the JSON
+// array. The writer must not be used afterwards.
+func (c *ChromeWriter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var base int64 = -1
+	for _, ce := range c.events {
+		if base == -1 || ce.TS < base {
+			base = ce.TS
+		}
+	}
+	for i := range c.events {
+		c.events[i].TS -= base
+	}
+	enc := json.NewEncoder(c.w)
+	return enc.Encode(c.events)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Explain renders a collected trace as a human-readable narrative: every
+// replication decision with its candidate costs and rollbacks, a per-pass
+// activity summary, the hot-block profile (when present), and totals. It is
+// the renderer behind mcc/ease -explain.
+func Explain(w io.Writer, events []*Event) {
+	explainDecisions(w, events)
+	explainPasses(w, events)
+	explainHot(w, events)
+}
+
+func candidateString(c Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{%d rtls/%d blocks", c.Kind, c.RTLs, c.Blocks)
+	if c.LoopCompleted {
+		b.WriteString(", loop-completed")
+	}
+	b.WriteString("}")
+	if c.RolledBack {
+		b.WriteString(" ROLLED BACK (irreducible)")
+	}
+	return b.String()
+}
+
+func explainDecisions(w io.Writer, events []*Event) {
+	var decisions []*Event
+	for _, ev := range events {
+		if ev.Type == EvDecision {
+			decisions = append(decisions, ev)
+		}
+	}
+	if len(decisions) == 0 {
+		fmt.Fprintln(w, "no replication decisions (level below JUMPS/LOOPS, or no unconditional jumps)")
+		return
+	}
+	fmt.Fprintf(w, "replication decisions (%d jumps considered):\n", len(decisions))
+	applied, rollbacks, deleted, kept, rtlsCopied := 0, 0, 0, 0, 0
+	for _, ev := range decisions {
+		fmt.Fprintf(w, "  %s: jump %s -> %s", ev.Func, ev.Block, ev.Target)
+		for _, c := range ev.Candidates {
+			if c.RolledBack {
+				rollbacks++
+			}
+		}
+		switch ev.Outcome {
+		case OutDeleted:
+			deleted++
+			fmt.Fprintf(w, ": target is the next block; jump deleted\n")
+			continue
+		case OutNoCandidates:
+			kept++
+			fmt.Fprintf(w, ": no candidate sequence (no return path or reconnection); jump kept\n")
+			continue
+		}
+		if ev.Heuristic != "" {
+			fmt.Fprintf(w, " [%s]", ev.Heuristic)
+		}
+		fmt.Fprint(w, ": ")
+		parts := make([]string, 0, len(ev.Candidates))
+		for _, c := range ev.Candidates {
+			parts = append(parts, candidateString(c))
+		}
+		fmt.Fprint(w, strings.Join(parts, "; "))
+		switch ev.Outcome {
+		case OutApplied:
+			applied++
+			for _, c := range ev.Candidates {
+				if c.Applied {
+					rtlsCopied += c.RTLs
+					fmt.Fprintf(w, " => applied %s (+%d rtls)", c.Kind, c.RTLs)
+					break
+				}
+			}
+			fmt.Fprintln(w)
+		case OutRolledBack:
+			kept++
+			fmt.Fprintln(w, " => every candidate rolled back; jump kept")
+		default:
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "  totals: %d applied (+%d rtls copied), %d reducibility rollbacks, %d jumps-to-next deleted, %d kept\n",
+		applied, rtlsCopied, rollbacks, deleted, kept)
+}
+
+func explainPasses(w io.Writer, events []*Event) {
+	type passAgg struct {
+		name    string
+		runs    int
+		changed int
+		dRTLs   int
+		dur     time.Duration
+	}
+	var order []string
+	agg := map[string]*passAgg{}
+	for _, ev := range events {
+		if ev.Type != EvPass {
+			continue
+		}
+		a := agg[ev.Name]
+		if a == nil {
+			a = &passAgg{name: ev.Name}
+			agg[ev.Name] = a
+			order = append(order, ev.Name)
+		}
+		a.runs++
+		if ev.Changed {
+			a.changed++
+		}
+		a.dRTLs += ev.RTLsAfter - ev.RTLsBefore
+		a.dur += time.Duration(ev.DurNS)
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "pass activity:")
+	fmt.Fprintf(w, "  %-22s %5s %8s %7s %10s\n", "pass", "runs", "changed", "dRTLs", "time")
+	for _, name := range order {
+		a := agg[name]
+		fmt.Fprintf(w, "  %-22s %5d %8d %+7d %10s\n", a.name, a.runs, a.changed, a.dRTLs, a.dur.Round(time.Microsecond))
+	}
+}
+
+func explainHot(w io.Writer, events []*Event) {
+	printed := false
+	for _, ev := range events {
+		if ev.Type != EvHot {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "hot blocks (by executed instructions):")
+			printed = true
+		}
+		fmt.Fprintf(w, "  %-12s %-6s %6.2f%%  (%d entries, %d insts)\n",
+			ev.Func, ev.Block, ev.Percent, ev.Count, ev.Insts)
+	}
+}

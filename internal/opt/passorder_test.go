@@ -76,7 +76,7 @@ func TestPassOrderFuzz(t *testing.T) {
 		{"merge", func(f *cfg.Func, m *machine.Machine) { opt.MergeBlocks(f) }},
 		{"deljmp", func(f *cfg.Func, m *machine.Machine) { cfg.DeleteJumpsToNext(f) }},
 		{"jumps", func(f *cfg.Func, m *machine.Machine) { replicate.JUMPS(f, replicate.Options{}) }},
-		{"loops", func(f *cfg.Func, m *machine.Machine) { replicate.LOOPS(f) }},
+		{"loops", func(f *cfg.Func, m *machine.Machine) { replicate.LOOPS(f, replicate.Options{}) }},
 	}
 	trials := 60
 	if testing.Short() {

@@ -105,7 +105,11 @@ func TestParseLevel(t *testing.T) {
 	for _, c := range []struct {
 		in   string
 		want pipeline.Level
-	}{{"simple", pipeline.Simple}, {"LOOPS", pipeline.Loops}, {"jumps", pipeline.Jumps}} {
+	}{
+		{"simple", pipeline.Simple}, {"SIMPLE", pipeline.Simple}, {"Simple", pipeline.Simple},
+		{"loops", pipeline.Loops}, {"LOOPS", pipeline.Loops}, {"LoOpS", pipeline.Loops},
+		{"jumps", pipeline.Jumps}, {"JUMPS", pipeline.Jumps}, {"Jumps", pipeline.Jumps},
+	} {
 		got, err := pipeline.ParseLevel(c.in)
 		if err != nil || got != c.want {
 			t.Errorf("ParseLevel(%q) = %v, %v", c.in, got, err)

@@ -8,9 +8,12 @@ package pipeline
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/replicate"
 	"repro/internal/rtl"
@@ -40,12 +43,12 @@ func (l Level) String() string {
 
 // ParseLevel converts a string (any case) to a Level.
 func ParseLevel(s string) (Level, error) {
-	switch s {
-	case "simple", "SIMPLE":
+	switch strings.ToLower(s) {
+	case "simple":
 		return Simple, nil
-	case "loops", "LOOPS":
+	case "loops":
 		return Loops, nil
-	case "jumps", "JUMPS":
+	case "jumps":
 		return Jumps, nil
 	}
 	return Simple, fmt.Errorf("pipeline: unknown level %q (want simple, loops or jumps)", s)
@@ -59,6 +62,12 @@ type Config struct {
 	Replication replicate.Options
 	// MaxIterations caps the do-while loop of Figure 3 (0 = default 30).
 	MaxIterations int
+	// Tracer, when non-nil, receives telemetry: one obs.EvPass span per
+	// optimization pass (wall time, iteration, RTL/block deltas), one
+	// obs.EvPhase span per function, and — unless Replication.Tracer
+	// overrides it — the replication decision log. Nil disables tracing;
+	// the instrumented paths then cost a single nil check.
+	Tracer obs.Tracer
 }
 
 func (c Config) maxIterations() int {
@@ -83,6 +92,11 @@ type Stats struct {
 	SlotsNops   int
 	// Iterations is the number of Figure-3 loop iterations used.
 	Iterations int
+	// Replication aggregates the replication activity over every function
+	// and iteration: jumps replaced, trivial jump-to-next deletions,
+	// reducibility rollbacks, and RTLs copied (Table-5 code growth,
+	// explained per-jump by the decision log).
+	Replication replicate.Result
 }
 
 // Optimize runs the full Figure-3 pipeline over every function of the
@@ -96,40 +110,80 @@ func Optimize(p *cfg.Program, c Config) Stats {
 		if st0.Iterations > st.Iterations {
 			st.Iterations = st0.Iterations
 		}
+		st.Replication.Merge(st0.Replication)
 	}
 	count(p, &st)
 	return st
 }
 
 // replicatePass runs the configured replication algorithm.
-func replicatePass(f *cfg.Func, c Config) bool {
+func replicatePass(f *cfg.Func, c Config) replicate.Result {
+	opts := c.Replication
+	if opts.Tracer == nil {
+		opts.Tracer = c.Tracer
+	}
 	switch c.Level {
 	case Loops:
-		return replicate.LOOPS(f)
+		return replicate.LOOPS(f, opts)
 	case Jumps:
-		return replicate.JUMPS(f, c.Replication)
+		return replicate.JUMPS(f, opts)
 	}
-	return false
+	return replicate.Result{}
+}
+
+// passRunner instruments the Figure-3 passes of one function: when a
+// tracer is configured, every pass is wrapped in an obs.EvPass span
+// carrying the pipeline stage, iteration number, wall time, and RTL/block
+// deltas. With tracing disabled (tr == nil) each pass costs one nil check.
+type passRunner struct {
+	tr    obs.Tracer
+	f     *cfg.Func
+	stage string
+	iter  int
+}
+
+func (p *passRunner) run(name string, pass func() bool) bool {
+	if p.tr == nil {
+		return pass()
+	}
+	rtlsBefore, blocksBefore := p.f.NumRTLs(), len(p.f.Blocks)
+	start := time.Now()
+	changed := pass()
+	p.tr.Emit(&obs.Event{
+		Type: obs.EvPass, Name: name, Func: p.f.Name,
+		Stage: p.stage, Iter: p.iter, Changed: changed,
+		RTLsBefore: rtlsBefore, RTLsAfter: p.f.NumRTLs(),
+		BlocksBefore: blocksBefore, BlocksAfter: len(p.f.Blocks),
+		TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)),
+	})
+	return changed
 }
 
 func optimizeFunc(f *cfg.Func, c Config) Stats {
 	m := c.Machine
 	var st Stats
+	funcStart := time.Now()
+	pr := &passRunner{tr: c.Tracer, f: f, stage: "prologue"}
+	replicateHere := func() bool {
+		r := replicatePass(f, c)
+		st.Replication.Merge(r)
+		return r.Changed
+	}
 
 	// Shape the naive front-end RTLs for the target machine.
-	machine.Legalize(f, m)
+	pr.run("legalize", func() bool { machine.Legalize(f, m); return false })
 
 	// Figure 3, prologue: branch chaining; dead code elimination; reorder
 	// basic blocks to minimize jumps; code replication; dead code
 	// elimination.
-	opt.BranchChaining(f)
-	opt.DeadCodeElimination(f)
-	cfg.ReorderBlocks(f)
-	replicatePass(f, c)
-	opt.DeadCodeElimination(f)
+	pr.run("branch-chaining", func() bool { return opt.BranchChaining(f) })
+	pr.run("dead-code", func() bool { return opt.DeadCodeElimination(f) })
+	pr.run("reorder-blocks", func() bool { return cfg.ReorderBlocks(f) })
+	pr.run("replicate", replicateHere)
+	pr.run("dead-code", func() bool { return opt.DeadCodeElimination(f) })
 
 	// Register assignment: promote scalars to registers.
-	opt.PromoteLocals(f)
+	pr.run("promote-locals", func() bool { return opt.PromoteLocals(f) })
 
 	// Figure 3, main do-while loop. Replication only counts as progress
 	// while it still lowers the function's unconditional-jump count —
@@ -137,22 +191,24 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 	// potential of replication ad infinitum" (§5.2).
 	iters := 0
 	replicating := true
+	pr.stage = "loop"
 	for iters < c.maxIterations() {
 		iters++
+		pr.iter = iters
 		changed := false
-		changed = opt.CommonSubexpressions(f, m) || changed
-		changed = opt.DeadVariableElimination(f) || changed
-		changed = opt.CodeMotion(f) || changed
-		changed = opt.StrengthReduction(f) || changed
-		changed = opt.FoldConstants(f) || changed
-		changed = opt.InstructionSelection(f, m) || changed
-		changed = opt.BranchChaining(f) || changed
-		changed = opt.FoldBranches(f) || changed
-		changed = cfg.DeleteJumpsToNext(f) || changed
+		changed = pr.run("cse", func() bool { return opt.CommonSubexpressions(f, m) }) || changed
+		changed = pr.run("dead-variables", func() bool { return opt.DeadVariableElimination(f) }) || changed
+		changed = pr.run("code-motion", func() bool { return opt.CodeMotion(f) }) || changed
+		changed = pr.run("strength-reduction", func() bool { return opt.StrengthReduction(f) }) || changed
+		changed = pr.run("fold-constants", func() bool { return opt.FoldConstants(f) }) || changed
+		changed = pr.run("instruction-selection", func() bool { return opt.InstructionSelection(f, m) }) || changed
+		changed = pr.run("branch-chaining", func() bool { return opt.BranchChaining(f) }) || changed
+		changed = pr.run("fold-branches", func() bool { return opt.FoldBranches(f) }) || changed
+		changed = pr.run("delete-jumps-to-next", func() bool { return cfg.DeleteJumpsToNext(f) }) || changed
 		if replicating {
 			before := staticJumpCount(f)
-			repChanged := replicatePass(f, c)
-			opt.DeadCodeElimination(f)
+			repChanged := pr.run("replicate", replicateHere)
+			pr.run("dead-code", func() bool { return opt.DeadCodeElimination(f) })
 			after := staticJumpCount(f)
 			if after < before {
 				changed = true
@@ -162,27 +218,40 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 				replicating = false
 			}
 		}
-		changed = opt.DeadCodeElimination(f) || changed
-		changed = opt.MergeBlocks(f) || changed
+		changed = pr.run("dead-code", func() bool { return opt.DeadCodeElimination(f) }) || changed
+		changed = pr.run("merge-blocks", func() bool { return opt.MergeBlocks(f) }) || changed
 		if !changed {
 			break
 		}
 	}
 	st.Iterations = iters
 
+	pr.stage, pr.iter = "finish", 0
+
 	// Safety: anything an optimization left in a machine-illegal shape is
 	// re-expanded (idempotent for already-legal code).
-	machine.Legalize(f, m)
+	pr.run("legalize", func() bool { machine.Legalize(f, m); return false })
 
 	// Register allocation by colouring, then final cleanups.
-	opt.AllocateRegisters(f, m)
-	opt.DeadVariableElimination(f)
-	opt.BranchChaining(f)
-	cfg.DeleteJumpsToNext(f)
-	opt.DeadCodeElimination(f)
+	pr.run("regalloc", func() bool { opt.AllocateRegisters(f, m); return false })
+	pr.run("dead-variables", func() bool { return opt.DeadVariableElimination(f) })
+	pr.run("branch-chaining", func() bool { return opt.BranchChaining(f) })
+	pr.run("delete-jumps-to-next", func() bool { return cfg.DeleteJumpsToNext(f) })
+	pr.run("dead-code", func() bool { return opt.DeadCodeElimination(f) })
 
 	// Filling of delay slots for RISCs: the final pass.
-	st.SlotsFilled, st.SlotsNops = opt.FillDelaySlots(f, m)
+	pr.run("delay-slots", func() bool {
+		st.SlotsFilled, st.SlotsNops = opt.FillDelaySlots(f, m)
+		return st.SlotsFilled+st.SlotsNops > 0
+	})
+
+	if c.Tracer != nil {
+		c.Tracer.Emit(&obs.Event{
+			Type: obs.EvPhase, Name: "optimize-func", Func: f.Name,
+			Iter: iters, RTLsAfter: f.NumRTLs(), BlocksAfter: len(f.Blocks),
+			TimeNS: funcStart.UnixNano(), DurNS: int64(time.Since(funcStart)),
+		})
+	}
 	return st
 }
 

@@ -1,0 +1,142 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// traceFixture compiles the midloop example with a timing-stripped JSONL
+// sink and returns the emitted byte stream. Everything left after
+// OmitTimings is a pure function of the input program, so the stream is
+// byte-for-byte reproducible.
+func traceFixture(t *testing.T, lv pipeline.Level) []byte {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "minic", "midloop.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mcc.Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	w.OmitTimings = true
+	pipeline.Optimize(prog, pipeline.Config{Machine: machine.SPARC, Level: lv, Tracer: w})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGolden locks the telemetry schema: the trace of a fixed fixture
+// at each level must match the checked-in golden file exactly. Regenerate
+// with `go test ./internal/pipeline -run TraceGolden -update` after an
+// intentional schema change.
+func TestTraceGolden(t *testing.T) {
+	for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+		got := traceFixture(t, lv)
+		golden := filepath.Join("testdata", "midloop_"+lv.String()+".trace.jsonl")
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: trace diverges from golden file (rerun with -update if the schema change is intentional)", golden)
+		}
+	}
+}
+
+// TestTraceDeterministic double-checks the property the golden test relies
+// on: two runs of the same compilation produce identical streams.
+func TestTraceDeterministic(t *testing.T) {
+	a := traceFixture(t, pipeline.Jumps)
+	b := traceFixture(t, pipeline.Jumps)
+	if !bytes.Equal(a, b) {
+		t.Error("timing-stripped traces differ between runs")
+	}
+}
+
+// TestTraceContent checks the JUMPS-level stream is valid JSONL and holds
+// the events the acceptance criteria name: pass spans with size deltas and
+// at least one replication decision carrying both candidate costs.
+func TestTraceContent(t *testing.T) {
+	raw := traceFixture(t, pipeline.Jumps)
+	var passes, decisions int
+	sawReplicatePass := false
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if ev.TimeNS != 0 || ev.DurNS != 0 {
+			t.Fatalf("OmitTimings leaked a timestamp: %q", line)
+		}
+		switch ev.Type {
+		case obs.EvPass:
+			passes++
+			if ev.Name == "" || ev.RTLsBefore == 0 {
+				t.Errorf("pass span missing name or sizes: %q", line)
+			}
+			if ev.Name == "replicate" {
+				sawReplicatePass = true
+			}
+		case obs.EvDecision:
+			decisions++
+			if len(ev.Candidates) == 0 || ev.Outcome == "" {
+				t.Errorf("decision without candidates/outcome: %q", line)
+			}
+			for _, c := range ev.Candidates {
+				if c.RTLs <= 0 || c.Kind == "" {
+					t.Errorf("candidate without cost: %q", line)
+				}
+			}
+		}
+	}
+	if passes == 0 || decisions == 0 || !sawReplicatePass {
+		t.Errorf("trace incomplete: %d passes, %d decisions, replicate pass seen=%v",
+			passes, decisions, sawReplicatePass)
+	}
+}
+
+// TestPipelineRollbackSurfaced: compiling wc for the 68020 at JUMPS is
+// known to trigger a step-6 reducibility rollback; the pipeline stats and
+// the -explain narrative must both surface it.
+func TestPipelineRollbackSurfaced(t *testing.T) {
+	p := bench.ProgramByName("wc")
+	if p == nil {
+		t.Fatal("bench corpus misses wc")
+	}
+	prog, err := mcc.Compile(p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &obs.Collector{}
+	st := pipeline.Optimize(prog, pipeline.Config{Machine: machine.M68020, Level: pipeline.Jumps, Tracer: col})
+	if st.Replication.Rollbacks < 1 {
+		t.Fatalf("expected at least one rollback, got %+v", st.Replication)
+	}
+	var narrative bytes.Buffer
+	obs.Explain(&narrative, col.Events())
+	if !bytes.Contains(narrative.Bytes(), []byte("ROLLED BACK")) {
+		t.Errorf("explain narrative does not name the rollback:\n%s", narrative.String())
+	}
+}

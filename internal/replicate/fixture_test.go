@@ -35,7 +35,7 @@ L3:
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !JUMPS(f, Options{}) {
+	if !JUMPS(f, Options{}).Changed {
 		t.Fatalf("expected replication:\n%s", f)
 	}
 	cfg.RemoveUnreachable(f)
@@ -84,7 +84,7 @@ L3:
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !JUMPS(f, Options{}) {
+	if !JUMPS(f, Options{}).Changed {
 		t.Fatalf("expected replication:\n%s", f)
 	}
 	cfg.RemoveUnreachable(f)
@@ -124,7 +124,7 @@ L3:
 		t.Fatal(err)
 	}
 	before := f.NumRTLs()
-	if !JUMPS(f, Options{}) {
+	if !JUMPS(f, Options{}).Changed {
 		t.Fatalf("expected replication:\n%s", f)
 	}
 	cfg.RemoveUnreachable(f)

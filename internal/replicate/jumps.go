@@ -1,7 +1,10 @@
 package replicate
 
 import (
+	"time"
+
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -25,6 +28,20 @@ const (
 	HeurFrequency
 )
 
+func (h Heuristic) String() string {
+	switch h {
+	case HeurShortest:
+		return "shortest"
+	case HeurReturns:
+		return "returns"
+	case HeurLoops:
+		return "loops"
+	case HeurFrequency:
+		return "frequency"
+	}
+	return "heuristic(?)"
+}
+
 // Options configures the JUMPS algorithm.
 type Options struct {
 	// Heuristic picks between favoring-returns and favoring-loops
@@ -45,6 +62,38 @@ type Options struct {
 	MaxFuncRTLs int
 	// MaxReplications bounds replications per invocation (0 = default 500).
 	MaxReplications int
+	// Tracer, when non-nil, receives one obs.EvDecision event per jump
+	// considered: the candidate sequences with their RTL costs, which were
+	// rolled back, and the outcome.
+	Tracer obs.Tracer
+}
+
+// Result reports what one replication invocation (JUMPS or LOOPS) did to a
+// function. Counters accumulate across the invocation's internal sweeps.
+type Result struct {
+	// Changed reports whether the function was modified at all.
+	Changed bool
+	// Replications is the number of jumps replaced by replicated code.
+	Replications int
+	// JumpsDeleted counts the trivial case: jumps to the positionally next
+	// block, removed without copying anything.
+	JumpsDeleted int
+	// Rollbacks counts candidate splices undone by the reducibility check
+	// (step 6).
+	Rollbacks int
+	// RTLsCopied is the total size of all applied replication sequences —
+	// the function's code growth due to replication before cleanup passes.
+	RTLsCopied int
+}
+
+// Merge accumulates o into r (used by the pipeline to aggregate over
+// functions and iterations).
+func (r *Result) Merge(o Result) {
+	r.Changed = r.Changed || o.Changed
+	r.Replications += o.Replications
+	r.JumpsDeleted += o.JumpsDeleted
+	r.Rollbacks += o.Rollbacks
+	r.RTLsCopied += o.RTLsCopied
 }
 
 func (o Options) maxFuncRTLs() int {
@@ -89,11 +138,11 @@ func countJumps(f *cfg.Func) int {
 
 // JUMPS applies the generalized code-replication algorithm to f until no
 // further unconditional jump can be replaced, the growth budget is
-// exhausted, or progress stalls. Reports whether anything changed.
-// Unreachable blocks may remain; callers run dead code elimination
-// afterwards, per Figure 3.
-func JUMPS(f *cfg.Func, opts Options) bool {
-	changed := false
+// exhausted, or progress stalls. The Result reports whether anything
+// changed along with per-function replication counters. Unreachable blocks
+// may remain; callers run dead code elimination afterwards, per Figure 3.
+func JUMPS(f *cfg.Func, opts Options) Result {
+	var res Result
 	blacklist := map[jumpKey]bool{}
 	reps := 0
 	best := countJumps(f)
@@ -102,19 +151,19 @@ func JUMPS(f *cfg.Func, opts Options) bool {
 		if f.NumRTLs() > opts.maxFuncRTLs() {
 			break
 		}
-		made := sweep(f, opts, blacklist, &reps, &best, &futile)
+		made := sweep(f, opts, blacklist, &reps, &best, &futile, &res)
 		if made == 0 {
 			break
 		}
-		changed = true
+		res.Changed = true
 	}
-	return changed
+	return res
 }
 
 // sweep builds the shortest-path matrix once (step 1) and then walks the
 // blocks replacing jumps (steps 2–6), reusing the matrix for every lookup
 // exactly as the paper describes. Returns the number of replications made.
-func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, futile *int) int {
+func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, futile *int, res *Result) int {
 	e := cfg.ComputeEdges(f)
 	m := newPathMatrix(f, e)
 	// Label-space view of the matrix: rows were assigned in block order at
@@ -150,6 +199,8 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 		// A jump to the positionally next block is simply deleted.
 		if tgt.Index == b.Index+1 {
 			b.Insts = b.Insts[:len(b.Insts)-1]
+			res.JumpsDeleted++
+			emitDecision(opts, f, key.block, key.target, nil, obs.OutDeleted)
 			made++
 			continue
 		}
@@ -164,18 +215,30 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 		loops := cfg.NaturalLoops(e, d)
 
 		cands := candidates(f, m, rowOf, labelOf, loops, opts, b, tgt)
-		ok := false
-		for _, c := range cands {
+		meta := candidateMeta(cands)
+		applied := -1
+		for ci, c := range cands {
 			if attemptReplication(f, loops, b.Index, c) {
-				ok = true
+				applied = ci
 				break
 			}
+			meta[ci].RolledBack = true
+			res.Rollbacks++
 			b = f.Blocks[bi]
 		}
-		if !ok {
+		if applied < 0 {
 			blacklist[key] = true
+			outcome := obs.OutRolledBack
+			if len(cands) == 0 {
+				outcome = obs.OutNoCandidates
+			}
+			emitDecision(opts, f, key.block, key.target, meta, outcome)
 			continue
 		}
+		meta[applied].Applied = true
+		res.Replications++
+		res.RTLsCopied += cands[applied].rtls
+		emitDecision(opts, f, key.block, key.target, meta, obs.OutApplied)
 		made++
 		*reps++
 		if now := countJumps(f); now < *best {
@@ -196,6 +259,36 @@ type candidate struct {
 	// in a return / indirect jump (favoring returns).
 	fallsTo rtl.Label
 	rtls    int
+	// kind and completed describe the candidate for the decision log:
+	// obs.KindReturns or obs.KindLoops, and whether step 3 pulled a whole
+	// natural loop into the sequence.
+	kind      string
+	completed bool
+}
+
+// candidateMeta converts candidates to their telemetry descriptions.
+func candidateMeta(cands []candidate) []obs.Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	meta := make([]obs.Candidate, len(cands))
+	for i, c := range cands {
+		meta[i] = obs.Candidate{Kind: c.kind, RTLs: c.rtls, Blocks: len(c.seq), LoopCompleted: c.completed}
+	}
+	return meta
+}
+
+// emitDecision reports one considered jump to the configured tracer.
+func emitDecision(opts Options, f *cfg.Func, block, target rtl.Label, meta []obs.Candidate, outcome string) {
+	if opts.Tracer == nil {
+		return
+	}
+	opts.Tracer.Emit(&obs.Event{
+		Type: obs.EvDecision, Func: f.Name,
+		Block: block.String(), Target: target.String(),
+		Heuristic: opts.Heuristic.String(), Candidates: meta, Outcome: outcome,
+		TimeNS: time.Now().UnixNano(),
+	})
 }
 
 // candidates computes the step-2 options for replacing b's jump to tgt,
@@ -219,9 +312,10 @@ func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []r
 	// the two-entry loops that partial replication can create (Figure 1),
 	// and when the bare path already yields a reducible graph — the common
 	// rotation of a bottom-test loop — it would only inflate code size.
-	addVariants := func(path []rtl.Label, fallsTo rtl.Label) {
+	addVariants := func(kind string, path []rtl.Label, fallsTo rtl.Label) {
 		bare, okBare := finishCandidate(f, loops, opts, b, path, fallsTo, false)
 		if okBare {
+			bare.kind = kind
 			out = append(out, bare)
 		}
 		if opts.NoLoopCompletion {
@@ -229,6 +323,8 @@ func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []r
 		}
 		full, okFull := finishCandidate(f, loops, opts, b, path, fallsTo, true)
 		if okFull && (!okBare || len(full.seq) != len(bare.seq)) {
+			full.kind = kind
+			full.completed = true
 			out = append(out, full)
 		}
 	}
@@ -263,7 +359,7 @@ func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []r
 	}
 	if bestRet >= 0 {
 		if p := m.path(tr, bestRet); p != nil {
-			addVariants(toLabels(p), rtl.NoLabel)
+			addVariants(obs.KindReturns, toLabels(p), rtl.NoLabel)
 		}
 	}
 
@@ -273,7 +369,7 @@ func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []r
 		fb := f.Blocks[b.Index+1]
 		if fr, known := rowOf[fb.Label]; known && fb != tgt && m.dist[tr][fr] < inf {
 			if p := m.path(tr, fr); len(p) >= 2 {
-				addVariants(toLabels(p[:len(p)-1]), fb.Label)
+				addVariants(obs.KindLoops, toLabels(p[:len(p)-1]), fb.Label)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package replicate
 
 import (
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -11,16 +12,17 @@ import (
 // test, is replaced by a copy of the test with the condition adjusted so
 // the copy falls through to the block positionally following the jump.
 // Depending on the original layout this removes one jump at the loop entry
-// or one jump per iteration. Reports whether anything changed.
-func LOOPS(f *cfg.Func) bool {
-	changed := false
+// or one jump per iteration. Only opts.Tracer is consulted from the
+// options; the Result carries the rotation counters.
+func LOOPS(f *cfg.Func, opts Options) Result {
+	var res Result
 	for iter := 0; iter < 100; iter++ {
-		if !rotateOne(f) {
+		if !rotateOne(f, opts, &res) {
 			break
 		}
-		changed = true
+		res.Changed = true
 	}
-	return changed
+	return res
 }
 
 // pureTestBlock reports whether h consists only of side-effect-free value
@@ -52,7 +54,7 @@ func pureTestBlock(h *cfg.Block) bool {
 
 // rotateOne finds one qualifying jump and replaces it; returns false when
 // none remains.
-func rotateOne(f *cfg.Func) bool {
+func rotateOne(f *cfg.Func, opts Options, res *Result) bool {
 	e := cfg.ComputeEdges(f)
 	d := cfg.ComputeDominators(e)
 	loops := cfg.NaturalLoops(e, d)
@@ -117,12 +119,23 @@ func rotateOne(f *cfg.Func) bool {
 			br.Target = branchTo.Label
 		}
 		rep = append(rep, br)
+		cand := []obs.Candidate{{Kind: obs.KindRotation, RTLs: len(rep), Blocks: 1}}
+		// The splice below reuses p.Insts' backing array, invalidating t;
+		// capture the jump's identity for the decision log first.
+		jumpBlock, jumpTarget := p.Label, t.Target
 		snapshot := f.Clone()
 		p.Insts = append(p.Insts[:len(p.Insts)-1], rep...)
 		if !cfg.IsReducible(f) {
 			*f = *snapshot
+			res.Rollbacks++
+			cand[0].RolledBack = true
+			emitDecision(opts, f, jumpBlock, jumpTarget, cand, obs.OutRolledBack)
 			return rotateNextAfterRollback(f)
 		}
+		res.Replications++
+		res.RTLsCopied += len(rep)
+		cand[0].Applied = true
+		emitDecision(opts, f, jumpBlock, jumpTarget, cand, obs.OutApplied)
 		return true
 	}
 	return false

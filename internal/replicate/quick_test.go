@@ -130,7 +130,7 @@ func TestQuickLOOPSPreservesSemantics(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		f := randomDAGFunc(r)
 		before := fingerprint(t, f)
-		LOOPS(f)
+		LOOPS(f, Options{})
 		runnableSanity(t, f)
 		if after := fingerprint(t, f); after != before {
 			t.Fatalf("trial %d: value changed %d -> %d\n%s", trial, before, after, f)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/rtl"
 )
 
@@ -102,8 +103,17 @@ func TestTable2Return(t *testing.T) {
 	}
 	b1.Insts = []rtl.Inst{{Kind: rtl.Move, Dst: rtl.R(v(0)), Src: rtl.Imm(2)}}
 	b2.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.R(v(0))}}
-	if !JUMPS(f, Options{}) {
+	res := JUMPS(f, Options{})
+	if !res.Changed {
 		t.Fatalf("expected replication:\n%s", f)
+	}
+	// The Result must carry the replication counters: one jump replaced by
+	// a copy of the 1-RTL return block, nothing rolled back or deleted.
+	if res.Replications != 1 || res.RTLsCopied != 1 {
+		t.Errorf("counters = %+v, want 1 replication of 1 RTL", res)
+	}
+	if res.Rollbacks != 0 || res.JumpsDeleted != 0 {
+		t.Errorf("unexpected rollback/deletion counters: %+v", res)
 	}
 	runnableSanity(t, f)
 	if countJumpsIn(f) != 0 {
@@ -147,7 +157,7 @@ func buildWhileLoop() (*cfg.Func, *cfg.Block, *cfg.Block) {
 // by a reversed copy of the test — loop rotation as a special case.
 func TestRotationEmergesFromJUMPS(t *testing.T) {
 	f, _, body := buildWhileLoop()
-	if !JUMPS(f, Options{}) {
+	if !JUMPS(f, Options{}).Changed {
 		t.Fatalf("expected replication:\n%s", f)
 	}
 	runnableSanity(t, f)
@@ -167,8 +177,13 @@ func TestRotationEmergesFromJUMPS(t *testing.T) {
 // conventional shapes.
 func TestLOOPSRotation(t *testing.T) {
 	f, _, _ := buildWhileLoop()
-	if !LOOPS(f) {
+	res := LOOPS(f, Options{})
+	if !res.Changed {
 		t.Fatalf("expected rotation:\n%s", f)
+	}
+	// One rotation copying the 2-RTL test (Cmp + Br), no rollbacks.
+	if res.Replications != 1 || res.RTLsCopied != 2 || res.Rollbacks != 0 {
+		t.Errorf("counters = %+v, want 1 rotation of 2 RTLs", res)
 	}
 	runnableSanity(t, f)
 	if countJumpsIn(f) != 0 {
@@ -181,7 +196,7 @@ func TestLOOPSRotation(t *testing.T) {
 func TestLOOPSKeepsImpureTests(t *testing.T) {
 	f, header, _ := buildWhileLoop()
 	header.Insts = append([]rtl.Inst{{Kind: rtl.Call, Sym: "getchar", Dst: rtl.R(v(0))}}, header.Insts...)
-	if LOOPS(f) {
+	if LOOPS(f, Options{}).Changed {
 		t.Errorf("LOOPS must skip impure tests:\n%s", f)
 	}
 }
@@ -220,8 +235,14 @@ func TestFigure1LoopReplication(t *testing.T) {
 		{Kind: rtl.Br, BrRel: rtl.Lt, Target: b5.Label},
 	}
 	b7.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.R(i)}}
-	if !JUMPS(f, Options{}) {
+	res := JUMPS(f, Options{})
+	if !res.Changed {
 		t.Fatalf("expected replication:\n%s", f)
+	}
+	// The applied sequence pulls the whole natural loop in; the counters
+	// must record the copy volume.
+	if res.Replications < 1 || res.RTLsCopied == 0 {
+		t.Errorf("applied replication not counted: %+v", res)
 	}
 	runnableSanity(t, f)
 	// The original loop must have exactly one header still: count blocks
@@ -286,10 +307,10 @@ func TestMaxSeqRTLsCap(t *testing.T) {
 		{Kind: rtl.Move, Dst: rtl.R(v(3)), Src: rtl.Imm(5)},
 		{Kind: rtl.Ret, Src: rtl.R(v(0))},
 	}
-	if JUMPS(f, Options{MaxSeqRTLs: 2}) {
+	if JUMPS(f, Options{MaxSeqRTLs: 2}).Changed {
 		t.Errorf("cap of 2 should reject the 4-RTL sequence:\n%s", f)
 	}
-	if !JUMPS(f, Options{MaxSeqRTLs: 10}) {
+	if !JUMPS(f, Options{MaxSeqRTLs: 10}).Changed {
 		t.Error("cap of 10 should allow it")
 	}
 }
@@ -344,7 +365,7 @@ func TestInfiniteLoopSkipped(t *testing.T) {
 		{Kind: rtl.Move, Dst: rtl.R(v(0)), Src: rtl.Imm(1)},
 		{Kind: rtl.Jmp, Target: b1.Label},
 	}
-	if JUMPS(f, Options{}) {
+	if JUMPS(f, Options{}).Changed {
 		// Deleting a jump-to-next is permitted; anything beyond must not
 		// corrupt the graph.
 		runnableSanity(t, f)
@@ -369,8 +390,12 @@ func TestJumpToNextDeleted(t *testing.T) {
 	b1 := f.NewBlock()
 	b0.Insts = []rtl.Inst{{Kind: rtl.Jmp, Target: b1.Label}}
 	b1.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.None()}}
-	if !JUMPS(f, Options{}) {
+	res := JUMPS(f, Options{})
+	if !res.Changed {
 		t.Fatal("expected the jump to be deleted")
+	}
+	if res.JumpsDeleted != 1 || res.Replications != 0 || res.RTLsCopied != 0 {
+		t.Errorf("deletion must be counted as JumpsDeleted, not a replication: %+v", res)
 	}
 	if f.NumRTLs() != 1 {
 		t.Errorf("expected only the return to remain:\n%s", f)
@@ -442,10 +467,105 @@ func TestNoCandidateLeavesFunctionUntouched(t *testing.T) {
 		{Kind: rtl.Jmp, Target: b2.Label},
 	}
 	before := f.String()
-	if JUMPS(f, Options{}) {
+	if JUMPS(f, Options{}).Changed {
 		t.Error("nothing should be replaceable")
 	}
 	if f.String() != before {
 		t.Errorf("function mutated:\nbefore:\n%s\nafter:\n%s", before, f.String())
+	}
+}
+
+// TestRollbackCountedAndLogged reproduces the paper's Figure-1 dynamics in
+// miniature: the bare favoring-returns candidate copies the loop header but
+// not the latch, creating a second loop entry; step 6 rolls it back and the
+// loop-completed candidate applies. Both sides must show up in the Result
+// counters and in the decision log, with the rolled-back candidate marked.
+func TestRollbackCountedAndLogged(t *testing.T) {
+	f := cfg.NewFunc("t", 0)
+	b0 := f.NewBlock()
+	b1 := f.NewBlock() // jmp b3 (the jump under test)
+	b2 := f.NewBlock()
+	b3 := f.NewBlock() // preheader
+	b4 := f.NewBlock() // loop header, exits to b6
+	b5 := f.NewBlock() // latch, back edge to b4
+	b6 := f.NewBlock() // return
+	i := v(0)
+	b0.Insts = []rtl.Inst{
+		{Kind: rtl.Cmp, Src: rtl.R(i), Src2: rtl.Imm(0)},
+		{Kind: rtl.Br, BrRel: rtl.Lt, Target: b2.Label},
+	}
+	b1.Insts = []rtl.Inst{
+		{Kind: rtl.Move, Dst: rtl.R(v(1)), Src: rtl.Imm(1)},
+		{Kind: rtl.Jmp, Target: b3.Label},
+	}
+	b2.Insts = []rtl.Inst{{Kind: rtl.Move, Dst: rtl.R(v(1)), Src: rtl.Imm(2)}}
+	b3.Insts = []rtl.Inst{{Kind: rtl.Move, Dst: rtl.R(i), Src: rtl.Imm(0)}}
+	b4.Insts = []rtl.Inst{
+		{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(i), Src: rtl.R(i), Src2: rtl.Imm(1)},
+		{Kind: rtl.Cmp, Src: rtl.R(i), Src2: rtl.Imm(10)},
+		{Kind: rtl.Br, BrRel: rtl.Ge, Target: b6.Label},
+	}
+	b5.Insts = []rtl.Inst{
+		{Kind: rtl.Cmp, Src: rtl.R(i), Src2: rtl.Imm(5)},
+		{Kind: rtl.Br, BrRel: rtl.Lt, Target: b4.Label},
+	}
+	b6.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.R(i)}}
+
+	col := &obs.Collector{}
+	res := JUMPS(f, Options{Tracer: col})
+	runnableSanity(t, f)
+	if !res.Changed || res.Replications != 1 || res.Rollbacks != 1 {
+		t.Fatalf("want 1 replication after 1 rollback, got %+v:\n%s", res, f)
+	}
+	if res.RTLsCopied == 0 {
+		t.Errorf("RTLs copied not counted: %+v", res)
+	}
+
+	var decisions []*obs.Event
+	for _, ev := range col.Events() {
+		if ev.Type == obs.EvDecision {
+			decisions = append(decisions, ev)
+		}
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("want 1 decision event, got %d", len(decisions))
+	}
+	d := decisions[0]
+	if d.Outcome != obs.OutApplied || len(d.Candidates) < 2 {
+		t.Fatalf("decision = %+v, want applied with >= 2 candidates", d)
+	}
+	first, second := d.Candidates[0], d.Candidates[1]
+	if !first.RolledBack || first.Applied {
+		t.Errorf("first candidate should be marked rolled back: %+v", first)
+	}
+	if !second.Applied || !second.LoopCompleted {
+		t.Errorf("second candidate should be the applied loop-completed one: %+v", second)
+	}
+	if first.RTLs == 0 || second.RTLs <= first.RTLs {
+		t.Errorf("candidate costs missing or unordered: %+v vs %+v", first, second)
+	}
+}
+
+// TestDecisionLogBothKinds: a rotated while loop offers both a
+// favoring-returns and a favoring-loops candidate; the decision event must
+// record both with their costs.
+func TestDecisionLogBothKinds(t *testing.T) {
+	f, _, _ := buildWhileLoop()
+	col := &obs.Collector{}
+	JUMPS(f, Options{Tracer: col})
+	kinds := map[string]bool{}
+	for _, ev := range col.Events() {
+		if ev.Type != obs.EvDecision {
+			continue
+		}
+		for _, c := range ev.Candidates {
+			if c.RTLs <= 0 {
+				t.Errorf("candidate without cost: %+v", c)
+			}
+			kinds[c.Kind] = true
+		}
+	}
+	if !kinds[obs.KindReturns] || !kinds[obs.KindLoops] {
+		t.Errorf("want both candidate kinds in the log, got %v", kinds)
 	}
 }

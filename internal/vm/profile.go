@@ -1,0 +1,110 @@
+package vm
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+)
+
+// Profile holds per-block dynamic execution counts, gathered when
+// Config.Profile is set. Because the interpreter always executes a block's
+// instructions in full (delay-slot squashes are counted as no-ops, not
+// skipped), a block's executed-instruction total is exactly
+// entries × static size.
+type Profile struct {
+	Funcs []FuncProfile
+}
+
+// FuncProfile is the profile of one function, blocks in layout order.
+type FuncProfile struct {
+	Name   string
+	Blocks []BlockCount
+}
+
+// BlockCount is the dynamic count of one basic block.
+type BlockCount struct {
+	// Label is the block's label in the function's final layout.
+	Label string
+	// Count is the number of times the block was entered.
+	Count int64
+	// Insts is the block's static instruction count.
+	Insts int
+}
+
+// HotBlock is one entry of the hot-path summary.
+type HotBlock struct {
+	Func  string
+	Label string
+	// Count is the number of entries, ExecInsts the instructions executed
+	// in the block (Count × static size), Frac ExecInsts' share of the
+	// program's total executed instructions.
+	Count     int64
+	Insts     int
+	ExecInsts int64
+	Frac      float64
+}
+
+// TotalExec returns the total executed instructions accounted to blocks.
+func (p *Profile) TotalExec() int64 {
+	var total int64
+	for _, fp := range p.Funcs {
+		for _, b := range fp.Blocks {
+			total += b.Count * int64(b.Insts)
+		}
+	}
+	return total
+}
+
+// Hot returns the n blocks that executed the most instructions, in
+// descending order (ties broken by function name then label, so the result
+// is deterministic). Blocks that never ran are excluded.
+func (p *Profile) Hot(n int) []HotBlock {
+	total := p.TotalExec()
+	var hot []HotBlock
+	for _, fp := range p.Funcs {
+		for _, b := range fp.Blocks {
+			if b.Count == 0 {
+				continue
+			}
+			h := HotBlock{
+				Func: fp.Name, Label: b.Label,
+				Count: b.Count, Insts: b.Insts,
+				ExecInsts: b.Count * int64(b.Insts),
+			}
+			if total > 0 {
+				h.Frac = float64(h.ExecInsts) / float64(total)
+			}
+			hot = append(hot, h)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].ExecInsts != hot[j].ExecInsts {
+			return hot[i].ExecInsts > hot[j].ExecInsts
+		}
+		if hot[i].Func != hot[j].Func {
+			return hot[i].Func < hot[j].Func
+		}
+		return hot[i].Label < hot[j].Label
+	})
+	if n > 0 && len(hot) > n {
+		hot = hot[:n]
+	}
+	return hot
+}
+
+// buildProfile converts the interpreter's raw counters into a Profile.
+func buildProfile(p *cfg.Program, counts [][]int64) *Profile {
+	prof := &Profile{Funcs: make([]FuncProfile, len(p.Funcs))}
+	for fi, f := range p.Funcs {
+		fp := FuncProfile{Name: f.Name, Blocks: make([]BlockCount, len(f.Blocks))}
+		for bi, b := range f.Blocks {
+			fp.Blocks[bi] = BlockCount{
+				Label: b.Label.String(),
+				Count: counts[fi][bi],
+				Insts: len(b.Insts),
+			}
+		}
+		prof.Funcs[fi] = fp
+	}
+	return prof
+}

@@ -1,0 +1,139 @@
+package vm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mcc"
+	"repro/internal/vm"
+)
+
+// profiled compiles and runs src with block profiling on.
+func profiled(t *testing.T, src string) *vm.Result {
+	t.Helper()
+	prog, err := mcc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := vm.Run(prog, vm.Config{Profile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Profile == nil {
+		t.Fatal("Profile requested but not returned")
+	}
+	return res
+}
+
+// TestProfileAccountsAllExecution: the interpreter executes blocks in full,
+// so the per-block counts must account for exactly the executed instruction
+// total reported by the dynamic counters.
+func TestProfileAccountsAllExecution(t *testing.T) {
+	res := profiled(t, `
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 37; i++)
+		s += i;
+	printint(s);
+	return 0;
+}`)
+	if got, want := res.Profile.TotalExec(), res.Counts.Exec; got != want {
+		t.Errorf("profile accounts %d executed instructions, counters say %d", got, want)
+	}
+	// Exactly one entry into main's entry block.
+	entry := res.Profile.Funcs[0].Blocks[0]
+	if entry.Count != 1 {
+		t.Errorf("entry block count = %d, want 1", entry.Count)
+	}
+}
+
+// TestProfileLoopCounts: a counted loop's body block must be entered once
+// per iteration.
+func TestProfileLoopCounts(t *testing.T) {
+	res := profiled(t, `
+int main() {
+	int i;
+	for (i = 0; i < 13; i++)
+		putchar('x');
+	return 0;
+}`)
+	var found bool
+	for _, b := range res.Profile.Funcs[0].Blocks {
+		if b.Count == 13 {
+			found = true
+		}
+		if b.Count < 0 {
+			t.Errorf("negative count: %+v", b)
+		}
+	}
+	if !found {
+		t.Errorf("no block entered 13 times: %+v", res.Profile.Funcs[0].Blocks)
+	}
+}
+
+// TestHotOrdering: Hot returns blocks by executed instructions descending,
+// truncated to n, with deterministic tie-breaking, and the hottest block of
+// a loop-dominated program is in the loop.
+func TestHotOrdering(t *testing.T) {
+	res := profiled(t, `
+int f(int x) { return x * 2; }
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 100; i++)
+		s += f(i);
+	printint(s);
+	return 0;
+}`)
+	hot := res.Profile.Hot(3)
+	if len(hot) != 3 {
+		t.Fatalf("Hot(3) returned %d entries", len(hot))
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].ExecInsts > hot[i-1].ExecInsts {
+			t.Errorf("Hot not sorted: %+v before %+v", hot[i-1], hot[i])
+		}
+	}
+	for _, h := range hot {
+		if h.ExecInsts != h.Count*int64(h.Insts) {
+			t.Errorf("ExecInsts != Count*Insts: %+v", h)
+		}
+		if h.Frac <= 0 || h.Frac > 1 {
+			t.Errorf("bad fraction: %+v", h)
+		}
+	}
+	if hot[0].Count < 100 {
+		t.Errorf("hottest block should be loop-resident: %+v", hot[0])
+	}
+	// Determinism: same program, same profile, same ordering.
+	res2 := profiled(t, `
+int f(int x) { return x * 2; }
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 100; i++)
+		s += f(i);
+	printint(s);
+	return 0;
+}`)
+	if !reflect.DeepEqual(res.Profile.Hot(3), res2.Profile.Hot(3)) {
+		t.Error("Hot ordering not deterministic across runs")
+	}
+}
+
+// TestProfileOffByDefault: without Config.Profile the result carries no
+// profile (the hot path must not pay for counters).
+func TestProfileOffByDefault(t *testing.T) {
+	prog, err := mcc.Compile(`int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Error("profile collected without being requested")
+	}
+}

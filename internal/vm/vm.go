@@ -40,6 +40,9 @@ type Result struct {
 	ExitCode int64
 	Output   []byte
 	Steps    int64
+	// Profile holds per-block execution counts (nil unless
+	// Config.Profile was set).
+	Profile *Profile
 }
 
 // Config controls a run.
@@ -58,6 +61,9 @@ type Config struct {
 	// function, block label, and the instruction text. Expensive; for
 	// debugging miscompiles.
 	Trace io.Writer
+	// Profile enables per-block execution counting (one counter increment
+	// per block entered); the counts are returned in Result.Profile.
+	Profile bool
 }
 
 type frame struct {
@@ -94,6 +100,9 @@ type machineState struct {
 	onFetch func(addr, size int64)
 	trace   io.Writer
 	args    []int64 // pending outgoing arguments
+	// prof counts block entries per [function][block]; nil when profiling
+	// is disabled.
+	prof [][]int64
 }
 
 // Run executes the program's main function.
@@ -139,6 +148,12 @@ func run(p *cfg.Program, cfgr Config) (*Result, error) {
 		}
 		m.labels = append(m.labels, lm)
 	}
+	if cfgr.Profile {
+		m.prof = make([][]int64, len(p.Funcs))
+		for i, f := range p.Funcs {
+			m.prof[i] = make([]int64, len(f.Blocks))
+		}
+	}
 	// Place globals at the bottom of memory.
 	addr := int64(1) // cell 0 reserved so no global has address 0 (NULL)
 	for _, g := range p.Globals {
@@ -153,6 +168,9 @@ func run(p *cfg.Program, cfgr Config) (*Result, error) {
 	}
 	rv, err := m.call(mainFn, nil)
 	res := &Result{Counts: m.counts, Output: m.out.Bytes(), Steps: m.steps, ExitCode: rv}
+	if m.prof != nil {
+		res.Profile = buildProfile(p, m.prof)
+	}
 	var ee errExit
 	if errors.As(err, &ee) {
 		res.ExitCode = ee.code
@@ -192,6 +210,9 @@ func (m *machineState) call(fn *cfg.Func, args []int64) (int64, error) {
 			return 0, m.runtimeErr(fn, "control fell off the end of the function")
 		}
 		b := fn.Blocks[bi]
+		if m.prof != nil {
+			m.prof[fr.fnIdx][bi]++
+		}
 		// Interpret the block. A control-transfer instruction records the
 		// pending transfer; any instructions after it (delay slots) still
 		// execute, then the transfer happens — exactly SPARC delay-slot
