@@ -7,13 +7,16 @@
 //	ease -file myprog.c -in input.txt
 //	ease -prog wc -trace t.jsonl -explain    # telemetry + narrative
 //	ease -prog wc -fetchtrace fetches.txt    # fetch stream for cmd/cachesim
+//	ease -grid -j 8                          # full Table-3 grid, 8 workers
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/service"
 )
 
 func main() {
@@ -37,7 +41,14 @@ func main() {
 	explain := flag.Bool("explain", false, "print a human-readable pass/replication narrative to stderr")
 	profile := flag.Bool("profile", false, "print the hottest blocks to stderr")
 	quiet := flag.Bool("q", false, "suppress the per-cell progress line on stderr")
+	grid := flag.Bool("grid", false, "measure the full Table-3 grid and print the paper's tables")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel measurement workers for -grid")
 	flag.Parse()
+
+	if *grid {
+		runGrid(*caches, *jobs, *quiet)
+		return
+	}
 
 	req := ease.Request{SimulateCaches: *caches, Profile: *profile}
 	switch {
@@ -179,4 +190,36 @@ func main() {
 	if collector != nil {
 		obs.Explain(os.Stderr, collector.Events())
 	}
+}
+
+// runGrid measures every (program × machine × level) cell through the
+// shared service worker pool and prints the paper's tables. The table
+// bytes are identical for every -j: cells land at preassigned grid
+// positions, and the per-cell progress lines on stderr are serialized by
+// bench.RunGrid (only their order varies with -j > 1).
+func runGrid(caches bool, jobs int, quiet bool) {
+	pool := service.NewPool(jobs, 0)
+	var progress *os.File
+	if !quiet {
+		progress = os.Stderr
+	}
+	start := time.Now()
+	res, err := bench.RunGrid(context.Background(), bench.GridConfig{
+		Caches:   caches,
+		Progress: progress,
+		Pool:     pool,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ease:", err)
+		os.Exit(1)
+	}
+	if err := pool.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "ease:", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ease: %d cells with %d workers in %s\n",
+			len(res.Cells), pool.Workers(), time.Since(start).Round(time.Millisecond))
+	}
+	res.WriteAll(os.Stdout, caches)
 }

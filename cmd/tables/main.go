@@ -11,16 +11,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/ease"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
+	"repro/internal/service"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 	heuristic := flag.String("heuristic", "shortest", "JUMPS sequence heuristic: shortest, returns, loops")
 	maxSeq := flag.Int("maxseq", 0, "cap replication sequences at this many RTLs (0 = unlimited)")
 	indirect := flag.Bool("indirect", false, "allow sequences terminated by indirect jumps (§6 extension)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel measurement workers (1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -70,7 +74,19 @@ func main() {
 	if *table == "6s" {
 		sizes = []int64{128, 256, 512, 1024}
 	}
-	res, err := bench.RunAllSizes(needCaches, sizes, opts, progress)
+	// The grid runs through the same worker pool as cmd/mccd; the table
+	// bytes are identical for any -j (cells have preassigned positions).
+	var pool bench.Pool
+	if *jobs > 1 {
+		pool = service.NewPool(*jobs, 0)
+	}
+	res, err := bench.RunGrid(context.Background(), bench.GridConfig{
+		Caches:      needCaches,
+		CacheSizes:  sizes,
+		Replication: opts,
+		Progress:    progress,
+		Pool:        pool,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strings"
-	"time"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/ease"
@@ -23,22 +24,43 @@ type Cell struct {
 	Run     *ease.Run
 }
 
+// cellKey indexes the grid by (program, machine, level).
+type cellKey struct {
+	prog, mach string
+	level      pipeline.Level
+}
+
 // Results holds every cell of the experiment grid.
 type Results struct {
 	Cells []Cell
 	// CacheSizes are the simulated cache sizes (bytes) in bank order.
 	CacheSizes []int64
+
+	// index maps (program, machine, level) to a Cells position. Built
+	// lazily on first Get and rebuilt if Cells has grown since, so table
+	// rendering stays O(1) per lookup as the program set grows.
+	mu      sync.Mutex
+	index   map[cellKey]int
+	indexed int // len(Cells) when index was built
 }
 
 // Get returns the cell for (program, machine, level), or nil.
 func (r *Results) Get(prog, mach string, lv pipeline.Level) *Cell {
-	for i := range r.Cells {
-		c := &r.Cells[i]
-		if c.Program == prog && c.Machine == mach && c.Level == lv {
-			return c
+	r.mu.Lock()
+	if r.index == nil || r.indexed != len(r.Cells) {
+		r.index = make(map[cellKey]int, len(r.Cells))
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			r.index[cellKey{c.Program, c.Machine, c.Level}] = i
 		}
+		r.indexed = len(r.Cells)
 	}
-	return nil
+	i, ok := r.index[cellKey{prog, mach, lv}]
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return &r.Cells[i]
 }
 
 // Levels in table order.
@@ -54,39 +76,16 @@ func RunAll(caches bool, repOpts replicate.Options, progress io.Writer) (*Result
 	return RunAllSizes(caches, nil, repOpts, progress)
 }
 
-// RunAllSizes is RunAll with custom cache sizes (nil = the paper's).
+// RunAllSizes is RunAll with custom cache sizes (nil = the paper's). Both
+// are thin sequential wrappers over RunGrid, the execution path shared
+// with cmd/mccd's worker pool.
 func RunAllSizes(caches bool, cacheSizes []int64, repOpts replicate.Options, progress io.Writer) (*Results, error) {
-	var res Results
-	res.CacheSizes = cacheSizes
-	if res.CacheSizes == nil {
-		res.CacheSizes = []int64{1 * 1024, 2 * 1024, 4 * 1024, 8 * 1024}
-	}
-	for _, p := range Programs() {
-		for _, m := range machines {
-			for _, lv := range levels {
-				run, err := ease.Measure(ease.Request{
-					Name:           p.Name,
-					Source:         p.Source,
-					Input:          []byte(p.Input),
-					Machine:        m,
-					Level:          lv,
-					Replication:    repOpts,
-					SimulateCaches: caches,
-					CacheSizes:     cacheSizes,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, Cell{p.Name, m.Name, lv, run})
-				if progress != nil {
-					fmt.Fprintf(progress, "measured %-10s %-6s %-6s exec=%d in %s\n",
-						p.Name, m.Name, lv, run.Dynamic.Exec,
-						run.Elapsed.Round(time.Millisecond))
-				}
-			}
-		}
-	}
-	return &res, nil
+	return RunGrid(context.Background(), GridConfig{
+		Caches:      caches,
+		CacheSizes:  cacheSizes,
+		Replication: repOpts,
+		Progress:    progress,
+	})
 }
 
 // meanStd returns the mean and (population) standard deviation.

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the service-facing half of the telemetry layer: cheap
+// always-on counters, gauges and histograms collected into a Registry and
+// rendered in the Prometheus text exposition format. Where the Tracer
+// model (obs.go) records *what the compiler did* to one program, metrics
+// record *what the process is doing* over time — request totals, cache
+// hit ratios, queue depths, latency distributions.
+//
+// All metric types are safe for concurrent use and update via atomics, so
+// hot paths pay one atomic add per observation.
+
+// A Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// A Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A Histogram counts observations into cumulative buckets with fixed
+// upper bounds, plus a running sum and count — enough to render the
+// Prometheus histogram form and derive mean latency.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+	count  atomic.Int64
+}
+
+// DefaultLatencyBuckets suits compile/measure jobs: 1ms up to 60s.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds
+// (sorted ascending; a +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered entry; write renders it in exposition format.
+type metric struct {
+	name, help, typ string
+	write           func(w io.Writer, name string)
+}
+
+// A Registry holds named metrics and renders them in registration order.
+// Metric names must be unique; registering a duplicate panics (it is a
+// programming error, like a duplicate flag).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{names: map[string]bool{}} }
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	}})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time (for counts maintained elsewhere, e.g. cache hits).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(metric{name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	}})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(metric{name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, g.Value())
+	}})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time
+// (for instantaneous values like queue depth).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(metric{name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	}})
+}
+
+// Histogram registers and returns a new histogram with the given bucket
+// upper bounds (nil = DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	h := NewHistogram(bounds)
+	r.register(metric{name, help, "histogram", func(w io.Writer, n string) {
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+	}})
+	return h
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every metric in the Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		m.write(w, m.name)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("sum = %v, want 56.05", got)
+	}
+	// Bucket occupancy: (<=0.1)=1, (<=1)=2, (<=10)=1, +Inf=1.
+	want := []int64{1, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	// Boundary value lands in its bucket (le is inclusive).
+	h.Observe(0.1)
+	if got := h.counts[0].Load(); got != 2 {
+		t.Fatalf("le=0.1 bucket after boundary observe = %d, want 2", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Add(3)
+	r.GaugeFunc("depth", "queue depth", func() int64 { return 9 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		"reqs_total 3",
+		"# HELP depth queue depth",
+		"depth 9",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="2"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 1.1",
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestMetricsConcurrent is meaningful under -race: all metric types must
+// take concurrent updates.
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 6))
+			}
+		}()
+	}
+	var render sync.WaitGroup
+	render.Add(1)
+	go func() {
+		defer render.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WriteProm(&sb)
+		}
+	}()
+	wg.Wait()
+	render.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}

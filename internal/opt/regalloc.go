@@ -485,10 +485,14 @@ func rematerialize(f *cfg.Func, r rtl.Reg, temps regSet) bool {
 	return true
 }
 
-// debugSpills is set by tests/debug mains to trace spill decisions.
+// debugSpills is set by tests/debug mains to trace spill decisions. It is
+// the only package-level mutable state on the optimization path (the
+// concurrency audit behind internal/service relies on this): install it
+// before any concurrent compilation starts, never mid-flight.
 var debugSpills func(f *cfg.Func, spills []rtl.Reg)
 
-// DebugSpillsHook installs a stderr tracer for spill decisions (debug aid).
+// DebugSpillsHook installs a stderr tracer for spill decisions (debug
+// aid). Not safe to call while other goroutines are compiling.
 func DebugSpillsHook() {
 	round := 0
 	debugSpills = func(f *cfg.Func, spills []rtl.Reg) {

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/bench"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /compile   mini-C source -> assembly + static/replication counters
+//	POST /measure   program or source -> EASE jump/instruction/cache metrics
+//	POST /grid      async batch over a program list -> job ID
+//	GET  /jobs/{id} job status and result
+//	GET  /jobs      all jobs
+//	GET  /programs  the Table-3 program list
+//	GET  /healthz   liveness + pool stats
+//	GET  /metrics   Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("POST /measure", s.handleMeasure)
+	mux.HandleFunc("POST /grid", s.handleGrid)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /programs", s.handlePrograms)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is the JSON envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing to do about a broken client connection
+}
+
+// writeError maps service errors to HTTP statuses: validation -> 422,
+// overload -> 503 (with Retry-After), timeout -> 504, unknown -> 500.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case IsBadRequest(err):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrPoolClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+// decodeBody parses a JSON request body strictly (unknown fields are an
+// error, so typos in field names fail loudly).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Compile(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req MeasureRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Measure(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req GridRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	view, err := s.SubmitGrid(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+// programInfo is one GET /programs entry.
+type programInfo struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+}
+
+func (s *Service) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	ps := bench.Programs()
+	out := make([]programInfo, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, programInfo{p.Name, p.Class, p.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// health is the GET /healthz body.
+type health struct {
+	Status      string `json:"status"`
+	Workers     int    `json:"workers"`
+	Busy        int64  `json:"busy"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_cap"`
+	JobsRunning int64  `json:"jobs_running"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, health{
+		Status:      "ok",
+		Workers:     s.pool.Workers(),
+		Busy:        s.pool.Busy(),
+		QueueDepth:  s.pool.QueueDepth(),
+		QueueCap:    s.pool.QueueCap(),
+		JobsRunning: s.jobsRunning(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WriteProm(w)
+}

@@ -1,0 +1,163 @@
+// Package service is the concurrent compile-and-measure subsystem behind
+// cmd/mccd: a bounded work queue drained by a fixed worker pool, a
+// content-addressed result cache, an async job model for batch grid runs,
+// and an HTTP/JSON API over all of it. The CLIs share the same worker
+// pool through bench.RunGrid, so one execution path serves both the
+// one-shot tools and the daemon.
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by Submit/TrySubmit.
+var (
+	// ErrQueueFull reports a TrySubmit against a full queue — the caller
+	// should shed load (HTTP 503) rather than block.
+	ErrQueueFull = errors.New("service: work queue full")
+	// ErrPoolClosed reports a submit after Shutdown began.
+	ErrPoolClosed = errors.New("service: pool shut down")
+)
+
+// task is one queued unit of work. The fn runs on a worker goroutine with
+// the submitter's context; cancellation is cooperative (fn checks ctx).
+type task struct {
+	ctx context.Context
+	fn  func(context.Context)
+}
+
+// Pool is a fixed-size worker pool over a bounded queue. Every worker
+// recovers panics, so one bad job cannot take the pool down. Shutdown
+// stops intake and drains queued work.
+type Pool struct {
+	mu      sync.RWMutex // guards closed and the close(tasks) transition
+	closed  bool
+	tasks   chan task
+	wg      sync.WaitGroup
+	workers int
+
+	busy      atomic.Int64
+	completed atomic.Int64
+	panics    atomic.Int64
+}
+
+// NewPool starts a pool of the given size over a bounded queue. workers
+// <= 0 means GOMAXPROCS; depth <= 0 means 4x the worker count.
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	p := &Pool{tasks: make(chan task, depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.busy.Add(1)
+		p.runOne(t)
+		p.busy.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// runOne executes one task behind a panic barrier. A panicking job is
+// counted and dropped; the submitter observes it through whatever
+// completion signal its fn carries (the service layer converts panics to
+// job errors with its own recover before this backstop is reached).
+func (p *Pool) runOne(t task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	t.fn(t.ctx)
+}
+
+// Submit enqueues fn, blocking while the queue is full until space frees
+// up, ctx is done, or the pool shuts down.
+func (p *Pool) Submit(ctx context.Context, fn func(context.Context)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	// Holding the read lock across the send is what makes Shutdown's
+	// close(tasks) safe: the write lock cannot be taken while any sender
+	// is blocked here, and blocked senders always drain because the
+	// workers only exit after the channel is closed.
+	select {
+	case p.tasks <- task{ctx: ctx, fn: fn}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit enqueues fn without blocking; a full queue is ErrQueueFull.
+func (p *Pool) TrySubmit(ctx context.Context, fn func(context.Context)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task{ctx: ctx, fn: fn}:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Shutdown stops intake, drains every queued task, and waits for the
+// workers to exit or ctx to expire (queued work keeps running either
+// way). Safe to call more than once.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Workers is the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Busy is the number of workers currently running a task.
+func (p *Pool) Busy() int64 { return p.busy.Load() }
+
+// QueueDepth is the number of tasks waiting in the queue.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// QueueCap is the queue's capacity.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// Completed is the number of tasks that have finished (including ones
+// that panicked).
+func (p *Pool) Completed() int64 { return p.completed.Load() }
+
+// Panics is the number of tasks that panicked.
+func (p *Pool) Panics() int64 { return p.panics.Load() }

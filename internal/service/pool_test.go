@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 16)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(context.Background(), func(context.Context) {
+			defer wg.Done()
+			n.Add(1)
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d, want 4", p.Workers())
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, 0)
+	if p.Workers() < 1 {
+		t.Fatalf("Workers = %d, want >= 1", p.Workers())
+	}
+	if p.QueueCap() != 4*p.Workers() {
+		t.Fatalf("QueueCap = %d, want %d", p.QueueCap(), 4*p.Workers())
+	}
+	p.Shutdown(context.Background())
+}
+
+// block parks the pool's single worker until release is closed, then
+// returns the gate that confirms the worker picked the task up.
+func block(t *testing.T, p *Pool, release chan struct{}) {
+	t.Helper()
+	running := make(chan struct{})
+	if err := p.Submit(context.Background(), func(context.Context) {
+		close(running)
+		<-release
+	}); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-running
+}
+
+func TestPoolTrySubmitQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	block(t, p, release)
+	// Worker is busy; one slot of queue. Fill it, then overflow.
+	if err := p.TrySubmit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("TrySubmit into empty queue: %v", err)
+	}
+	if err := p.TrySubmit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit overflow = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestPoolSubmitHonorsContext(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	block(t, p, release)
+	if err := p.TrySubmit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("fill queue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Submit(ctx, func(context.Context) {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit on full queue = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	p.Shutdown(context.Background())
+}
+
+func TestPoolRecoverPanics(t *testing.T) {
+	p := NewPool(1, 4)
+	done := make(chan struct{})
+	p.Submit(context.Background(), func(context.Context) { panic("boom") })
+	p.Submit(context.Background(), func(context.Context) { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not survive a panicking task")
+	}
+	if got := p.Panics(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	p.Shutdown(context.Background())
+}
+
+func TestPoolShutdownDrains(t *testing.T) {
+	p := NewPool(2, 32)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := p.Submit(context.Background(), func(context.Context) {
+			time.Sleep(time.Millisecond)
+			n.Add(1)
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := n.Load(); got != 20 {
+		t.Fatalf("drained %d tasks, want all 20", got)
+	}
+	if err := p.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrPoolClosed", err)
+	}
+	if err := p.TrySubmit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("TrySubmit after Shutdown = %v, want ErrPoolClosed", err)
+	}
+	// Second Shutdown is a no-op.
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestPoolShutdownDeadline(t *testing.T) {
+	p := NewPool(1, 4)
+	release := make(chan struct{})
+	block(t, p, release)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with stuck worker = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("final Shutdown: %v", err)
+	}
+}
+
+// TestPoolConcurrentSubmitShutdown races many submitters against a
+// shutdown; under -race this guards the closed/close(tasks) transition.
+func TestPoolConcurrentSubmitShutdown(t *testing.T) {
+	p := NewPool(4, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := p.Submit(context.Background(), func(context.Context) {}); err != nil {
+					if !errors.Is(err, ErrPoolClosed) {
+						t.Errorf("Submit: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+}

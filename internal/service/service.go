@@ -1,0 +1,666 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	icache "repro/internal/cache"
+	"repro/internal/ease"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+	"repro/internal/vm"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrClosed reports a request after Close began.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrNotFound reports an unknown job ID or program name.
+	ErrNotFound = errors.New("service: not found")
+)
+
+// badRequestError marks client mistakes (HTTP 400/422) as opposed to
+// server-side failures.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{fmt.Sprintf(format, args...)}
+}
+
+// IsBadRequest reports whether err is a request-validation failure.
+func IsBadRequest(err error) bool {
+	var b *badRequestError
+	return errors.As(err, &b)
+}
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the pool size (<= 0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the work queue (<= 0 = 4x workers).
+	QueueDepth int
+	// CacheEntries bounds the result cache (<= 0 = DefaultCacheEntries).
+	CacheEntries int
+	// JobTimeout bounds one synchronous compile/measure job (0 = 2m).
+	JobTimeout time.Duration
+	// GridTimeout bounds one async grid job (0 = 15m).
+	GridTimeout time.Duration
+	// Logf, when non-nil, receives one line per noteworthy event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) jobTimeout() time.Duration {
+	if c.JobTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return c.JobTimeout
+}
+
+func (c Config) gridTimeout() time.Duration {
+	if c.GridTimeout <= 0 {
+		return 15 * time.Minute
+	}
+	return c.GridTimeout
+}
+
+// metrics is the service's counter set, registered on one obs.Registry
+// and rendered by GET /metrics.
+type metrics struct {
+	reg *obs.Registry
+
+	reqCompile *obs.Counter
+	reqMeasure *obs.Counter
+	reqGrid    *obs.Counter
+	errors     *obs.Counter
+	gridCells  *obs.Counter
+	latency    *obs.Histogram
+}
+
+func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+	m.reqCompile = reg.Counter("mccd_compile_requests_total", "POST /compile requests accepted")
+	m.reqMeasure = reg.Counter("mccd_measure_requests_total", "POST /measure requests accepted")
+	m.reqGrid = reg.Counter("mccd_grid_requests_total", "POST /grid jobs accepted")
+	m.errors = reg.Counter("mccd_errors_total", "requests that ended in an error")
+	m.gridCells = reg.Counter("mccd_grid_cells_total", "grid cells measured")
+	reg.CounterFunc("mccd_cache_hits_total", "result cache hits", cache.Hits)
+	reg.CounterFunc("mccd_cache_misses_total", "result cache misses", cache.Misses)
+	reg.CounterFunc("mccd_cache_evictions_total", "result cache LRU evictions", cache.Evictions)
+	reg.GaugeFunc("mccd_cache_entries", "result cache occupancy", func() int64 { return int64(cache.Len()) })
+	reg.GaugeFunc("mccd_queue_depth", "tasks waiting in the work queue", func() int64 { return int64(pool.QueueDepth()) })
+	reg.GaugeFunc("mccd_workers", "worker pool size", func() int64 { return int64(pool.Workers()) })
+	reg.GaugeFunc("mccd_workers_busy", "workers currently running a task", pool.Busy)
+	reg.CounterFunc("mccd_tasks_completed_total", "pool tasks completed", pool.Completed)
+	reg.CounterFunc("mccd_task_panics_total", "pool tasks that panicked", pool.Panics)
+	reg.GaugeFunc("mccd_jobs_running", "async jobs currently queued or running", jobsRunning)
+	m.latency = reg.Histogram("mccd_job_seconds", "per-job wall time (compile, measure, grid cell)", nil)
+	return m
+}
+
+// Service is the compile-and-measure engine behind cmd/mccd: one worker
+// pool, one content-addressed result cache, and an async job table.
+type Service struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+	met   *metrics
+
+	// baseCtx parents every grid job; cancel aborts them if a drain
+	// deadline expires.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+	grids  sync.WaitGroup // running grid coordinators, waited on by Close
+}
+
+// New builds and starts a service.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
+		cache: NewCache(cfg.CacheEntries),
+		jobs:  make(map[string]*Job),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.met = newMetrics(s.pool, s.cache, s.jobsRunning)
+	return s
+}
+
+// Registry exposes the metric registry (for GET /metrics and tests).
+func (s *Service) Registry() *obs.Registry { return s.met.reg }
+
+// Pool exposes the worker pool so callers (cmd/mccd's grid path, tests)
+// can share it.
+func (s *Service) Pool() *Pool { return s.pool }
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Service) jobsRunning() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, j := range s.jobs {
+		if st := j.State(); st == JobQueued || st == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Close drains the service: new requests are rejected, running grid jobs
+// and queued pool tasks finish (until ctx expires, at which point grids
+// are canceled), and the pool shuts down.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.grids.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.cancel() // abort in-flight grids; their coordinators will exit
+		<-drained
+		err = ctx.Err()
+	}
+	if e := s.pool.Shutdown(ctx); err == nil {
+		err = e
+	}
+	s.cancel()
+	return err
+}
+
+func (s *Service) checkOpen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// resolveMachine maps a wire name to a machine model.
+func resolveMachine(name string) (*machine.Machine, error) {
+	switch name {
+	case "", "68020", "68k":
+		return machine.M68020, nil
+	case "sparc", "SPARC":
+		return machine.SPARC, nil
+	}
+	return nil, badRequestf("unknown machine %q (want 68020 or sparc)", name)
+}
+
+// resolveLevel maps a wire name to a pipeline level ("" = jumps).
+func resolveLevel(name string) (pipeline.Level, error) {
+	if name == "" {
+		return pipeline.Jumps, nil
+	}
+	lv, err := pipeline.ParseLevel(name)
+	if err != nil {
+		return 0, badRequestf("%v", err)
+	}
+	return lv, nil
+}
+
+// ReplicationOptions is the wire form of replicate.Options.
+type ReplicationOptions struct {
+	// Heuristic picks the candidate order: "", "shortest", "returns" or
+	// "loops".
+	Heuristic string `json:"heuristic,omitempty"`
+	// MaxSeqRTLs caps replicated RTLs per jump (0 = unlimited).
+	MaxSeqRTLs int `json:"maxseq,omitempty"`
+	// AllowIndirect enables the §6 indirect-jump extension.
+	AllowIndirect bool `json:"indirect,omitempty"`
+}
+
+func (o ReplicationOptions) resolve() (replicate.Options, error) {
+	opts := replicate.Options{MaxSeqRTLs: o.MaxSeqRTLs, AllowIndirect: o.AllowIndirect}
+	switch o.Heuristic {
+	case "", "shortest":
+		opts.Heuristic = replicate.HeurShortest
+	case "returns":
+		opts.Heuristic = replicate.HeurReturns
+	case "loops":
+		opts.Heuristic = replicate.HeurLoops
+	default:
+		return opts, badRequestf("unknown heuristic %q (want shortest, returns or loops)", o.Heuristic)
+	}
+	return opts, nil
+}
+
+// hashOptions folds the replication options into a cache key.
+func (b *keyBuilder) options(o ReplicationOptions) {
+	b.str(o.Heuristic)
+	b.int(int64(o.MaxSeqRTLs))
+	b.bool(o.AllowIndirect)
+}
+
+// CompileRequest is the body of POST /compile.
+type CompileRequest struct {
+	// Source is the mini-C translation unit.
+	Source string `json:"source"`
+	// Machine is "68020" (default) or "sparc".
+	Machine string `json:"machine,omitempty"`
+	// Level is "simple", "loops" or "jumps" (default).
+	Level       string             `json:"level,omitempty"`
+	Replication ReplicationOptions `json:"replication,omitempty"`
+}
+
+// CompileResult is the body of a successful POST /compile response.
+type CompileResult struct {
+	Machine string `json:"machine"`
+	Level   string `json:"level"`
+	// Assembly is the optimized program in target assembly syntax.
+	Assembly string `json:"assembly"`
+	// Static carries the pipeline statistics, including the
+	// replicate.Result counters (replications, jumps deleted, rollbacks,
+	// RTLs copied).
+	Static    pipeline.Stats `json:"static"`
+	CodeBytes int64          `json:"code_bytes"`
+	// Cached reports whether this response was served from the
+	// content-addressed cache.
+	Cached bool `json:"cached"`
+	// ElapsedNS is the compile wall time (0 when Cached).
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+func compileKey(req CompileRequest) Key {
+	b := newKeyBuilder("compile")
+	b.str(req.Source)
+	b.str(req.Machine)
+	b.str(req.Level)
+	b.options(req.Replication)
+	return b.sum()
+}
+
+// Compile compiles req through the worker pool, serving repeats from the
+// cache. The returned result is a private copy; mutating it is safe.
+func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResult, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if req.Source == "" {
+		return nil, badRequestf("missing source")
+	}
+	m, err := resolveMachine(req.Machine)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := resolveLevel(req.Level)
+	if err != nil {
+		return nil, err
+	}
+	repOpts, err := req.Replication.resolve()
+	if err != nil {
+		return nil, err
+	}
+	s.met.reqCompile.Inc()
+
+	key := compileKey(req)
+	if v, ok := s.cache.Get(key); ok {
+		out := *v.(*CompileResult)
+		out.Cached = true
+		out.ElapsedNS = 0
+		return &out, nil
+	}
+	v, err := s.runSync(ctx, func(context.Context) (any, error) {
+		start := time.Now()
+		prog, err := mcc.Compile(req.Source)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		st := pipeline.Optimize(prog, pipeline.Config{
+			Machine: m, Level: lv, Replication: repOpts,
+		})
+		var buf bytes.Buffer
+		if err := asm.Emit(&buf, prog, m); err != nil {
+			return nil, err
+		}
+		return &CompileResult{
+			Machine: m.Name, Level: lv.String(),
+			Assembly: buf.String(), Static: st,
+			CodeBytes: vm.NewLayout(prog, m).CodeBytes,
+			ElapsedNS: int64(time.Since(start)),
+		}, nil
+	})
+	if err != nil {
+		s.met.errors.Inc()
+		return nil, err
+	}
+	res := v.(*CompileResult)
+	s.cache.Put(key, res)
+	out := *res
+	return &out, nil
+}
+
+// MeasureRequest is the body of POST /measure: either a Table-3 program
+// name or inline source.
+type MeasureRequest struct {
+	// Program names a Table-3 entry ("wc", "queens", ...); its canned
+	// input is used unless Input is set.
+	Program string `json:"program,omitempty"`
+	// Source is an inline mini-C translation unit (alternative to
+	// Program).
+	Source string `json:"source,omitempty"`
+	// Input overrides the program's standard input.
+	Input *string `json:"input,omitempty"`
+	// Machine is "68020" (default) or "sparc".
+	Machine string `json:"machine,omitempty"`
+	// Level is "simple", "loops" or "jumps" (default).
+	Level       string             `json:"level,omitempty"`
+	Replication ReplicationOptions `json:"replication,omitempty"`
+	// Caches enables the Table-6 cache bank.
+	Caches bool `json:"caches,omitempty"`
+	// IncludeOutput echoes the program's output in the response.
+	IncludeOutput bool `json:"output,omitempty"`
+}
+
+// MeasureResult is the body of a successful POST /measure response.
+type MeasureResult struct {
+	Name    string `json:"name"`
+	Machine string `json:"machine"`
+	Level   string `json:"level"`
+	// Static and Dynamic are the EASE measurements behind Tables 4 and 5.
+	Static    pipeline.Stats `json:"static"`
+	Dynamic   vm.Counts      `json:"dynamic"`
+	CodeBytes int64          `json:"code_bytes"`
+	ExitCode  int64          `json:"exit_code"`
+	// Derived Table-4/§5.2 ratios.
+	StaticJumpPct        float64 `json:"static_jump_pct"`
+	DynamicJumpPct       float64 `json:"dynamic_jump_pct"`
+	InstsBetweenBranches float64 `json:"insts_between_branches"`
+	// Caches holds the Table-6 bank statistics when requested.
+	Caches []icache.Stats `json:"caches,omitempty"`
+	// Output is the program's output (when requested).
+	Output string `json:"output,omitempty"`
+	Cached bool   `json:"cached"`
+	// ElapsedNS is the measurement wall time (0 when Cached).
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+func measureKey(req MeasureRequest, source, input string) Key {
+	b := newKeyBuilder("measure")
+	b.str(source)
+	b.str(input)
+	b.str(req.Machine)
+	b.str(req.Level)
+	b.options(req.Replication)
+	b.bool(req.Caches)
+	b.bool(req.IncludeOutput)
+	return b.sum()
+}
+
+// Measure compiles, runs and measures req through the worker pool,
+// serving repeats from the cache.
+func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResult, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	name, source, input := req.Program, req.Source, ""
+	switch {
+	case req.Program != "" && req.Source != "":
+		return nil, badRequestf("give program or source, not both")
+	case req.Program != "":
+		p := bench.ProgramByName(req.Program)
+		if p == nil {
+			return nil, badRequestf("unknown program %q (see GET /programs)", req.Program)
+		}
+		source, input = p.Source, p.Input
+	case req.Source != "":
+		name = "inline"
+	default:
+		return nil, badRequestf("missing program or source")
+	}
+	if req.Input != nil {
+		input = *req.Input
+	}
+	m, err := resolveMachine(req.Machine)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := resolveLevel(req.Level)
+	if err != nil {
+		return nil, err
+	}
+	repOpts, err := req.Replication.resolve()
+	if err != nil {
+		return nil, err
+	}
+	s.met.reqMeasure.Inc()
+
+	key := measureKey(req, source, input)
+	if v, ok := s.cache.Get(key); ok {
+		out := *v.(*MeasureResult)
+		out.Cached = true
+		out.ElapsedNS = 0
+		return &out, nil
+	}
+	v, err := s.runSync(ctx, func(context.Context) (any, error) {
+		run, err := ease.Measure(ease.Request{
+			Name: name, Source: source, Input: []byte(input),
+			Machine: m, Level: lv, Replication: repOpts,
+			SimulateCaches: req.Caches,
+		})
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		out := &MeasureResult{
+			Name: name, Machine: m.Name, Level: lv.String(),
+			Static: run.Static, Dynamic: run.Dynamic,
+			CodeBytes: run.CodeBytes, ExitCode: run.ExitCode,
+			StaticJumpPct:        100 * run.StaticJumpFraction(),
+			DynamicJumpPct:       100 * run.DynamicJumpFraction(),
+			InstsBetweenBranches: run.InstsBetweenBranches(),
+			Caches:               run.Caches,
+			ElapsedNS:            int64(run.Elapsed),
+		}
+		if req.IncludeOutput {
+			out.Output = string(run.Output)
+		}
+		return out, nil
+	})
+	if err != nil {
+		s.met.errors.Inc()
+		return nil, err
+	}
+	res := v.(*MeasureResult)
+	s.cache.Put(key, res)
+	out := *res
+	return &out, nil
+}
+
+// runSync routes one job through the worker pool and waits for it: the
+// per-job timeout and the caller's cancellation both apply, queue
+// overflow surfaces as ErrQueueFull (HTTP 503), and a panicking job
+// comes back as an error instead of killing a worker.
+func (s *Service) runSync(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.jobTimeout())
+	defer cancel()
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	err := s.pool.TrySubmit(ctx, func(ctx context.Context) {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{nil, fmt.Errorf("service: job panicked: %v", r)}
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			ch <- outcome{nil, err}
+			return
+		}
+		v, err := fn(ctx)
+		ch <- outcome{v, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case o := <-ch:
+		s.met.latency.Observe(time.Since(start).Seconds())
+		return o.v, o.err
+	case <-ctx.Done():
+		// The job may still run to completion on its worker; only the
+		// waiter gives up.
+		return nil, ctx.Err()
+	}
+}
+
+// GridRequest is the body of POST /grid: an asynchronous batch over a
+// program list.
+type GridRequest struct {
+	// Programs are Table-3 names (empty = the full set).
+	Programs []string `json:"programs,omitempty"`
+	// Caches enables the Table-6 cache bank.
+	Caches bool `json:"caches,omitempty"`
+	// CacheSizes overrides the paper's {1,2,4,8} KB bank (bytes).
+	CacheSizes  []int64            `json:"cache_sizes,omitempty"`
+	Replication ReplicationOptions `json:"replication,omitempty"`
+	// Tables includes the rendered Tables 3–6 text in the job result.
+	Tables bool `json:"tables,omitempty"`
+}
+
+// GridCell is one grid cell summary in a job result.
+type GridCell struct {
+	Program   string         `json:"program"`
+	Machine   string         `json:"machine"`
+	Level     string         `json:"level"`
+	Static    pipeline.Stats `json:"static"`
+	Dynamic   vm.Counts      `json:"dynamic"`
+	CodeBytes int64          `json:"code_bytes"`
+	Caches    []icache.Stats `json:"caches,omitempty"`
+}
+
+// GridResult is the result payload of a finished grid job.
+type GridResult struct {
+	Cells []GridCell `json:"cells"`
+	// Tables is the rendered Tables 3–6 text (when requested).
+	Tables string `json:"tables,omitempty"`
+}
+
+// SubmitGrid validates req, registers an async job, and starts a
+// coordinator goroutine that fans the grid cells out over the worker
+// pool. The returned snapshot carries the job ID for GET /jobs/{id}.
+func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
+	if err := s.checkOpen(); err != nil {
+		return JobView{}, err
+	}
+	repOpts, err := req.Replication.resolve()
+	if err != nil {
+		return JobView{}, err
+	}
+	progs := bench.Programs()
+	if len(req.Programs) > 0 {
+		chosen := make([]bench.Program, 0, len(req.Programs))
+		for _, name := range req.Programs {
+			p := bench.ProgramByName(name)
+			if p == nil {
+				return JobView{}, badRequestf("unknown program %q", name)
+			}
+			chosen = append(chosen, *p)
+		}
+		progs = chosen
+	}
+	s.met.reqGrid.Inc()
+
+	job := newJob("grid", len(progs)*6) // 2 machines x 3 levels per program
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	s.jobs[job.ID()] = job
+	s.grids.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.grids.Done()
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.gridTimeout())
+		defer cancel()
+		job.start()
+		start := time.Now()
+		res, err := bench.RunGrid(ctx, bench.GridConfig{
+			Programs:    progs,
+			Caches:      req.Caches,
+			CacheSizes:  req.CacheSizes,
+			Replication: repOpts,
+			Pool:        s.pool,
+			OnCell: func(c *bench.Cell) {
+				job.step()
+				s.met.gridCells.Inc()
+				s.met.latency.Observe(c.Run.Elapsed.Seconds())
+			},
+		})
+		if err != nil {
+			s.met.errors.Inc()
+			job.finish(nil, err)
+			s.logf("grid job %s failed after %s: %v", job.ID(), time.Since(start).Round(time.Millisecond), err)
+			return
+		}
+		out := &GridResult{Cells: make([]GridCell, 0, len(res.Cells))}
+		for _, c := range res.Cells {
+			out.Cells = append(out.Cells, GridCell{
+				Program: c.Program, Machine: c.Machine, Level: c.Level.String(),
+				Static: c.Run.Static, Dynamic: c.Run.Dynamic,
+				CodeBytes: c.Run.CodeBytes, Caches: c.Run.Caches,
+			})
+		}
+		if req.Tables {
+			var buf bytes.Buffer
+			res.WriteAll(&buf, req.Caches)
+			out.Tables = buf.String()
+		}
+		job.finish(out, nil)
+		s.logf("grid job %s: %d cells in %s", job.ID(), len(res.Cells), time.Since(start).Round(time.Millisecond))
+	}()
+	return job.View(), nil
+}
+
+// Job returns a snapshot of the identified job.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.View(), nil
+}
+
+// Jobs returns snapshots of every known job (newest state, unordered).
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.View())
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterministicAcrossConcurrency compiles the same source on a wide
+// pool and a single-worker service and checks the results agree — the
+// pipeline must be a pure function of its inputs regardless of what else
+// shares the process.
+func TestDeterministicAcrossConcurrency(t *testing.T) {
+	wide := New(Config{Workers: 4})
+	narrow := New(Config{Workers: 1})
+	defer wide.Close(context.Background())
+	defer narrow.Close(context.Background())
+	req := CompileRequest{Source: tinySrc, Machine: "sparc", Level: "jumps"}
+	a, err := wide.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := narrow.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assembly != b.Assembly || a.Static != b.Static || a.CodeBytes != b.CodeBytes {
+		t.Fatalf("results diverge across pool sizes:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestGracefulDrain submits a grid job and immediately closes the
+// service: Close must wait for the job to finish (drain), and its result
+// must remain retrievable afterwards.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 2})
+	view, err := s.SubmitGrid(GridRequest{Programs: []string{"queens"}})
+	if err != nil {
+		t.Fatalf("SubmitGrid: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := s.Job(view.ID)
+	if err != nil {
+		t.Fatalf("Job after Close: %v", err)
+	}
+	if got.State != JobDone {
+		t.Fatalf("job state after drain = %q (%d/%d, err %q), want done",
+			got.State, got.Done, got.Total, got.Error)
+	}
+	if got.Done != 6 {
+		t.Fatalf("done = %d, want 6", got.Done)
+	}
+}
+
+// TestClosedServiceRejects verifies every entry point refuses work after
+// Close.
+func TestClosedServiceRejects(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Compile(context.Background(), CompileRequest{Source: tinySrc}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compile after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Measure(context.Background(), MeasureRequest{Program: "queens"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Measure after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.SubmitGrid(GridRequest{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitGrid after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestJobTimeout bounds a synchronous job: the waiter gives up even if
+// the job itself would take longer.
+func TestJobTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, JobTimeout: 30 * time.Millisecond})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	// Park the worker so the submitted job cannot start before the
+	// timeout fires.
+	release := make(chan struct{})
+	defer close(release)
+	running := make(chan struct{})
+	s.pool.Submit(context.Background(), func(context.Context) {
+		close(running)
+		<-release
+	})
+	<-running
+	_, err := s.Compile(context.Background(), CompileRequest{Source: tinySrc})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Compile with parked worker = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPanicBecomesError routes a panicking job through runSync and
+// expects an error response, not a crashed worker.
+func TestPanicBecomesError(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(context.Background())
+	_, err := s.runSync(context.Background(), func(context.Context) (any, error) {
+		panic("kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("runSync panic = %v, want job-panicked error", err)
+	}
+	// The worker survived: the next job runs fine.
+	v, err := s.runSync(context.Background(), func(context.Context) (any, error) {
+		return 7, nil
+	})
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("after panic: %v, %v", v, err)
+	}
+}
