@@ -1,0 +1,245 @@
+// Command fuzzjump runs offline differential-fuzzing campaigns against the
+// SIMPLE/LOOPS/JUMPS pipeline: it generates seeded mini-C programs, checks
+// each one with the internal/difftest oracle on both simulated machines,
+// and reports every violation. Unlike the 60-second `go test -fuzz` smoke
+// in CI, fuzzjump is built for long unattended runs: it parallelizes across
+// workers, persists failing programs (and their minimized forms) to a
+// corpus directory, and streams machine-readable findings as JSON Lines.
+//
+//	fuzzjump -duration 15m                     # nightly campaign
+//	fuzzjump -count 500 -seed 1000             # seeds 1000..1499
+//	fuzzjump -machines sparc -levels jumps     # restrict the matrix
+//	fuzzjump -corpus out/ -report f.jsonl      # persist failures
+//	fuzzjump -inject rollback                  # oracle self-test
+//
+// Exit status: 0 if the campaign found nothing, 1 if any seed produced a
+// violation, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/difftest"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+)
+
+func main() {
+	duration := flag.Duration("duration", 0, "run until this much time has passed (0 = use -count)")
+	count := flag.Int64("count", 200, "number of seeds to check when -duration is 0")
+	seed := flag.Int64("seed", 1, "first seed of the campaign")
+	machines := flag.String("machines", "68020,sparc", "comma-separated target machines")
+	levels := flag.String("levels", "simple,loops,jumps", "comma-separated optimization levels")
+	workers := flag.Int("j", 4, "parallel workers")
+	corpus := flag.String("corpus", "", "directory to write failing programs to (<seed>.c, <seed>.min.c)")
+	report := flag.String("report", "", "write one JSONL finding per violation to this file")
+	minimize := flag.Bool("minimize", true, "with -corpus: also store a minimized reproducer")
+	maxSteps := flag.Int64("maxsteps", 0, "VM step budget per execution (0 = oracle default)")
+	residual := flag.Bool("residual", false, "enable the opt-in residual-replicable-jump check")
+	inject := flag.String("inject", "", "fault injection for self-testing the oracle: 'rollback' disables the reducibility rollback")
+	quiet := flag.Bool("q", false, "suppress per-interval progress output")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: fuzzjump [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ms, err := parseMachines(*machines)
+	if err != nil {
+		fatal(2, err)
+	}
+	lvs, err := parseLevels(*levels)
+	if err != nil {
+		fatal(2, err)
+	}
+	var rep replicate.Options
+	switch *inject {
+	case "":
+	case "rollback":
+		rep.ForceKeepIrreducible = true
+	default:
+		fatal(2, fmt.Errorf("unknown -inject mode %q (want 'rollback')", *inject))
+	}
+
+	if *corpus != "" {
+		if err := os.MkdirAll(*corpus, 0o755); err != nil {
+			fatal(2, err)
+		}
+	}
+	var tracer obs.Tracer
+	if *report != "" {
+		rf, err := os.Create(*report)
+		if err != nil {
+			fatal(2, err)
+		}
+		defer rf.Close()
+		jw := obs.NewJSONLWriter(rf)
+		defer func() {
+			if err := jw.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuzzjump: report:", err)
+			}
+		}()
+		tracer = jw
+	}
+
+	opts := difftest.Options{
+		Machines:      ms,
+		Levels:        lvs,
+		Replication:   rep,
+		MaxSteps:      *maxSteps,
+		Input:         []byte("fuzzjump"),
+		Tracer:        tracer,
+		CheckResidual: *residual,
+	}
+
+	// The seed feed: a monotone counter, drained by the workers until the
+	// count is exhausted or the deadline passes.
+	var next atomic.Int64
+	next.Store(*seed)
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	take := func() (int64, bool) {
+		s := next.Add(1) - 1
+		if *duration > 0 {
+			return s, time.Now().Before(deadline)
+		}
+		return s, s < *seed+*count
+	}
+
+	var (
+		mu       sync.Mutex // serializes result handling and stderr
+		checked  int64
+		failures int64
+	)
+	handle := func(s int64, src string, v *difftest.Verdict) {
+		mu.Lock()
+		defer mu.Unlock()
+		checked++
+		if !v.Failed() {
+			return
+		}
+		failures++
+		for _, vi := range v.Violations {
+			fmt.Fprintf(os.Stderr, "fuzzjump: seed %d: %s\n", s, vi)
+		}
+		if *corpus != "" {
+			name := filepath.Join(*corpus, fmt.Sprintf("%d.c", s))
+			if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "fuzzjump:", err)
+			}
+			if *minimize {
+				// The shrink predicate re-runs the oracle many times; keep
+				// those interior checks out of the findings report.
+				po := opts
+				po.Tracer = nil
+				min := difftest.Minimize(src, func(c string) bool {
+					return difftest.Check(c, po).Failed()
+				}, difftest.MinOptions{MaxAttempts: 200})
+				name := filepath.Join(*corpus, fmt.Sprintf("%d.min.c", s))
+				if err := os.WriteFile(name, []byte(min), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "fuzzjump:", err)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	stop := make(chan struct{})
+	if !*quiet {
+		go func() {
+			tick := time.NewTicker(10 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					mu.Lock()
+					fmt.Fprintf(os.Stderr, "fuzzjump: %d seeds checked, %d failing, %s elapsed\n",
+						checked, failures, time.Since(start).Round(time.Second))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < max(*workers, 1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s, ok := take()
+				if !ok {
+					return
+				}
+				o := opts
+				o.Seed = s
+				src := difftest.Generate(s)
+				handle(s, src, difftest.Check(src, o))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+
+	fmt.Printf("fuzzjump: %d seeds checked in %s, %d failing\n",
+		checked, time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseMachines(s string) ([]*machine.Machine, error) {
+	var ms []*machine.Machine
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "68020", "68k":
+			ms = append(ms, machine.M68020)
+		case "sparc":
+			ms = append(ms, machine.SPARC)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown machine %q (want 68020 or sparc)", name)
+		}
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("no machines selected")
+	}
+	return ms, nil
+}
+
+func parseLevels(s string) ([]pipeline.Level, error) {
+	var lvs []pipeline.Level
+	for _, name := range strings.Split(s, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		lv, err := pipeline.ParseLevel(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		lvs = append(lvs, lv)
+	}
+	if len(lvs) == 0 {
+		return nil, fmt.Errorf("no levels selected")
+	}
+	return lvs, nil
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "fuzzjump:", err)
+	os.Exit(code)
+}

@@ -1,117 +1,154 @@
 package cfg
 
-// Dominators holds the dominator sets of a function, computed by iterative
-// dataflow over the block-index space. For the function sizes the optimizer
-// sees (tens to a few hundred blocks) the bitset-free formulation below is
-// plenty fast and much easier to audit.
+// Dominators holds the dominator tree of a function, computed with the
+// Cooper–Harvey–Kennedy algorithm ("A Simple, Fast Dominance Algorithm"):
+// an idom fixpoint over reverse postorder. Dominance queries answer in
+// O(1) from an Euler interval numbering of the dominator tree. The
+// replication sweeps recompute dominators for every jump they consider, so
+// this path dominates (sic) the differential fuzzer's and the optimizer's
+// profile — the earlier set-based formulation was quadratic in blocks and
+// made large replicated functions take seconds per sweep.
 type Dominators struct {
 	E *Edges
-	// dom[i] is the set of block indices dominating block i (including i).
-	dom []map[int]bool
 	// idom[i] is the immediate dominator's index, or -1 for the entry and
 	// unreachable blocks.
 	idom []int
+	// pre/post are Euler-tour interval numbers of each block in the
+	// dominator tree; a dominates b iff a's interval encloses b's.
+	// Unreachable blocks keep pre == 0 (no interval).
+	pre, post []int
 }
 
-// ComputeDominators computes dominator sets on the given edge snapshot.
+// ComputeDominators computes the dominator tree on the given edge snapshot.
 func ComputeDominators(e *Edges) *Dominators {
 	n := len(e.F.Blocks)
-	d := &Dominators{E: e, dom: make([]map[int]bool, n), idom: make([]int, n)}
-	if n == 0 {
-		return d
-	}
-	reach := Reachable(e.F)
-	all := make(map[int]bool, n)
-	for i, b := range e.F.Blocks {
-		if reach[b] {
-			all[i] = true
-		}
-	}
-	for i, b := range e.F.Blocks {
-		if !reach[b] {
-			d.dom[i] = map[int]bool{i: true}
-			continue
-		}
-		if i == 0 {
-			d.dom[i] = map[int]bool{0: true}
-		} else {
-			s := make(map[int]bool, len(all))
-			for k := range all {
-				s[k] = true
-			}
-			d.dom[i] = s
-		}
-	}
-	changed := true
-	for changed {
-		changed = false
-		for i := 1; i < n; i++ {
-			if !reach[e.F.Blocks[i]] {
-				continue
-			}
-			var inter map[int]bool
-			for _, p := range e.Preds[i] {
-				if !reach[p] {
-					continue
-				}
-				pd := d.dom[p.Index]
-				if inter == nil {
-					inter = make(map[int]bool, len(pd))
-					for k := range pd {
-						inter[k] = true
-					}
-				} else {
-					for k := range inter {
-						if !pd[k] {
-							delete(inter, k)
-						}
-					}
-				}
-			}
-			if inter == nil {
-				inter = make(map[int]bool)
-			}
-			inter[i] = true
-			if len(inter) != len(d.dom[i]) {
-				d.dom[i] = inter
-				changed = true
-				continue
-			}
-			for k := range inter {
-				if !d.dom[i][k] {
-					d.dom[i] = inter
-					changed = true
-					break
-				}
-			}
-		}
-	}
+	d := &Dominators{E: e, idom: make([]int, n), pre: make([]int, n), post: make([]int, n)}
 	for i := range d.idom {
 		d.idom[i] = -1
 	}
-	for i := 1; i < n; i++ {
-		// The immediate dominator is the dominator with the largest
-		// dominator set other than i's own.
-		best, bestSize := -1, -1
-		for k := range d.dom[i] {
-			if k == i {
-				continue
+	if n == 0 {
+		return d
+	}
+
+	// Reverse postorder over reachable blocks.
+	post := make([]int, 0, n) // blocks in postorder
+	rpoNum := make([]int, n)  // block index -> postorder number, -1 = unreachable
+	visited := make([]bool, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	type frame struct{ b, succ int }
+	stack := []frame{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := e.Succs[fr.b]
+		if fr.succ < len(succs) {
+			s := succs[fr.succ].Index
+			fr.succ++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{s, 0})
 			}
-			if sz := len(d.dom[k]); sz > bestSize {
-				best, bestSize = k, sz
+			continue
+		}
+		rpoNum[fr.b] = len(post)
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+
+	// CHK fixpoint. intersect walks the idom chains in postorder numbers.
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] < rpoNum[b] {
+				a = d.idom[a]
+			}
+			for rpoNum[b] < rpoNum[a] {
+				b = d.idom[b]
 			}
 		}
-		d.idom[i] = best
+		return a
 	}
+	d.idom[0] = 0 // temporary self-loop for the fixpoint
+	for changed := true; changed; {
+		changed = false
+		for pi := len(post) - 1; pi >= 0; pi-- {
+			b := post[pi]
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range e.Preds[b] {
+				pidx := p.Index
+				if rpoNum[pidx] < 0 || d.idom[pidx] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = pidx
+				} else {
+					newIdom = intersect(pidx, newIdom)
+				}
+			}
+			if newIdom >= 0 && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Euler intervals of the dominator tree for O(1) Dominates.
+	childHead := make([]int, n) // first child, -1 = none
+	childNext := make([]int, n) // next sibling
+	for i := range childHead {
+		childHead[i], childNext[i] = -1, -1
+	}
+	// Children are linked in reverse block order, preserving determinism.
+	for i := n - 1; i >= 1; i-- {
+		if rpoNum[i] < 0 {
+			continue
+		}
+		p := d.idom[i]
+		childNext[i] = childHead[p]
+		childHead[p] = i
+	}
+	clock := 0
+	type eframe struct{ b, child int }
+	estack := []eframe{{0, childHead[0]}}
+	clock++
+	d.pre[0] = clock
+	for len(estack) > 0 {
+		fr := &estack[len(estack)-1]
+		if fr.child >= 0 {
+			c := fr.child
+			fr.child = childNext[c]
+			clock++
+			d.pre[c] = clock
+			estack = append(estack, eframe{c, childHead[c]})
+			continue
+		}
+		clock++
+		d.post[fr.b] = clock
+		estack = estack[:len(estack)-1]
+	}
+
+	d.idom[0] = -1 // restore the exported convention
 	return d
 }
 
-// Dominates reports whether block a dominates block b (by index).
+// Dominates reports whether block a dominates block b (by index). Every
+// block dominates itself, including unreachable blocks; otherwise only
+// reachable blocks participate in dominance.
 func (d *Dominators) Dominates(a, b int) bool {
-	if b < 0 || b >= len(d.dom) || d.dom[b] == nil {
+	if a < 0 || b < 0 || a >= len(d.pre) || b >= len(d.pre) {
 		return false
 	}
-	return d.dom[b][a]
+	if a == b {
+		return true
+	}
+	if d.pre[a] == 0 || d.pre[b] == 0 {
+		return false
+	}
+	return d.pre[a] <= d.pre[b] && d.post[b] <= d.post[a]
 }
 
 // IDom returns the immediate dominator index of block i, or -1.

@@ -1,0 +1,507 @@
+// Package difftest is the differential-testing harness for the paper's
+// central claim: code replication (JUMPS) is semantics-preserving. It
+// provides a seeded random generator of well-defined mini-C programs, an
+// oracle that compiles each program at SIMPLE, LOOPS and JUMPS for both
+// machine models and demands identical observable behaviour plus
+// structural invariants of the optimized code, and a test-case minimizer
+// that shrinks a failing program to a small reproducer.
+//
+// The generator and oracle back three consumers: the in-tree seeded smoke
+// tests, the native `go test -fuzz` targets, and cmd/fuzzjump's long
+// offline campaigns.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenOptions tunes the program generator. The zero value is the default
+// configuration used by the fuzz targets and cmd/fuzzjump.
+type GenOptions struct {
+	// MaxLoopDepth caps loop nesting (0 = default 2). Trip counts are kept
+	// small, so even nested loops execute in microseconds.
+	MaxLoopDepth int
+	// StmtBudget caps the roughly-counted number of generated statements
+	// per function body (0 = default 28).
+	StmtBudget int
+	// NoGoto disables the goto-machine and forward-skip constructs,
+	// producing only structured control flow.
+	NoGoto bool
+	// NoInput disables getchar(); programs then ignore Oracle input.
+	NoInput bool
+}
+
+func (o GenOptions) maxLoopDepth() int {
+	if o.MaxLoopDepth == 0 {
+		return 2
+	}
+	return o.MaxLoopDepth
+}
+
+func (o GenOptions) stmtBudget() int {
+	if o.StmtBudget == 0 {
+		return 28
+	}
+	return o.StmtBudget
+}
+
+// Generate returns the source of a random but well-defined mini-C program
+// for the seed, under default options. The same seed always yields the
+// same source. Every generated program terminates: loops are bounded
+// counter loops, goto machines carry an explicit fuel counter, and all
+// arithmetic is total (divisions and modulos have nonzero denominators,
+// array indices are reduced modulo the array size). Any behavioural
+// difference between optimization levels is therefore a compiler bug.
+func Generate(seed int64) string { return GenerateWith(seed, GenOptions{}) }
+
+// GenerateWith is Generate with explicit options.
+func GenerateWith(seed int64, o GenOptions) string {
+	g := &gen{
+		r:         rand.New(rand.NewSource(seed)),
+		o:         o,
+		protected: map[string]bool{},
+	}
+	return g.program()
+}
+
+// gen holds the generator state for one program. Determinism note: the
+// generator must never iterate over a map — maps are membership sets only.
+type gen struct {
+	r *rand.Rand
+	o GenOptions
+	b strings.Builder
+
+	ind    int
+	scopes [][]string // declared variables per lexical depth
+	nvar   int
+	nlabel int
+	funcs  []string // earlier helper functions, each (int, int) -> int
+
+	depth     int // statement nesting depth
+	loops     int // current loop nesting
+	inHelper  bool
+	inMachine bool // inside a goto-machine state segment
+	stmts     int  // statements emitted in the current function
+
+	// protected holds live loop counters and goto-machine state variables;
+	// assignments must not touch them or the termination argument breaks.
+	protected map[string]bool
+}
+
+func (g *gen) w(format string, args ...interface{}) {
+	g.b.WriteString(strings.Repeat("\t", g.ind))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) pushScope() { g.scopes = append(g.scopes, nil) }
+func (g *gen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *gen) declare() string {
+	name := fmt.Sprintf("v%d", g.nvar)
+	g.nvar++
+	g.scopes[len(g.scopes)-1] = append(g.scopes[len(g.scopes)-1], name)
+	return name
+}
+
+func (g *gen) declareFresh() string {
+	name := g.declare()
+	g.w("int %s;", name)
+	return name
+}
+
+func (g *gen) label() string {
+	g.nlabel++
+	return fmt.Sprintf("L%d", g.nlabel)
+}
+
+func (g *gen) anyVar() string {
+	var all []string
+	for _, s := range g.scopes {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return "0"
+	}
+	return all[g.r.Intn(len(all))]
+}
+
+// assignVar picks a variable safe to overwrite (not a protected counter).
+func (g *gen) assignVar() string {
+	for try := 0; try < 8; try++ {
+		v := g.anyVar()
+		if v != "0" && !g.protected[v] {
+			return v
+		}
+	}
+	return g.declareFresh()
+}
+
+// expr produces a side-effect-free integer expression of bounded depth.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(100) - 50)
+		case 1:
+			return g.anyVar()
+		default:
+			return fmt.Sprintf("garr[((%s) %% 16 + 16) %% 16]", g.anyVar())
+		}
+	}
+	a, b := g.expr(depth-1), g.expr(depth-1)
+	switch g.r.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s / ((%s) %% 7 + 8))", a, b) // denominator 1..14
+	case 4:
+		return fmt.Sprintf("(%s %% ((%s) %% 7 + 8))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 7:
+		return fmt.Sprintf("(%s << %d)", a, g.r.Intn(4))
+	default:
+		if len(g.funcs) > 0 && depth >= 2 && g.loops == 0 {
+			// Calls only outside loops: chains through the helpers would
+			// otherwise multiply trip counts into huge step counts.
+			return fmt.Sprintf("%s(%s, %s)", g.funcs[g.r.Intn(len(g.funcs))], a, b)
+		}
+		return fmt.Sprintf("(%s | %s)", a, b)
+	}
+}
+
+func (g *gen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", g.expr(1), ops[g.r.Intn(len(ops))], g.expr(1))
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s %s %s", c, g.expr(1), ops[g.r.Intn(len(ops))], g.expr(1))
+	case 1:
+		return fmt.Sprintf("%s || %s %s %s", c, g.expr(1), ops[g.r.Intn(len(ops))], g.expr(1))
+	}
+	return c
+}
+
+// block emits a braced scope holding n statements.
+func (g *gen) block(n int) {
+	g.ind++
+	g.pushScope()
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+	g.popScope()
+	g.ind--
+}
+
+func (g *gen) stmt() {
+	g.stmts++
+	if g.depth > 4 || g.stmts > g.o.stmtBudget() {
+		g.w("%s = %s;", g.assignVar(), g.expr(1))
+		return
+	}
+	g.depth++
+	defer func() { g.depth-- }()
+	switch g.r.Intn(15) {
+	case 0, 1:
+		g.w("%s = %s;", g.assignVar(), g.expr(2))
+	case 2:
+		g.w("garr[((%s) %% 16 + 16) %% 16] = %s;", g.anyVar(), g.expr(2))
+	case 3:
+		g.ifChain()
+	case 4:
+		g.forLoop()
+	case 5:
+		g.whileLoop()
+	case 6:
+		g.doWhileLoop()
+	case 7:
+		g.switchStmt()
+	case 8:
+		g.w("%s += %s;", g.assignVar(), g.expr(2))
+	case 9:
+		g.w("%s = %s ? %s : %s;", g.assignVar(), g.cond(), g.expr(1), g.expr(1))
+	case 10:
+		if g.o.NoGoto {
+			g.w("%s = %s;", g.assignVar(), g.expr(2))
+			return
+		}
+		g.forwardSkip()
+	case 11:
+		if g.o.NoGoto || g.loops > 0 || g.inMachine || g.stmts > g.o.stmtBudget()*2/3 {
+			// Goto machines inside loops multiply fuel by trip counts, and
+			// nesting them (or emitting them late in a large function)
+			// balloons the replication search space; keep them at loop
+			// depth 0, unnested, early.
+			g.w("%s = %s;", g.assignVar(), g.expr(2))
+			return
+		}
+		g.gotoMachine()
+	case 12:
+		if g.inHelper && g.depth > 1 {
+			// Early return from a helper, always guarded so the fall-through
+			// path stays live.
+			g.w("if (%s) return %s;", g.cond(), g.expr(1))
+			return
+		}
+		g.w("%s = %s;", g.assignVar(), g.expr(2))
+	case 13:
+		if g.o.NoInput {
+			g.w("%s = %s;", g.assignVar(), g.expr(1))
+			return
+		}
+		g.w("%s = getchar();", g.assignVar())
+	default:
+		g.w("%s = %s;", g.assignVar(), g.expr(2))
+	}
+}
+
+// ifChain emits a switch-like if / else-if chain (1–3 arms + optional else).
+func (g *gen) ifChain() {
+	arms := 1 + g.r.Intn(3)
+	for a := 0; a < arms; a++ {
+		if a == 0 {
+			g.w("if (%s) {", g.cond())
+		} else {
+			g.w("} else if (%s) {", g.cond())
+		}
+		g.block(1 + g.r.Intn(2))
+	}
+	if g.r.Intn(2) == 0 {
+		g.w("} else {")
+		g.block(1)
+	}
+	g.w("}")
+}
+
+func (g *gen) forLoop() {
+	if g.loops >= g.o.maxLoopDepth() {
+		g.w("%s = %s;", g.assignVar(), g.expr(2))
+		return
+	}
+	g.loops++
+	defer func() { g.loops-- }()
+	i := g.declareFresh()
+	g.protected[i] = true
+	defer delete(g.protected, i)
+	n := 2 + g.r.Intn(9)
+	g.w("for (%s = 0; %s < %d; %s++) {", i, i, n, i)
+	g.ind++
+	g.pushScope()
+	g.stmt()
+	g.maybeBreakContinue(i, n)
+	g.popScope()
+	g.ind--
+	g.w("}")
+}
+
+func (g *gen) whileLoop() {
+	if g.loops >= g.o.maxLoopDepth() {
+		g.w("%s = %s;", g.assignVar(), g.expr(2))
+		return
+	}
+	g.loops++
+	defer func() { g.loops-- }()
+	i := g.declareFresh()
+	g.protected[i] = true
+	defer delete(g.protected, i)
+	n := 2 + g.r.Intn(7)
+	g.w("%s = 0;", i)
+	g.w("while (%s < %d) {", i, n)
+	g.ind++
+	g.pushScope()
+	g.stmt()
+	g.w("%s++;", i)
+	g.maybeBreakContinue(i, n)
+	g.popScope()
+	g.ind--
+	g.w("}")
+}
+
+func (g *gen) doWhileLoop() {
+	if g.loops >= g.o.maxLoopDepth() {
+		g.w("%s = %s;", g.assignVar(), g.expr(2))
+		return
+	}
+	g.loops++
+	defer func() { g.loops-- }()
+	i := g.declareFresh()
+	g.protected[i] = true
+	defer delete(g.protected, i)
+	n := 2 + g.r.Intn(6)
+	g.w("%s = 0;", i)
+	g.w("do {")
+	g.ind++
+	g.pushScope()
+	g.stmt()
+	g.w("%s++;", i)
+	g.popScope()
+	g.ind--
+	g.w("} while (%s < %d);", i, n)
+}
+
+// maybeBreakContinue occasionally emits a guarded break or continue. The
+// guard compares the loop counter, so it cannot prevent the increment that
+// already happened (while loops place it before this point).
+func (g *gen) maybeBreakContinue(i string, n int) {
+	switch g.r.Intn(4) {
+	case 0:
+		g.w("if (%s == %d) break;", i, n/2)
+	case 1:
+		g.w("if (%s == %d) continue;", i, n/2)
+	}
+}
+
+func (g *gen) switchStmt() {
+	g.w("switch ((%s) %% 5) {", g.anyVar())
+	g.ind++
+	for c := -4; c <= 4; c++ {
+		if g.r.Intn(2) == 0 {
+			continue
+		}
+		g.w("case %d:", c)
+		g.ind++
+		g.w("%s = %s;", g.assignVar(), g.expr(1))
+		if g.r.Intn(3) > 0 {
+			g.w("break;")
+		}
+		g.ind--
+	}
+	g.w("default:")
+	g.ind++
+	g.w("%s = %s;", g.assignVar(), g.expr(1))
+	g.ind--
+	g.ind--
+	g.w("}")
+}
+
+// forwardSkip emits a guarded forward goto over a few statements — the
+// jump-over-else shape that seeds unconditional jumps for replication.
+func (g *gen) forwardSkip() {
+	l := g.label()
+	g.w("if (%s) goto %s;", g.cond(), l)
+	for i := 0; i < 1+g.r.Intn(2); i++ {
+		g.stmt()
+	}
+	g.w("%s: ;", l)
+}
+
+// gotoMachine emits a bounded unstructured state machine: a dispatcher
+// label, K state segments each ending in an unconditional backward goto,
+// and a fuel counter that guarantees termination. This is the construct
+// the paper calls "unstructured loops, which are typically not recognized
+// as loops by an optimizer" — LOOPS cannot touch it, JUMPS replicates it,
+// and the reducibility rollback is exercised hard.
+func (g *gen) gotoMachine() {
+	k := 2 + g.r.Intn(3) // states
+	fuel := 8 + g.r.Intn(17)
+	s := g.declareFresh()
+	f := g.declareFresh()
+	g.protected[s] = true
+	g.protected[f] = true
+	defer delete(g.protected, s)
+	defer delete(g.protected, f)
+
+	step := g.label()
+	out := g.label()
+	states := make([]string, k)
+	for i := range states {
+		states[i] = g.label()
+	}
+
+	g.w("%s = ((%s) %% %d + %d) %% %d;", s, g.expr(1), k, k, k)
+	g.w("%s = %d;", f, fuel)
+	wasMachine := g.inMachine
+	g.inMachine = true
+	defer func() { g.inMachine = wasMachine }()
+
+	g.w("%s: ;", step)
+	g.w("if (%s <= 0) goto %s;", f, out)
+	g.w("%s = %s - 1;", f, f)
+	for i := 0; i < k-1; i++ {
+		g.w("if (%s == %d) goto %s;", s, i, states[i])
+	}
+	g.w("goto %s;", states[k-1])
+	for i, sl := range states {
+		g.w("%s: ;", sl)
+		g.block(1)
+		// Next-state function; occasionally a direct hop to another state
+		// (still fuel-guarded via the dispatcher on the next round).
+		g.w("%s = ((%s + %d) %% %d + %d) %% %d;", s, g.expr(1), i, k, k, k)
+		if g.r.Intn(4) == 0 && i+1 < k {
+			g.w("if (%s == %d) goto %s;", s, i, states[i+1])
+		}
+		g.w("goto %s;", step)
+	}
+	g.w("%s: ;", out)
+}
+
+// helper emits one helper function f<idx>(int a, int b) and registers it.
+func (g *gen) helper(idx int) {
+	name := fmt.Sprintf("f%d", idx)
+	g.inHelper = true
+	g.stmts = 0
+	g.w("int %s(int a, int b) {", name)
+	g.ind++
+	g.pushScope()
+	g.scopes[0] = append(g.scopes[0], "a", "b")
+	r := g.declareFresh()
+	g.w("%s = 0;", r)
+	for i := 0; i < 2+g.r.Intn(3); i++ {
+		g.stmt()
+	}
+	g.w("return %s + %s;", r, g.expr(1))
+	g.popScope()
+	g.ind--
+	g.w("}")
+	g.funcs = append(g.funcs, name)
+	g.inHelper = false
+}
+
+// program builds the full translation unit.
+func (g *gen) program() string {
+	g.w("int garr[16];")
+	nf := 1 + g.r.Intn(3)
+	for fi := 0; fi < nf; fi++ {
+		g.helper(fi)
+	}
+
+	g.stmts = 0
+	g.w("int main() {")
+	g.ind++
+	g.pushScope()
+	for i := 0; i < 3; i++ {
+		v := g.declareFresh()
+		g.w("%s = %d;", v, g.r.Intn(40))
+	}
+	for i := 0; i < 5+g.r.Intn(6); i++ {
+		g.stmt()
+	}
+	// Rarely, a guarded early return exercises return replication in main;
+	// the oracle compares exit codes, so this path is still checked.
+	if g.r.Intn(8) == 0 {
+		g.w("if (%s) return ((%s) %% 64 + 64) %% 64;", g.cond(), g.expr(1))
+	}
+	// Checksum everything observable, then exit with a derived code.
+	g.w("{")
+	g.ind++
+	g.w("int ck; int gi;")
+	g.w("ck = 0;")
+	g.w("for (gi = 0; gi < 16; gi++) ck = (ck * 31 + garr[gi]) %% 1000003;")
+	g.w("printint(ck); putchar(' '); printint(%s);", g.anyVar())
+	g.w("return ((ck) %% 64 + 64) %% 64;")
+	g.ind--
+	g.w("}")
+	g.popScope()
+	g.ind--
+	g.w("}")
+	return g.b.String()
+}

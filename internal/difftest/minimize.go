@@ -1,0 +1,166 @@
+package difftest
+
+import "strings"
+
+// MinOptions bounds the minimizer's search.
+type MinOptions struct {
+	// MaxAttempts caps calls to the failure predicate (0 = default 800).
+	// Each attempt typically costs one full oracle check.
+	MaxAttempts int
+}
+
+func (o MinOptions) maxAttempts() int {
+	if o.MaxAttempts == 0 {
+		return 800
+	}
+	return o.MaxAttempts
+}
+
+// Minimize shrinks a failing program to a smaller one that still fails.
+// fails must return true for src itself; candidates that no longer compile
+// must simply return false (the oracle's skipped verdict does this).
+// The result is deterministic for a deterministic predicate.
+//
+// The search interleaves two strategies until neither makes progress or
+// the attempt budget runs out: ddmin-style removal of contiguous line
+// chunks (halving chunk sizes), and removal of whole brace-balanced
+// regions, which unwraps loops, if-arms and goto-machine segments that
+// line chunks alone cannot drop without breaking syntax.
+func Minimize(src string, fails func(string) bool, o MinOptions) string {
+	attempts := 0
+	budget := func() bool { attempts++; return attempts <= o.maxAttempts() }
+	try := func(candidate string) bool {
+		if !budget() {
+			return false
+		}
+		return fails(candidate)
+	}
+
+	lines := splitLines(src)
+	// Splitting normalizes trailing newlines; if even that normalization
+	// breaks the predicate, the original is already minimal for us.
+	if joined := strings.Join(lines, "\n"); joined != src && !fails(joined) {
+		return src
+	}
+	for progress := true; progress; {
+		progress = false
+		// Blocks first: on brace-heavy generated programs whole-region
+		// removal is far more likely to keep the candidate compiling, so it
+		// makes progress before the chunk sweep can exhaust the budget on
+		// syntactically broken candidates.
+		if next, ok := shrinkBlocks(lines, try); ok {
+			lines, progress = next, true
+		}
+		if next, ok := shrinkChunks(lines, try); ok {
+			lines, progress = next, true
+		}
+		if attempts > o.maxAttempts() {
+			break
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func splitLines(src string) []string {
+	lines := strings.Split(src, "\n")
+	// Drop trailing blank lines so joins stay tidy.
+	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// shrinkChunks is one ddmin sweep: for chunk sizes n/2, n/4, …, 1 it tries
+// deleting every aligned chunk. Returns the reduced lines and whether any
+// deletion stuck.
+func shrinkChunks(lines []string, try func(string) bool) ([]string, bool) {
+	improved := false
+	for size := (len(lines) + 1) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(lines); {
+			candidate := make([]string, 0, len(lines)-size)
+			candidate = append(candidate, lines[:start]...)
+			candidate = append(candidate, lines[start+size:]...)
+			if try(strings.Join(candidate, "\n")) {
+				lines, improved = candidate, true
+				// Same start now addresses the next chunk.
+				continue
+			}
+			start++
+		}
+	}
+	return lines, improved
+}
+
+// shrinkBlocks tries deleting whole brace-balanced regions: for each line
+// that opens at least one brace, the region through its matching close.
+// The region includes the opening line, so `for (...) {` … `}` and
+// `} else {` … `}` bodies vanish as a unit.
+func shrinkBlocks(lines []string, try func(string) bool) ([]string, bool) {
+	improved := false
+	for start := 0; start < len(lines); {
+		end := matchingClose(lines, start)
+		if end < 0 {
+			start++
+			continue
+		}
+		candidate := make([]string, 0, len(lines)-(end-start+1))
+		candidate = append(candidate, lines[:start]...)
+		candidate = append(candidate, lines[end+1:]...)
+		if try(strings.Join(candidate, "\n")) {
+			lines, improved = candidate, true
+			continue
+		}
+		start++
+	}
+	return lines, improved
+}
+
+// matchingClose returns the index of the line where the brace depth opened
+// on line start returns to zero, or -1 if start opens no net braces (or
+// never closes). Brace counting ignores string and char literals — good
+// enough for generated programs, and a wrong count merely proposes a
+// candidate the predicate rejects.
+func matchingClose(lines []string, start int) int {
+	depth := braceDelta(lines[start])
+	if depth <= 0 {
+		return -1
+	}
+	for i := start + 1; i < len(lines); i++ {
+		depth += braceDelta(lines[i])
+		if depth <= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func braceDelta(line string) int {
+	d := 0
+	inStr, inChar := false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == '{':
+			d++
+		case c == '}':
+			d--
+		}
+	}
+	return d
+}

@@ -1,0 +1,333 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+	"repro/internal/rtl"
+	"repro/internal/vm"
+)
+
+// Violation kinds reported by the oracle.
+const (
+	// VTrap: the optimized build trapped (memory fault, budget, runtime
+	// error) although the unoptimized reference ran to completion.
+	VTrap = "trap"
+	// VOutput: the optimized build produced different output bytes.
+	VOutput = "output-mismatch"
+	// VExit: the optimized build returned a different exit code.
+	VExit = "exit-mismatch"
+	// VStructure: cfg.ValidateProgram failed after the pipeline (dangling
+	// target, mid-block CTI, bad delay-slot shape, malformed operand).
+	VStructure = "invalid-structure"
+	// VIrreducible: a function's flow graph is irreducible after the
+	// pipeline — the reducibility rollback (step 6) failed its job.
+	VIrreducible = "irreducible-cfg"
+	// VResidual: after a JUMPS pipeline, re-running the replication
+	// algorithm still lowers the static unconditional-jump count — a
+	// replicable jump survived although no growth cap was hit.
+	VResidual = "residual-replicable-jump"
+	// VDynamic: the EASE dynamic counters regressed — the JUMPS build
+	// executed more unconditional jumps than the SIMPLE build.
+	VDynamic = "dynamic-jumps-regression"
+)
+
+// Violation is one oracle finding for one measurement cell.
+type Violation struct {
+	Machine string `json:"machine"`
+	Level   string `json:"level"`
+	Kind    string `json:"kind"`
+	Detail  string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s: %s", v.Machine, v.Level, v.Kind, v.Detail)
+}
+
+// Verdict is the oracle's result for one program.
+type Verdict struct {
+	Seed       int64       `json:"seed,omitempty"`
+	Skipped    bool        `json:"skipped,omitempty"`
+	SkipReason string      `json:"skip_reason,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+	// Cells is the number of (machine, level) cells measured.
+	Cells int `json:"cells"`
+}
+
+// Failed reports whether any violation was found.
+func (v *Verdict) Failed() bool { return len(v.Violations) > 0 }
+
+// Options configures one oracle check. The zero value checks both paper
+// machines at all three levels with default budgets and all invariants on.
+type Options struct {
+	// Machines to compile for (nil = {68020, SPARC}).
+	Machines []*machine.Machine
+	// Levels to compile at (nil = {SIMPLE, LOOPS, JUMPS}).
+	Levels []pipeline.Level
+	// Replication tunes — or, for the oracle's own self-test, deliberately
+	// breaks — the replication algorithm in every cell.
+	Replication replicate.Options
+	// MaxSteps bounds each VM execution (0 = default 50M).
+	MaxSteps int64
+	// Input is the byte stream getchar() consumes, identical in every run.
+	Input []byte
+	// Seed tags reports for generated programs (0 for external inputs).
+	Seed int64
+	// Tracer, when non-nil, receives one obs.EvFinding per violation.
+	Tracer obs.Tracer
+	// CheckResidual enables the residual-replicable-jump check. It is
+	// opt-in: the Figure-3 pipeline's anti-churn cutoffs (§5.2 conservatism)
+	// legitimately leave replicable jumps behind on goto-heavy programs, so
+	// this reports the conservatism gap rather than a soundness bug —
+	// useful in offline campaigns, wrong as a CI failure.
+	CheckResidual bool
+	// SkipDynamic disables the dynamic-jump-count invariant.
+	SkipDynamic bool
+	// PostOptimize, when non-nil, runs after the pipeline and before the
+	// structural checks and execution of each cell — a fault-injection
+	// hook for testing that the oracle actually catches miscompiles.
+	PostOptimize func(m *machine.Machine, lv pipeline.Level, prog *cfg.Program)
+}
+
+func (o Options) machines() []*machine.Machine {
+	if len(o.Machines) == 0 {
+		return []*machine.Machine{machine.M68020, machine.SPARC}
+	}
+	return o.Machines
+}
+
+func (o Options) levels() []pipeline.Level {
+	if len(o.Levels) == 0 {
+		return pipeline.AllLevels()
+	}
+	return o.Levels
+}
+
+func (o Options) maxSteps() int64 {
+	if o.MaxSteps == 0 {
+		return 50_000_000
+	}
+	return o.MaxSteps
+}
+
+// replication returns the replication options with a fuzzing-friendly
+// growth cap: goto-heavy generated programs can otherwise balloon to the
+// stock 20000-RTL ceiling, where the per-sweep Floyd–Warshall matrix makes
+// a single cell take tens of seconds. 6000 RTLs keeps a full six-cell
+// check under ~2s while still replicating hundreds of jumps.
+func (o Options) replication() replicate.Options {
+	r := o.Replication
+	if r.MaxFuncRTLs == 0 {
+		r.MaxFuncRTLs = 6000
+	}
+	return r
+}
+
+// Check compiles src at every configured (machine, level) cell, executes
+// each build in the VM, and compares every observable — output bytes, exit
+// code, trap behaviour — against the unoptimized reference interpretation.
+// It also asserts the structural invariants of the optimized code: the CFG
+// validates, every flow graph stays reducible, the JUMPS build executes no
+// more unconditional jumps than SIMPLE, and — opt-in via CheckResidual —
+// a JUMPS build leaves no replicable unconditional jump behind.
+//
+// Inputs that do not compile, or whose reference interpretation already
+// traps, yield a skipped verdict: for arbitrary fuzzer-mutated sources
+// such programs are invalid or outside the defined language subset, so
+// behavioural comparison would report false positives (an optimizer may
+// legitimately change what wild code does). Generator-produced programs
+// are well defined by construction and never skip.
+func Check(src string, o Options) *Verdict {
+	v := &Verdict{Seed: o.Seed}
+
+	ref, err := mcc.Compile(src)
+	if err != nil {
+		v.Skipped, v.SkipReason = true, fmt.Sprintf("does not compile: %v", err)
+		return v
+	}
+	refRun, err := vm.Run(ref, vm.Config{Input: o.Input, MaxSteps: o.maxSteps()})
+	if err != nil {
+		// Structural invariants still hold for trapping programs, but
+		// behaviour is compared only against a completed reference.
+		v.Skipped, v.SkipReason = true, fmt.Sprintf("reference run: %v", err)
+	}
+
+	type cellCounts struct {
+		ok    bool
+		jumps int64
+	}
+	perMachine := map[string]map[pipeline.Level]cellCounts{}
+
+	for _, m := range o.machines() {
+		perMachine[m.Name] = map[pipeline.Level]cellCounts{}
+		for _, lv := range o.levels() {
+			v.Cells++
+			prog, err := mcc.Compile(src)
+			if err != nil {
+				// Unreachable: the reference compile succeeded above.
+				v.add(o, m, lv, VStructure, fmt.Sprintf("recompile: %v", err))
+				continue
+			}
+			pipeline.Optimize(prog, pipeline.Config{
+				Machine:     m,
+				Level:       lv,
+				Replication: o.replication(),
+			})
+			if o.PostOptimize != nil {
+				o.PostOptimize(m, lv, prog)
+			}
+
+			// Structural invariants (post-pipeline, pre-execution).
+			if err := cfg.ValidateProgram(prog, m.DelaySlots); err != nil {
+				v.add(o, m, lv, VStructure, err.Error())
+				continue
+			}
+			irreducible := false
+			for _, f := range prog.Funcs {
+				if !cfg.IsReducible(f) {
+					v.add(o, m, lv, VIrreducible, fmt.Sprintf("function %s", f.Name))
+					irreducible = true
+				}
+			}
+			if irreducible {
+				continue
+			}
+			if lv == pipeline.Jumps && o.CheckResidual {
+				if det := residualReplicableJump(prog, o.replication()); det != "" {
+					v.add(o, m, lv, VResidual, det)
+				}
+			}
+
+			// Behaviour.
+			run, err := vm.Run(prog, vm.Config{Input: o.Input, MaxSteps: o.maxSteps()})
+			if err != nil {
+				if !v.Skipped {
+					v.add(o, m, lv, VTrap, fmt.Sprintf("%s: %v", TrapKind(err), err))
+				}
+				continue
+			}
+			perMachine[m.Name][lv] = cellCounts{ok: true, jumps: run.Counts.UncondJumps}
+			if v.Skipped {
+				// Reference trapped but the optimized build did not: for
+				// budget traps this is legitimate (the optimizer removed
+				// work); nothing sound to compare.
+				continue
+			}
+			if string(run.Output) != string(refRun.Output) {
+				v.add(o, m, lv, VOutput,
+					fmt.Sprintf("got %q, want %q", clip(run.Output), clip(refRun.Output)))
+			}
+			if run.ExitCode != refRun.ExitCode {
+				v.add(o, m, lv, VExit,
+					fmt.Sprintf("got %d, want %d", run.ExitCode, refRun.ExitCode))
+			}
+		}
+	}
+
+	// EASE dynamic-count invariant: replication must never make a program
+	// execute more unconditional jumps than the SIMPLE build on the same
+	// machine (the paper's Table-4 claim, which rollback preserves).
+	if !o.SkipDynamic {
+		for _, m := range o.machines() {
+			cells := perMachine[m.Name]
+			s, j := cells[pipeline.Simple], cells[pipeline.Jumps]
+			if s.ok && j.ok && j.jumps > s.jumps {
+				v.addNamed(o, m.Name, "JUMPS", VDynamic,
+					fmt.Sprintf("JUMPS executed %d unconditional jumps, SIMPLE only %d", j.jumps, s.jumps))
+			}
+		}
+	}
+	return v
+}
+
+func (v *Verdict) add(o Options, m *machine.Machine, lv pipeline.Level, kind, detail string) {
+	v.addNamed(o, m.Name, lv.String(), kind, detail)
+}
+
+func (v *Verdict) addNamed(o Options, machineName, levelName, kind, detail string) {
+	v.Violations = append(v.Violations, Violation{
+		Machine: machineName, Level: levelName, Kind: kind, Detail: detail,
+	})
+	if o.Tracer != nil {
+		o.Tracer.Emit(&obs.Event{
+			Type: obs.EvFinding, Name: detail, Outcome: kind,
+			Machine: machineName, Level: levelName, Seed: o.Seed,
+		})
+	}
+}
+
+// residualReplicableJump probes the paper's fixed-point property: after a
+// JUMPS pipeline, re-running the replication algorithm on a clone of each
+// function must not lower its static unconditional-jump count. Functions
+// near a growth cap are exempt — the pipeline legitimately stops there.
+// Returns a one-line detail for the first offending function, or "".
+func residualReplicableJump(prog *cfg.Program, opts replicate.Options) string {
+	opts.Tracer = nil
+	for _, f := range prog.Funcs {
+		if capped(f, opts) {
+			continue
+		}
+		clone := f.Clone()
+		before := countJumps(clone)
+		if before == 0 {
+			continue
+		}
+		replicate.JUMPS(clone, opts)
+		if after := countJumps(clone); after < before {
+			return fmt.Sprintf("function %s: %d unconditional jumps, replication would leave %d",
+				f.Name, before, after)
+		}
+	}
+	return ""
+}
+
+// capped reports whether f is close enough to a replication growth cap
+// that leftover jumps are expected rather than a bug.
+func capped(f *cfg.Func, opts replicate.Options) bool {
+	max := opts.MaxFuncRTLs
+	if max == 0 {
+		max = 20000
+	}
+	// Within 25% of the RTL budget the pipeline may stop replicating.
+	return f.NumRTLs()*4 >= max*3
+}
+
+// countJumps counts static unconditional direct jumps.
+func countJumps(f *cfg.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			if b.Insts[ii].Kind == rtl.Jmp {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func clip(b []byte) string {
+	const max = 64
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+// TrapKind classifies a VM error for reports: "fault" (wild memory
+// access), "budget" (step limit), or "error" (other runtime errors).
+func TrapKind(err error) string {
+	switch {
+	case errors.Is(err, vm.ErrFault):
+		return "fault"
+	case errors.Is(err, vm.ErrBudget):
+		return "budget"
+	default:
+		return "error"
+	}
+}

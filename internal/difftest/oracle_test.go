@@ -1,0 +1,191 @@
+package difftest
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+	"repro/internal/rtl"
+	"repro/internal/vm"
+)
+
+// TestOracleSmoke: generated programs pass the full oracle — both
+// machines, all three levels, structural and behavioural invariants.
+func TestOracleSmoke(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		v := Check(Generate(seed), Options{Seed: seed, Input: []byte("fuzzjump!")})
+		if v.Skipped {
+			t.Fatalf("seed %d skipped: %s", seed, v.SkipReason)
+		}
+		if v.Cells != 6 {
+			t.Fatalf("seed %d: %d cells, want 6", seed, v.Cells)
+		}
+		for _, vi := range v.Violations {
+			t.Errorf("seed %d: %s", seed, vi)
+		}
+	}
+}
+
+// TestOracleOnExample: the curated mid-loop fixture passes too.
+func TestOracleOnExample(t *testing.T) {
+	src, err := os.ReadFile("../../examples/minic/midloop.c")
+	if err != nil {
+		t.Skipf("fixture not available: %v", err)
+	}
+	v := Check(string(src), Options{})
+	if v.Skipped {
+		t.Fatalf("skipped: %s", v.SkipReason)
+	}
+	for _, vi := range v.Violations {
+		t.Errorf("%s", vi)
+	}
+}
+
+func TestOracleSkipsInvalidInput(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"int main(",
+		"not C at all",
+		"int main() { return x; }", // undeclared
+	} {
+		v := Check(src, Options{})
+		if !v.Skipped {
+			t.Errorf("Check(%q) not skipped", src)
+		}
+		if v.Failed() {
+			t.Errorf("Check(%q) produced violations for invalid input", src)
+		}
+	}
+}
+
+// TestOracleCatchesBrokenRollback is the harness self-test the issue's
+// acceptance criteria demand: deliberately disabling the reducibility
+// rollback (step 6 of the paper's algorithm) must be caught by the oracle
+// — and quickly, well within a 60-second budget.
+func TestOracleCatchesBrokenRollback(t *testing.T) {
+	broken := replicate.Options{ForceKeepIrreducible: true}
+	col := &obs.Collector{}
+	for seed := int64(1); seed <= 30; seed++ {
+		v := Check(Generate(seed), Options{
+			Seed:        seed,
+			Replication: broken,
+			// JUMPS on the 68020 exercises replication hardest; restricting
+			// the cells keeps the scan fast.
+			Machines: []*machine.Machine{machine.M68020},
+			Levels:   []pipeline.Level{pipeline.Jumps},
+			Tracer:   col,
+		})
+		for _, vi := range v.Violations {
+			if vi.Kind == VIrreducible {
+				// The finding must also have been reported to the tracer.
+				for _, ev := range col.Events() {
+					if ev.Type == obs.EvFinding && ev.Outcome == VIrreducible && ev.Seed == seed {
+						return
+					}
+				}
+				t.Fatal("violation found but no obs.EvFinding emitted")
+			}
+		}
+	}
+	t.Fatal("oracle did not catch the broken rollback in 30 seeds")
+}
+
+// TestOracleCatchesMiscompile: a post-pipeline corruption of the code must
+// surface as a behavioural violation. This guards the oracle's comparison
+// logic itself — a differential harness that cannot see injected bugs
+// guards nothing.
+func TestOracleCatchesMiscompile(t *testing.T) {
+	corrupt := func(m *machine.Machine, lv pipeline.Level, prog *cfg.Program) {
+		// Invert the sense of main's first conditional branch.
+		f := prog.Func("main")
+		if f == nil {
+			return
+		}
+		for _, b := range f.Blocks {
+			for ii := range b.Insts {
+				if b.Insts[ii].Kind == rtl.Br {
+					b.Insts[ii].BrRel = b.Insts[ii].BrRel.Negate()
+					return
+				}
+			}
+		}
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		v := Check(Generate(seed), Options{Seed: seed, PostOptimize: corrupt})
+		for _, vi := range v.Violations {
+			switch vi.Kind {
+			case VOutput, VExit, VTrap, VDynamic:
+				return
+			}
+		}
+	}
+	t.Fatal("oracle saw no behavioural violation from an inverted branch in 5 seeds")
+}
+
+// TestOracleResidualGap documents the pipeline's §5.2 conservatism: on
+// goto-heavy programs the anti-churn cutoffs may leave replicable jumps
+// behind, which the opt-in residual check reports.
+func TestOracleResidualGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offline-campaign property, slow scan")
+	}
+	for _, seed := range []int64{28, 56, 4, 40, 44} {
+		v := Check(Generate(seed), Options{
+			Seed:          seed,
+			CheckResidual: true,
+			Machines:      []*machine.Machine{machine.M68020},
+			Levels:        []pipeline.Level{pipeline.Jumps},
+		})
+		for _, vi := range v.Violations {
+			if vi.Kind == VResidual {
+				return // gap observed, as documented
+			}
+			t.Fatalf("seed %d: unexpected violation %s", seed, vi)
+		}
+	}
+	t.Skip("conservatism gap not present on probed seeds (pipeline improved?)")
+}
+
+func TestTrapKind(t *testing.T) {
+	// Budget: a tight step limit.
+	prog := mustCompile(t, "int main() { int i; for (i = 0; i < 100000; i++) ; return 0; }")
+	_, err := vm.Run(prog, vm.Config{MaxSteps: 10})
+	if err == nil || TrapKind(err) != "budget" {
+		t.Errorf("TrapKind(step limit) = %v (%v)", TrapKind(err), err)
+	}
+	// Fault: a wild store.
+	prog = mustCompile(t, "int g[2]; int main() { g[1000000000] = 1; return 0; }")
+	_, err = vm.Run(prog, vm.Config{})
+	if err == nil || TrapKind(err) != "fault" {
+		t.Errorf("TrapKind(wild store) = %v (%v)", TrapKind(err), err)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Machine: "SPARC", Level: "JUMPS", Kind: VOutput, Detail: "got x want y"}
+	s := v.String()
+	for _, want := range []string{"SPARC", "JUMPS", VOutput, "got x want y"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func mustCompile(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	prog, err := mcc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}

@@ -47,6 +47,12 @@ type Request struct {
 	// Profile enables per-block execution counting in the VM; implied by
 	// Tracer. The counts are returned in Run.Profile.
 	Profile bool
+	// Validate runs the structural checks after the optimizer and before
+	// execution: cfg.ValidateProgram (targets resolve, CTIs terminate
+	// blocks, delay-slot shape) and per-function flow-graph reducibility.
+	// A violation aborts the measurement with an error. The differential
+	// oracle sets this; interactive tools usually do not pay for it.
+	Validate bool
 }
 
 // Run is the outcome of one measurement.
@@ -132,6 +138,18 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		Tracer:      req.Tracer,
 	})
 	phaseSpan(req.Tracer, "optimize", start)
+	if req.Validate {
+		if err := cfg.ValidateProgram(prog, req.Machine.DelaySlots); err != nil {
+			return nil, fmt.Errorf("ease: %s (%s/%s): post-pipeline validation: %w",
+				req.Name, req.Machine.Name, req.Level, err)
+		}
+		for _, f := range prog.Funcs {
+			if !cfg.IsReducible(f) {
+				return nil, fmt.Errorf("ease: %s (%s/%s): flow graph of %s is irreducible after optimization",
+					req.Name, req.Machine.Name, req.Level, f.Name)
+			}
+		}
+	}
 	layoutStart := time.Now()
 	layout := vm.NewLayout(prog, req.Machine)
 	phaseSpan(req.Tracer, "layout", layoutStart)

@@ -27,6 +27,12 @@ const (
 	// EvHot is one entry of the hot-path summary: a top block by executed
 	// instructions, with its share of the total.
 	EvHot = "hot"
+	// EvFinding is one differential-oracle violation (internal/difftest):
+	// the machine/level cell it occurred in, the violation kind in Outcome,
+	// the generator seed (when the program was generated), and a one-line
+	// detail in Name. cmd/fuzzjump streams these as its JSONL failure
+	// report.
+	EvFinding = "finding"
 )
 
 // Decision outcomes.
@@ -105,6 +111,13 @@ type Event struct {
 	Heuristic  string      `json:"heuristic,omitempty"`
 	Candidates []Candidate `json:"candidates,omitempty"`
 	Outcome    string      `json:"outcome,omitempty"`
+
+	// EvFinding: the measurement cell the oracle violation occurred in
+	// (Machine/Level), and the generator seed that produced the program
+	// (0 when the input came from elsewhere, e.g. a fuzzing corpus).
+	Machine string `json:"machine,omitempty"`
+	Level   string `json:"level,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
 
 	// EvBlock / EvHot: dynamic execution counts. Count is the number of
 	// times the block was entered, Insts the instructions it executed in

@@ -84,6 +84,17 @@ func MergeBlocks(f *cfg.Func) bool {
 			}
 			// Drop b's jump (if any) and inline s.
 			if t := b.Term(); t != nil {
+				// b jumps to s. When s does not directly follow b, merging
+				// relocates s's instructions to b's position — sound only
+				// if s cannot fall through (it ends in a jump, indirect
+				// jump or return). Otherwise the fall-through edge would
+				// silently retarget to b's positional successor.
+				if s.Index != b.Index+1 {
+					st := s.Term()
+					if st == nil || (st.Kind != rtl.Jmp && st.Kind != rtl.IJmp && st.Kind != rtl.Ret) {
+						continue
+					}
+				}
 				b.Insts = b.Insts[:len(b.Insts)-1]
 			} else if s.Index != b.Index+1 {
 				continue // fall-through must be positional

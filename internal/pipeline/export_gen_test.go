@@ -2,14 +2,22 @@ package pipeline_test
 
 import (
 	"os"
+	"strconv"
 	"testing"
+
+	"repro/internal/difftest"
 )
 
 // TestDumpSeed writes one generated program to a file for inspection; it
-// only runs when REPRO_DUMP_SEED is set.
+// only runs when REPRO_DUMP_SEED is set to the seed number to dump.
 func TestDumpSeed(t *testing.T) {
-	if os.Getenv("REPRO_DUMP_SEED") == "" {
-		t.Skip("set REPRO_DUMP_SEED to dump")
+	env := os.Getenv("REPRO_DUMP_SEED")
+	if env == "" {
+		t.Skip("set REPRO_DUMP_SEED to a seed number to dump")
 	}
-	os.WriteFile("/tmp/seed.c", []byte(generate(18)), 0644)
+	seed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("REPRO_DUMP_SEED=%q: %v", env, err)
+	}
+	os.WriteFile("/tmp/seed.c", []byte(difftest.Generate(seed)), 0644)
 }

@@ -41,6 +41,11 @@ func (l Level) String() string {
 	return fmt.Sprintf("level(%d)", uint8(l))
 }
 
+// AllLevels lists the paper's three optimization levels in ascending
+// order; tools that sweep every level (tables, the difftest oracle) range
+// over this instead of hard-coding the enum.
+func AllLevels() []Level { return []Level{Simple, Loops, Jumps} }
+
 // ParseLevel converts a string (any case) to a Level.
 func ParseLevel(s string) (Level, error) {
 	switch strings.ToLower(s) {

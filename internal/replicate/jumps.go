@@ -66,6 +66,12 @@ type Options struct {
 	// considered: the candidate sequences with their RTL costs, which were
 	// rolled back, and the outcome.
 	Tracer obs.Tracer
+	// ForceKeepIrreducible is a fault-injection switch for the differential
+	// oracle's self-test (internal/difftest, cmd/fuzzjump -inject): when
+	// set, step 6 keeps a splice even though it made the flow graph
+	// irreducible, instead of rolling it back. Never set it outside tests —
+	// it deliberately breaks the algorithm's central safety property.
+	ForceKeepIrreducible bool
 }
 
 // Result reports what one replication invocation (JUMPS or LOOPS) did to a
@@ -218,7 +224,7 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 		meta := candidateMeta(cands)
 		applied := -1
 		for ci, c := range cands {
-			if attemptReplication(f, loops, b.Index, c) {
+			if attemptReplication(f, loops, b.Index, c, opts) {
 				applied = ci
 				break
 			}
@@ -481,7 +487,7 @@ func finishCandidate(f *cfg.Func, loops []*cfg.Loop, opts Options, b *cfg.Block,
 // attemptReplication performs steps 4–6 for one candidate: splice the
 // copies in place of the jump, adjust control flow, redirect in-loop
 // branches, and verify reducibility, rolling everything back on failure.
-func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate) bool {
+func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, opts Options) bool {
 	b := f.Blocks[bIdx]
 	snapshot := f.Clone()
 	// Step 5 needs the membership of the loop the jump lives in, captured
@@ -501,7 +507,7 @@ func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate) b
 		redirectLoopBranches(f, loopLabels, firstCopy)
 	}
 
-	if !cfg.IsReducible(f) {
+	if !cfg.IsReducible(f) && !opts.ForceKeepIrreducible {
 		*f = *snapshot
 		return false
 	}

@@ -82,6 +82,16 @@ type errExit struct{ code int64 }
 
 func (errExit) Error() string { return "exit" }
 
+// Sentinel errors, matchable with errors.Is, so callers (notably the
+// differential-testing oracle) can classify traps without parsing text.
+var (
+	// ErrFault marks a wild memory access (out-of-bounds load or store).
+	ErrFault = errors.New("memory fault")
+	// ErrBudget marks an execution stopped by Config.MaxSteps — usually an
+	// accidental infinite loop rather than a genuine fault.
+	ErrBudget = errors.New("instruction budget exceeded")
+)
+
 // machineState is the whole simulated machine.
 type machineState struct {
 	prog    *cfg.Program
@@ -111,7 +121,7 @@ func Run(p *cfg.Program, cfgr Config) (res *Result, err error) {
 		// Wild memory accesses surface as slice-bounds panics; report them
 		// as runtime errors rather than crashing the host.
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("vm: memory fault: %v", r)
+			res, err = nil, fmt.Errorf("vm: %w: %v", ErrFault, r)
 		}
 	}()
 	return run(p, cfgr)
@@ -226,7 +236,7 @@ func (m *machineState) call(fn *cfg.Func, args []int64) (int64, error) {
 			in := &b.Insts[ii]
 			m.steps++
 			if m.steps > m.max {
-				return 0, m.runtimeErr(fn, "instruction budget exceeded (%d)", m.max)
+				return 0, fmt.Errorf("vm: in %s: %w (%d)", fn.Name, ErrBudget, m.max)
 			}
 			m.counts.Exec++
 			if m.onFetch != nil {
