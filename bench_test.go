@@ -329,6 +329,27 @@ func BenchmarkCompilerTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileSuite compiles the full Table-3 suite front-to-back at
+// each pipeline level — the macro benchmark behind the `suite` section of
+// BENCH_baseline.json (cmd/bench runs the same bench.CompileSuiteBench).
+func BenchmarkCompileSuite(b *testing.B) {
+	for _, lv := range pipeline.AllLevels() {
+		b.Run(lv.String(), bench.CompileSuiteBench(machine.M68020, lv))
+	}
+}
+
+// BenchmarkStressCompile compiles the synthetic stress function — one
+// large goto state machine (difftest.GenerateStress via bench) whose flow
+// graph has thousands of blocks — at the JUMPS level with each step-1 path
+// engine. The oracle/matrix ratio here is the headline speedup recorded in
+// BENCH_baseline.json; sizes this big were infeasible when the matrix was
+// the only engine.
+func BenchmarkStressCompile(b *testing.B) {
+	for _, eng := range []replicate.PathEngine{replicate.EngineOracle, replicate.EngineMatrix} {
+		b.Run(eng.String(), bench.StressCompileBench(eng, bench.DefaultStressStates))
+	}
+}
+
 // BenchmarkVM measures interpreter throughput (instructions/op reported).
 func BenchmarkVM(b *testing.B) {
 	p := bench.ProgramByName("sieve")

@@ -1,0 +1,74 @@
+// Command bench measures and maintains the repository's performance
+// baseline, BENCH_baseline.json:
+//
+//	bench                    measure and write BENCH_baseline.json
+//	bench -out FILE          measure and write FILE
+//	bench -states N          size the stress function (default 300)
+//	bench -check FILE        validate an existing baseline file and exit
+//
+// The baseline records compile throughput (ns/op, allocs/op, RTLs/sec) of
+// the Table-3 suite per pipeline level, plus the stress-function compile
+// with both step-1 path engines and their speedup ratio. CI validates the
+// committed file with -check; regeneration is manual and documented in
+// docs/PERFORMANCE.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "write the measured baseline to this file")
+	check := flag.String("check", "", "validate this baseline file and exit (no measurement)")
+	states := flag.Int("states", bench.DefaultStressStates, "stress-function size in goto-machine states")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *check != "" {
+		bl, err := bench.LoadBaseline(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (schema %d, %d suite levels, %d stress engines, stress speedup %.1fx)\n",
+			*check, bl.Schema, len(bl.Suite), len(bl.Stress), bl.StressSpeedup)
+		return
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	bl, err := bench.RunBaseline(*states, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bl.WriteJSON(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, s := range bl.Suite {
+		fmt.Printf("suite %-8s %12d ns/op %10.0f RTLs/sec\n", s.Level, s.NsPerOp, s.RTLsPerSec)
+	}
+	for _, s := range bl.Stress {
+		fmt.Printf("stress %-7s %12d ns/op %10.0f RTLs/sec\n", s.Engine, s.NsPerOp, s.RTLsPerSec)
+	}
+	fmt.Printf("stress speedup (matrix/oracle): %.1fx\n", bl.StressSpeedup)
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -11,6 +11,7 @@
 //	fuzzjump -machines sparc -levels jumps     # restrict the matrix
 //	fuzzjump -corpus out/ -report f.jsonl      # persist failures
 //	fuzzjump -inject rollback                  # oracle self-test
+//	fuzzjump -engine matrix -budget 60         # reference path engine, bigger programs
 //
 // Exit status: 0 if the campaign found nothing, 1 if any seed produced a
 // violation, 2 on usage errors.
@@ -44,6 +45,8 @@ func main() {
 	report := flag.String("report", "", "write one JSONL finding per violation to this file")
 	minimize := flag.Bool("minimize", true, "with -corpus: also store a minimized reproducer")
 	maxSteps := flag.Int64("maxsteps", 0, "VM step budget per execution (0 = oracle default)")
+	budget := flag.Int("budget", 0, "generator statement budget per function (0 = generator default); larger programs stress step 1 harder")
+	engineName := flag.String("engine", "", "step-1 path engine: oracle (default) or matrix")
 	residual := flag.Bool("residual", false, "enable the opt-in residual-replicable-jump check")
 	inject := flag.String("inject", "", "fault injection for self-testing the oracle: 'rollback' disables the reducibility rollback")
 	quiet := flag.Bool("q", false, "suppress per-interval progress output")
@@ -70,6 +73,11 @@ func main() {
 	default:
 		fatal(2, fmt.Errorf("unknown -inject mode %q (want 'rollback')", *inject))
 	}
+	engine, err := replicate.ParseEngine(*engineName)
+	if err != nil {
+		fatal(2, err)
+	}
+	rep.Engine = engine
 
 	if *corpus != "" {
 		if err := os.MkdirAll(*corpus, 0o755); err != nil {
@@ -187,7 +195,7 @@ func main() {
 				}
 				o := opts
 				o.Seed = s
-				src := difftest.Generate(s)
+				src := difftest.GenerateWith(s, difftest.GenOptions{StmtBudget: *budget})
 				handle(s, src, difftest.Check(src, o))
 			}
 		}()

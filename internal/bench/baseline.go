@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/difftest"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+	"repro/internal/replicate"
+)
+
+// BaselineSchema is the schema version written into BENCH_baseline.json;
+// bump it when the shape of Baseline changes incompatibly.
+const BaselineSchema = 1
+
+// DefaultStressStates is the standard size of the synthetic stress
+// function (difftest.GenerateStress) used by the committed baseline: large
+// enough that step 1 dominates the matrix engine's compile time (~1700
+// blocks before replication), small enough that the matrix leg still
+// finishes in well under a minute.
+const DefaultStressStates = 300
+
+// Baseline is the machine-readable performance baseline committed as
+// BENCH_baseline.json. Regenerate it with `go run ./cmd/bench` (see
+// docs/PERFORMANCE.md); CI only validates that the committed file parses
+// and is self-consistent, so numbers from different hardware never fail a
+// build.
+type Baseline struct {
+	// Schema identifies the file format (BaselineSchema).
+	Schema int `json:"schema"`
+	// Machine is the machine model every compile benchmark targets.
+	Machine string `json:"machine"`
+	// Suite holds one entry per pipeline level: the full Table-3 program
+	// suite compiled front-to-back at that level.
+	Suite []SuiteResult `json:"suite"`
+	// Stress holds one entry per path engine: the synthetic stress
+	// function compiled at the stock 20000-RTL replication ceiling.
+	Stress []StressResult `json:"stress"`
+	// StressSpeedup is the matrix/oracle wall-time ratio of the stress
+	// compiles — the headline number of the on-demand engine (≥3 is the
+	// acceptance floor; see docs/PERFORMANCE.md for measured values).
+	StressSpeedup float64 `json:"stress_speedup"`
+}
+
+// SuiteResult reports compiling the whole Table-3 suite at one level.
+type SuiteResult struct {
+	// Level is the pipeline level name ("SIMPLE", "LOOPS", "JUMPS").
+	Level string `json:"level"`
+	// NsPerOp is the wall time per suite compile (all 14 programs).
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the allocation count per suite compile.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is the allocated bytes per suite compile.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// RTLs is the total input size: RTL instructions entering the
+	// optimizer per suite compile, summed over all programs and functions.
+	RTLs int64 `json:"rtls"`
+	// RTLsPerSec is compile throughput: RTLs / (NsPerOp in seconds).
+	RTLsPerSec float64 `json:"rtls_per_sec"`
+}
+
+// StressResult reports compiling the synthetic stress function with one
+// path engine.
+type StressResult struct {
+	// Engine is the step-1 path engine ("oracle" or "matrix").
+	Engine string `json:"engine"`
+	// States is the difftest.GenerateStress size used.
+	States int `json:"states"`
+	// RTLs is the function's RTL count entering the optimizer.
+	RTLs int64 `json:"rtls"`
+	// NsPerOp is the wall time per stress compile.
+	NsPerOp int64 `json:"ns_per_op"`
+	// RTLsPerSec is input-RTL throughput of the whole pipeline compile.
+	RTLsPerSec float64 `json:"rtls_per_sec"`
+}
+
+// progRTLs sums the RTL counts of every function of a compiled program.
+func progRTLs(p *cfg.Program) int64 {
+	var n int64
+	for _, f := range p.Funcs {
+		n += int64(f.NumRTLs())
+	}
+	return n
+}
+
+// SuiteRTLs returns the total optimizer-input size of the Table-3 suite in
+// RTL instructions (the numerator of the suite throughput metrics).
+func SuiteRTLs() (int64, error) {
+	var total int64
+	for _, p := range Programs() {
+		prog, err := mcc.Compile(p.Source)
+		if err != nil {
+			return 0, fmt.Errorf("bench: compile %s: %w", p.Name, err)
+		}
+		total += progRTLs(prog)
+	}
+	return total, nil
+}
+
+// CompileSuiteBench returns a benchmark function that compiles every
+// Table-3 program front-to-back (parse + optimize) at the given level.
+// Shared by the root `go test -bench` macro benchmarks and cmd/bench.
+func CompileSuiteBench(m *machine.Machine, lv pipeline.Level) func(b *testing.B) {
+	progs := Programs()
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for pi := range progs {
+				prog, err := mcc.Compile(progs[pi].Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: lv})
+			}
+		}
+	}
+}
+
+// StressSource returns the mini-C source of the standard stress shape at
+// the given size (difftest.GenerateStress re-exported so cmd/bench and the
+// root benchmarks agree on the exact program).
+func StressSource(states int) string { return difftest.GenerateStress(states) }
+
+// StressCompileBench returns a benchmark function that compiles the
+// synthetic stress function at the JUMPS level with the given path engine
+// and the stock 20000-RTL replication ceiling. Shared by the root
+// `go test -bench` macro benchmarks and cmd/bench.
+func StressCompileBench(engine replicate.PathEngine, states int) func(b *testing.B) {
+	src := StressSource(states)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog, err := mcc.Compile(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipeline.Optimize(prog, pipeline.Config{
+				Machine:     machine.M68020,
+				Level:       pipeline.Jumps,
+				Replication: replicate.Options{Engine: engine},
+			})
+		}
+	}
+}
+
+// RunBaseline measures the full baseline: the Table-3 suite compile at
+// every pipeline level plus the stress compile with both path engines.
+// states sizes the stress function (0 = DefaultStressStates). Progress
+// lines go to progress when non-nil (the runs take tens of seconds).
+func RunBaseline(states int, progress io.Writer) (*Baseline, error) {
+	if states == 0 {
+		states = DefaultStressStates
+	}
+	logf := func(format string, args ...interface{}) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	suiteRTLs, err := SuiteRTLs()
+	if err != nil {
+		return nil, err
+	}
+	bl := &Baseline{Schema: BaselineSchema, Machine: machine.M68020.Name}
+	for _, lv := range pipeline.AllLevels() {
+		logf("suite compile at %s...", lv)
+		r := testing.Benchmark(CompileSuiteBench(machine.M68020, lv))
+		ns := r.NsPerOp()
+		bl.Suite = append(bl.Suite, SuiteResult{
+			Level:       lv.String(),
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			RTLs:        suiteRTLs,
+			RTLsPerSec:  float64(suiteRTLs) * 1e9 / float64(ns),
+		})
+	}
+
+	stressProg, err := mcc.Compile(StressSource(states))
+	if err != nil {
+		return nil, fmt.Errorf("bench: compile stress: %w", err)
+	}
+	stressRTLs := progRTLs(stressProg)
+	var byEngine [2]int64
+	for _, engine := range []replicate.PathEngine{replicate.EngineOracle, replicate.EngineMatrix} {
+		logf("stress compile (%d states, %d RTLs) with %s engine...", states, stressRTLs, engine)
+		r := testing.Benchmark(StressCompileBench(engine, states))
+		ns := r.NsPerOp()
+		byEngine[engine] = ns
+		bl.Stress = append(bl.Stress, StressResult{
+			Engine:     engine.String(),
+			States:     states,
+			RTLs:       stressRTLs,
+			NsPerOp:    ns,
+			RTLsPerSec: float64(stressRTLs) * 1e9 / float64(ns),
+		})
+	}
+	bl.StressSpeedup = float64(byEngine[replicate.EngineMatrix]) / float64(byEngine[replicate.EngineOracle])
+	return bl, nil
+}
+
+// WriteJSON writes the baseline as indented JSON.
+func (bl *Baseline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bl)
+}
+
+// LoadBaseline reads and validates a baseline file; it returns an error
+// when the file is missing, unparsable, or structurally inconsistent (the
+// CI smoke gate).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl Baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := bl.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &bl, nil
+}
+
+// Validate checks the baseline's structural invariants: known schema, one
+// suite entry per pipeline level, both engines in the stress comparison,
+// and positive measurements throughout.
+func (bl *Baseline) Validate() error {
+	if bl.Schema != BaselineSchema {
+		return fmt.Errorf("schema %d, want %d", bl.Schema, BaselineSchema)
+	}
+	if bl.Machine == "" {
+		return fmt.Errorf("missing machine name")
+	}
+	levels := map[string]bool{}
+	for _, s := range bl.Suite {
+		if s.NsPerOp <= 0 || s.RTLs <= 0 || s.RTLsPerSec <= 0 {
+			return fmt.Errorf("suite level %q: non-positive measurement", s.Level)
+		}
+		levels[s.Level] = true
+	}
+	for _, lv := range pipeline.AllLevels() {
+		if !levels[lv.String()] {
+			return fmt.Errorf("suite is missing level %s", lv)
+		}
+	}
+	engines := map[string]bool{}
+	for _, s := range bl.Stress {
+		if s.NsPerOp <= 0 || s.RTLs <= 0 || s.States <= 0 {
+			return fmt.Errorf("stress engine %q: non-positive measurement", s.Engine)
+		}
+		engines[s.Engine] = true
+	}
+	if !engines[replicate.EngineOracle.String()] || !engines[replicate.EngineMatrix.String()] {
+		return fmt.Errorf("stress comparison must cover both engines, got %v", engines)
+	}
+	if bl.StressSpeedup <= 0 {
+		return fmt.Errorf("non-positive stress speedup")
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mcc"
+)
+
+// testBaseline returns a structurally valid baseline for serialization
+// tests (no measurement).
+func testBaseline() *Baseline {
+	return &Baseline{
+		Schema:  BaselineSchema,
+		Machine: "68020",
+		Suite: []SuiteResult{
+			{Level: "SIMPLE", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 1e10},
+			{Level: "LOOPS", NsPerOp: 110, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 9e9},
+			{Level: "JUMPS", NsPerOp: 120, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 8e9},
+		},
+		Stress: []StressResult{
+			{Engine: "oracle", States: 300, RTLs: 4000, NsPerOp: 1000, RTLsPerSec: 4e9},
+			{Engine: "matrix", States: 300, RTLs: 4000, NsPerOp: 8000, RTLsPerSec: 5e8},
+		},
+		StressSpeedup: 8,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	bl := testBaseline()
+	if err := bl.Validate(); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := bl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StressSpeedup != bl.StressSpeedup || len(got.Suite) != 3 || len(got.Stress) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestBaselineValidateRejects(t *testing.T) {
+	cases := map[string]func(*Baseline){
+		"bad schema":      func(b *Baseline) { b.Schema = 99 },
+		"no machine":      func(b *Baseline) { b.Machine = "" },
+		"missing level":   func(b *Baseline) { b.Suite = b.Suite[:2] },
+		"zero ns":         func(b *Baseline) { b.Suite[0].NsPerOp = 0 },
+		"missing engine":  func(b *Baseline) { b.Stress = b.Stress[:1] },
+		"zero states":     func(b *Baseline) { b.Stress[0].States = 0 },
+		"zero speedup":    func(b *Baseline) { b.StressSpeedup = 0 },
+		"negative rtls/s": func(b *Baseline) { b.Suite[1].RTLsPerSec = -1 },
+	}
+	for name, mutate := range cases {
+		bl := testBaseline()
+		mutate(bl)
+		if err := bl.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken baseline", name)
+		}
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("unparsable file accepted")
+	}
+}
+
+// TestStressSourceCompiles pins the stress generator's output to stay
+// within the mini-C subset and produce the single-large-function shape the
+// step-1 benchmarks rely on, and checks the suite RTL counter is sane.
+func TestStressSourceCompiles(t *testing.T) {
+	prog, err := mcc.Compile(StressSource(40))
+	if err != nil {
+		t.Fatalf("stress source no longer compiles: %v", err)
+	}
+	if len(prog.Funcs) != 1 {
+		t.Fatalf("stress program has %d functions, want 1", len(prog.Funcs))
+	}
+	if blocks := len(prog.Funcs[0].Blocks); blocks < 80 {
+		t.Errorf("stress function has only %d blocks for 40 states", blocks)
+	}
+	rtls, err := SuiteRTLs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtls <= 0 {
+		t.Fatal("empty suite")
+	}
+}

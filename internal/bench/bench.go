@@ -14,11 +14,16 @@ import "strings"
 
 // Program is one entry of the paper's Table 3.
 type Program struct {
-	Name        string
-	Class       string // "Utilities", "Benchmarks" or "User code"
+	// Name is the Table-3 row label (and the wire name in POST /measure).
+	Name string
+	// Class is the Table-3 grouping: "Utilities", "Benchmarks" or "User code".
+	Class string
+	// Description is the one-line purpose from the paper's table.
 	Description string
-	Source      string
-	Input       string
+	// Source is the mini-C translation unit.
+	Source string
+	// Input is the program's canned standard input.
+	Input string
 	// WantOutput, when non-empty, is checked by the test suite to pin the
 	// program's behaviour.
 	WantOutput string

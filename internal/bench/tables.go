@@ -18,10 +18,13 @@ import (
 
 // Cell is one measured (program, machine, level) combination.
 type Cell struct {
+	// Program and Machine name the grid coordinates; Level is the
+	// optimization level of this cell.
 	Program string
 	Machine string
 	Level   pipeline.Level
-	Run     *ease.Run
+	// Run carries the cell's full EASE measurement.
+	Run *ease.Run
 }
 
 // cellKey indexes the grid by (program, machine, level).
@@ -32,6 +35,7 @@ type cellKey struct {
 
 // Results holds every cell of the experiment grid.
 type Results struct {
+	// Cells holds every measured grid cell, in measurement order.
 	Cells []Cell
 	// CacheSizes are the simulated cache sizes (bytes) in bank order.
 	CacheSizes []int64

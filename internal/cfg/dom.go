@@ -1,5 +1,7 @@
 package cfg
 
+import "sort"
+
 // Dominators holds the dominator tree of a function, computed with the
 // Cooper–Harvey–Kennedy algorithm ("A Simple, Fast Dominance Algorithm"):
 // an idom fixpoint over reverse postorder. Dominance queries answer in
@@ -166,6 +168,20 @@ type Loop struct {
 
 // Contains reports whether the loop contains the block with the given index.
 func (l *Loop) Contains(idx int) bool { return l.Blocks[idx] }
+
+// BlockIndices returns the loop's block indices in ascending order. Blocks
+// is a map, so ranging over it directly visits blocks in a different order
+// every run; any consumer whose result depends on visit order (hoisting,
+// candidate selection) must iterate through this instead to keep
+// compilation deterministic.
+func (l *Loop) BlockIndices() []int {
+	idxs := make([]int, 0, len(l.Blocks))
+	for bi := range l.Blocks {
+		idxs = append(idxs, bi)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
 
 // NaturalLoops finds all natural loops of the function: for every back edge
 // t->h where h dominates t, the loop body is h plus every block that can

@@ -118,13 +118,16 @@ func (o Options) maxSteps() int64 {
 
 // replication returns the replication options with a fuzzing-friendly
 // growth cap: goto-heavy generated programs can otherwise balloon to the
-// stock 20000-RTL ceiling, where the per-sweep Floyd–Warshall matrix makes
-// a single cell take tens of seconds. 6000 RTLs keeps a full six-cell
-// check under ~2s while still replicating hundreds of jumps.
+// stock 20000-RTL ceiling, where the downstream passes (liveness, register
+// allocation) dominate a cell's wall time. The cap was 6000 when step 1
+// was the all-pairs Floyd–Warshall matrix; the on-demand path oracle
+// removed that bottleneck (see internal/replicate/oracle.go), so the
+// ceiling now doubles to 12000 while a full six-cell check stays in the
+// low seconds.
 func (o Options) replication() replicate.Options {
 	r := o.Replication
 	if r.MaxFuncRTLs == 0 {
-		r.MaxFuncRTLs = 6000
+		r.MaxFuncRTLs = 12000
 	}
 	return r
 }

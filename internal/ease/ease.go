@@ -73,6 +73,13 @@ type Run struct {
 	// Elapsed is the wall time of the whole measurement (compile through
 	// run), for progress reporting.
 	Elapsed time.Duration
+	// InputRTLs is the program size entering the optimizer (RTL
+	// instructions over all functions) and OptimizeElapsed the wall time
+	// of the optimize phase alone: together they give the compile
+	// throughput (RTLs/sec) that mccd exports as a histogram and
+	// BENCH_baseline.json records per pipeline level.
+	InputRTLs       int
+	OptimizeElapsed time.Duration
 }
 
 // StaticJumpFraction is the static fraction of instructions that are
@@ -131,12 +138,17 @@ func Measure(req Request) (*Run, error) {
 // MeasureProgram measures an already-compiled (but unoptimized) program.
 func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 	start := time.Now()
+	inputRTLs := 0
+	for _, f := range prog.Funcs {
+		inputRTLs += f.NumRTLs()
+	}
 	st := pipeline.Optimize(prog, pipeline.Config{
 		Machine:     req.Machine,
 		Level:       req.Level,
 		Replication: req.Replication,
 		Tracer:      req.Tracer,
 	})
+	optimizeElapsed := time.Since(start)
 	phaseSpan(req.Tracer, "optimize", start)
 	if req.Validate {
 		if err := cfg.ValidateProgram(prog, req.Machine.DelaySlots); err != nil {
@@ -190,14 +202,16 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		return nil, fmt.Errorf("ease: %s (%s/%s): %w", req.Name, req.Machine.Name, req.Level, err)
 	}
 	run := &Run{
-		Request:   req,
-		Static:    st,
-		Dynamic:   res.Counts,
-		CodeBytes: layout.CodeBytes,
-		Output:    res.Output,
-		ExitCode:  res.ExitCode,
-		Profile:   res.Profile,
-		Elapsed:   time.Since(start),
+		Request:         req,
+		Static:          st,
+		Dynamic:         res.Counts,
+		CodeBytes:       layout.CodeBytes,
+		Output:          res.Output,
+		ExitCode:        res.ExitCode,
+		Profile:         res.Profile,
+		Elapsed:         time.Since(start),
+		InputRTLs:       inputRTLs,
+		OptimizeElapsed: optimizeElapsed,
 	}
 	if bank != nil {
 		run.Caches = bank.Stats()

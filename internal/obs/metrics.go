@@ -59,6 +59,15 @@ var DefaultLatencyBuckets = []float64{
 	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// ThroughputBuckets suits compile-throughput observations in RTLs/sec:
+// roughly log-spaced from a pathological 100 RTLs/sec (the matrix engine
+// on the stress function) up past the small-program regime where the
+// per-compile fixed cost dominates (see BENCH_baseline.json).
+var ThroughputBuckets = []float64{
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000,
+}
+
 // NewHistogram builds a histogram with the given bucket upper bounds
 // (sorted ascending; a +Inf bucket is implicit).
 func NewHistogram(bounds []float64) *Histogram {

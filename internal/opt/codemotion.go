@@ -123,7 +123,11 @@ func CodeMotion(f *cfg.Func) bool {
 				}
 			}
 			var moves []rtl.Inst
-			for bi := range l.Blocks {
+			// In index order: hoist order decides both the preheader's
+			// instruction sequence and (via definedInLoop deletions) which
+			// later candidates qualify, so map order would be visible in
+			// the output.
+			for _, bi := range l.BlockIndices() {
 				b := f.Blocks[bi]
 				kept := b.Insts[:0]
 				for ii := range b.Insts {

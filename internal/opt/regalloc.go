@@ -350,7 +350,11 @@ func tryColor(f *cfg.Func, m *machine.Machine, temps regSet) bool {
 						continue
 					}
 					score := float64(useCount[n]+1) / float64(len(adj[n])+1)
-					if v == rtl.RegNone || score < bestScore {
+					// Tie-break on the register number: adj is a map, so a
+					// strict < here would leave the victim to iteration
+					// order and make spill slots (and thus the whole
+					// compile) nondeterministic.
+					if v == rtl.RegNone || score < bestScore || score == bestScore && n < v {
 						v, bestScore = n, score
 					}
 				}
@@ -360,14 +364,18 @@ func tryColor(f *cfg.Func, m *machine.Machine, temps regSet) bool {
 			}
 			victims.add(v)
 		}
-		if debugSpills != nil {
-			spills = spills[:0]
-			for v := range victims {
-				spills = append(spills, v)
-			}
-			debugSpills(f, spills)
-		}
+		// Spill in register order: the order assigns frame slots and fresh
+		// temporaries, so iterating the set directly would compile the same
+		// function to different (equivalent) code run to run.
+		ordered := make([]rtl.Reg, 0, len(victims))
 		for v := range victims {
+			ordered = append(ordered, v)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		if debugSpills != nil {
+			debugSpills(f, ordered)
+		}
+		for _, v := range ordered {
 			spillReg(f, v, temps)
 		}
 		return false

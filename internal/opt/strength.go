@@ -78,8 +78,10 @@ func reduceLoop(f *cfg.Func, e *cfg.Edges, l *cfg.Loop) bool {
 	if len(bivs) == 0 {
 		return false
 	}
-	// Find a candidate multiplication t = biv * k.
-	for bi := range l.Blocks {
+	// Find a candidate multiplication t = biv * k. Index order, not map
+	// order: only one candidate is reduced per call, so the pick would
+	// otherwise differ run to run.
+	for _, bi := range l.BlockIndices() {
 		b := f.Blocks[bi]
 		for ii := range b.Insts {
 			in := &b.Insts[ii]

@@ -8,15 +8,13 @@ import (
 	"repro/internal/rtl"
 )
 
-// TestTable1Fixture drives JUMPS over the paper's Table 1 control flow,
-// written directly in the textual RTL notation: a loop whose exit test sits
-// at the top (label L15 in the paper) and whose body ends with the
-// unconditional jump back. After replication the jump is gone and a
-// reversed copy of the test closes the loop at the bottom — the exact
-// transformation of the table.
-func TestTable1Fixture(t *testing.T) {
+// The RTL-text fixtures, shared between the per-table tests below and the
+// engine-equivalence differential test (engine_test.go).
+const (
+	// table1Src is the paper's Table 1 control flow: a loop whose exit test
+	// sits at the top and whose body ends with the unconditional jump back.
 	// v0=d[0], v1=d[1], v2=a[0]; "L[n]" is the loop bound.
-	f, err := cfg.ParseFunc(`func copyloop(params=0, locals=0):
+	table1Src = `func copyloop(params=0, locals=0):
 L0:
 	v1 = #1
 	v2 = &x
@@ -31,7 +29,50 @@ L2:
 	PC = L1
 L3:
 	PC = RT
-`)
+`
+	// table2Src is the paper's Table 2 control flow: an if-then-else whose
+	// then-part jumps over the else-part to the join+return.
+	table2Src = `func f(params=2, locals=2):
+L0:
+	CC = L[fp+0] ? #5
+	PC = CC <= 0, L2
+L1:
+	v0 = L[fp+0]
+	v0 = v0 / L[fp+1]
+	L[fp+0] = v0
+	PC = L3
+L2:
+	v0 = L[fp+0]
+	v0 = v0 * L[fp+1]
+	L[fp+0] = v0
+L3:
+	PC = RT, rv=L[fp+0]
+`
+	// forShapeSrc is a for-loop with the entry jump to the bottom test.
+	forShapeSrc = `func main(params=0, locals=0):
+L0:
+	v0 = #0
+	v1 = #0
+	PC = L2
+L1:
+	v0 = v0 + v1
+	v1 = v1 + #1
+L2:
+	CC = v1 ? #10
+	PC = CC < 0, L1
+L3:
+	PC = RT, rv=v0
+`
+)
+
+// TestTable1Fixture drives JUMPS over the paper's Table 1 control flow,
+// written directly in the textual RTL notation: a loop whose exit test sits
+// at the top (label L15 in the paper) and whose body ends with the
+// unconditional jump back. After replication the jump is gone and a
+// reversed copy of the test closes the loop at the bottom — the exact
+// transformation of the table.
+func TestTable1Fixture(t *testing.T) {
+	f, err := cfg.ParseFunc(table1Src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,22 +106,7 @@ L3:
 // if-then-else whose then-part jumps over the else-part to the join+return.
 // The replication copies the epilogue so both paths return separately.
 func TestTable2Fixture(t *testing.T) {
-	f, err := cfg.ParseFunc(`func f(params=2, locals=2):
-L0:
-	CC = L[fp+0] ? #5
-	PC = CC <= 0, L2
-L1:
-	v0 = L[fp+0]
-	v0 = v0 / L[fp+1]
-	L[fp+0] = v0
-	PC = L3
-L2:
-	v0 = L[fp+0]
-	v0 = v0 * L[fp+1]
-	L[fp+0] = v0
-L3:
-	PC = RT, rv=L[fp+0]
-`)
+	f, err := cfg.ParseFunc(table2Src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,20 +132,7 @@ L3:
 // the bottom test is replaced by a reversed guard, with no loop completion
 // (the compact result, not a copied loop nest).
 func TestForShapeFixture(t *testing.T) {
-	f, err := cfg.ParseFunc(`func main(params=0, locals=0):
-L0:
-	v0 = #0
-	v1 = #0
-	PC = L2
-L1:
-	v0 = v0 + v1
-	v1 = v1 + #1
-L2:
-	CC = v1 ? #10
-	PC = CC < 0, L1
-L3:
-	PC = RT, rv=v0
-`)
+	f, err := cfg.ParseFunc(forShapeSrc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ const (
 	HeurFrequency
 )
 
+// String returns the wire name of the heuristic.
 func (h Heuristic) String() string {
 	switch h {
 	case HeurShortest:
@@ -62,6 +63,11 @@ type Options struct {
 	MaxFuncRTLs int
 	// MaxReplications bounds replications per invocation (0 = default 500).
 	MaxReplications int
+	// Engine selects the step-1 shortest-path implementation: the default
+	// on-demand oracle (EngineOracle) or the paper's eager all-pairs matrix
+	// (EngineMatrix), kept as a differential reference. Both produce
+	// identical candidate sequences and decision traces.
+	Engine PathEngine
 	// Tracer, when non-nil, receives one obs.EvDecision event per jump
 	// considered: the candidate sequences with their RTL costs, which were
 	// rolled back, and the outcome.
@@ -166,14 +172,15 @@ func JUMPS(f *cfg.Func, opts Options) Result {
 	return res
 }
 
-// sweep builds the shortest-path matrix once (step 1) and then walks the
-// blocks replacing jumps (steps 2–6), reusing the matrix for every lookup
-// exactly as the paper describes. Returns the number of replications made.
+// sweep builds the shortest-path engine once (step 1) and then walks the
+// blocks replacing jumps (steps 2–6), reusing the engine for every lookup
+// exactly as the paper describes for its matrix. Returns the number of
+// replications made.
 func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, futile *int, res *Result) int {
 	e := cfg.ComputeEdges(f)
-	m := newPathMatrix(f, e)
-	// Label-space view of the matrix: rows were assigned in block order at
-	// build time.
+	m := newPathFinder(f, e, opts.Engine)
+	// Label-space view of the engine: rows were assigned in block order at
+	// snapshot time.
 	rowOf := make(map[rtl.Label]int, len(f.Blocks))
 	labelOf := make([]rtl.Label, len(f.Blocks))
 	for i, b := range f.Blocks {
@@ -210,7 +217,7 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 			made++
 			continue
 		}
-		// The matrix only knows blocks that existed when it was built;
+		// The engine only knows blocks that existed when it was built;
 		// jumps into fresh copies wait for the next sweep.
 		if _, ok := rowOf[tgt.Label]; !ok {
 			continue
@@ -301,7 +308,7 @@ func emitDecision(opts Options, f *cfg.Func, block, target rtl.Label, meta []obs
 // ordered by the configured heuristic: favoring returns (a path to a
 // return) and favoring loops (a path reconnecting to the block positionally
 // following b). Step 3 (natural-loop completion) is applied to each.
-func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []rtl.Label,
+func candidates(f *cfg.Func, m pathFinder, rowOf map[rtl.Label]int, labelOf []rtl.Label,
 	loops []*cfg.Loop, opts Options, b, tgt *cfg.Block) []candidate {
 	var out []candidate
 	tr := rowOf[tgt.Label]
@@ -353,9 +360,9 @@ func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []r
 		}
 		var dd int
 		if rb == tgt {
-			dd = m.cost[tr]
-		} else if m.dist[tr][rr] < inf {
-			dd = m.dist[tr][rr]
+			dd = m.cost(tr)
+		} else if d := m.dist(tr, rr); d < inf {
+			dd = d
 		} else {
 			continue
 		}
@@ -373,7 +380,7 @@ func candidates(f *cfg.Func, m *pathMatrix, rowOf map[rtl.Label]int, labelOf []r
 	// following b, replicating everything but that final block.
 	if b.Index+1 < len(f.Blocks) {
 		fb := f.Blocks[b.Index+1]
-		if fr, known := rowOf[fb.Label]; known && fb != tgt && m.dist[tr][fr] < inf {
+		if fr, known := rowOf[fb.Label]; known && fb != tgt && m.dist(tr, fr) < inf {
 			if p := m.path(tr, fr); len(p) >= 2 {
 				addVariants(obs.KindLoops, toLabels(p[:len(p)-1]), fb.Label)
 			}

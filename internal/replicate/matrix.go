@@ -5,76 +5,52 @@
 // against.
 package replicate
 
-import (
-	"math"
-
-	"repro/internal/cfg"
-	"repro/internal/rtl"
-)
+import "math"
 
 // inf is the "no path" distance.
 const inf = math.MaxInt32
 
-// pathMatrix holds all-pairs shortest paths over the flow graph, where the
-// length of a path is the total number of RTLs in the traversed blocks
-// (both endpoints included). Built once per sweep with Warshall/Floyd, as
-// in step 1 of the paper's algorithm, and then used for every lookup.
+// pathMatrix holds all-pairs shortest paths over the flow graph snapshot,
+// where the length of a path is the total number of RTLs in the traversed
+// blocks (both endpoints included). Built eagerly with Warshall/Floyd, as
+// in step 1 of the paper's algorithm, and then used for every lookup of
+// the sweep. This is the EngineMatrix implementation, kept as the
+// differential reference for the on-demand pathOracle (see oracle.go);
+// both answer every dist/path query identically.
 type pathMatrix struct {
-	f    *cfg.Func
-	cost []int   // RTL count per block
-	dist [][]int // dist[i][j]: min RTLs over paths i..j (inclusive); inf if none
-	next [][]int // next[i][j]: successor of i on the shortest path to j
+	snap *graphSnapshot
+	d    [][]int // d[i][j]: min RTLs over paths i..j (inclusive); inf if none
 }
 
-// newPathMatrix builds the matrix. Self-reflexive transitions are excluded,
-// as are all transitions out of blocks ending in indirect jumps (their
-// replication is handled only as sequence terminators, and only in the §6
-// extension mode).
-func newPathMatrix(f *cfg.Func, e *cfg.Edges) *pathMatrix {
-	n := len(f.Blocks)
-	m := &pathMatrix{
-		f:    f,
-		cost: make([]int, n),
-		dist: make([][]int, n),
-		next: make([][]int, n),
-	}
-	for i, b := range f.Blocks {
-		m.cost[i] = len(b.Insts)
-		m.dist[i] = make([]int, n)
-		m.next[i] = make([]int, n)
-		for j := range m.dist[i] {
-			m.dist[i][j] = inf
-			m.next[i][j] = -1
+// newPathMatrix builds the all-pairs matrix from the snapshot.
+func newPathMatrix(snap *graphSnapshot) *pathMatrix {
+	n := len(snap.cost)
+	m := &pathMatrix{snap: snap, d: make([][]int, n)}
+	for i := range m.d {
+		m.d[i] = make([]int, n)
+		for j := range m.d[i] {
+			m.d[i][j] = inf
 		}
 	}
-	for i, b := range f.Blocks {
-		if t := b.Term(); t != nil && t.Kind == rtl.IJmp {
-			continue // paths may not traverse indirect jumps
-		}
-		for _, s := range e.Succs[i] {
-			j := s.Index
-			if j == i {
-				continue // no self-reflexive transitions
-			}
-			if d := m.cost[i] + m.cost[j]; d < m.dist[i][j] {
-				m.dist[i][j] = d
-				m.next[i][j] = j
+	for i, succs := range snap.succs {
+		for _, j := range succs {
+			if d := snap.cost[i] + snap.cost[j]; d < m.d[i][j] {
+				m.d[i][j] = d
 			}
 		}
 	}
 	for k := 0; k < n; k++ {
 		for i := 0; i < n; i++ {
-			if i == k || m.dist[i][k] == inf {
+			if i == k || m.d[i][k] == inf {
 				continue
 			}
-			dik := m.dist[i][k]
+			dik := m.d[i][k]
 			for j := 0; j < n; j++ {
-				if j == k || m.dist[k][j] == inf {
+				if j == k || m.d[k][j] == inf {
 					continue
 				}
-				if d := dik + m.dist[k][j] - m.cost[k]; d < m.dist[i][j] {
-					m.dist[i][j] = d
-					m.next[i][j] = m.next[i][k]
+				if d := dik + m.d[k][j] - snap.cost[k]; d < m.d[i][j] {
+					m.d[i][j] = d
 				}
 			}
 		}
@@ -82,23 +58,17 @@ func newPathMatrix(f *cfg.Func, e *cfg.Edges) *pathMatrix {
 	return m
 }
 
-// path returns the block-index sequence of the shortest path from i to j
-// (inclusive of both), or nil if none exists. For i == j it returns the
-// single-block path.
+func (m *pathMatrix) cost(i int) int    { return m.snap.cost[i] }
+func (m *pathMatrix) dist(i, j int) int { return m.d[i][j] }
+
+// path returns the canonical shortest block sequence from i to j
+// (inclusive of both), or nil if none exists.
 func (m *pathMatrix) path(i, j int) []int {
-	if i == j {
-		return []int{i}
-	}
-	if m.next[i][j] < 0 {
-		return nil
-	}
-	seq := []int{i}
-	for i != j {
-		i = m.next[i][j]
-		seq = append(seq, i)
-		if len(seq) > len(m.cost)+1 {
-			return nil // corrupt matrix; fail safe
+	row := m.d[i]
+	return canonPath(m.snap, func(x int) int {
+		if x == i {
+			return m.snap.cost[i]
 		}
-	}
-	return seq
+		return row[x]
+	}, i, j)
 }

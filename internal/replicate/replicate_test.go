@@ -60,18 +60,21 @@ func TestPathMatrixShortest(t *testing.T) {
 	b2.Insts = []rtl.Inst{{Kind: rtl.Move, Dst: rtl.R(v(1)), Src: rtl.Imm(3)}}
 	b3.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.None()}}
 	e := cfg.ComputeEdges(f)
-	m := newPathMatrix(f, e)
-	// Shortest b0..b3 goes through b2: 2 + 1 + 1 RTLs.
-	if m.dist[0][3] != 4 {
-		t.Errorf("dist[0][3] = %d, want 4", m.dist[0][3])
-	}
-	p := m.path(0, 3)
-	if len(p) != 3 || p[1] != 2 {
-		t.Errorf("path = %v, want [0 2 3]", p)
-	}
-	// Self distance is not defined (non-reflexive).
-	if m.dist[0][0] != inf {
-		t.Error("self-reflexive transition recorded")
+	for _, engine := range []PathEngine{EngineMatrix, EngineOracle} {
+		m := newPathFinder(f, e, engine)
+		// Shortest b0..b3 goes through b2: 2 + 1 + 1 RTLs.
+		if d := m.dist(0, 3); d != 4 {
+			t.Errorf("%v: dist(0, 3) = %d, want 4", engine, d)
+		}
+		p := m.path(0, 3)
+		if len(p) != 3 || p[1] != 2 {
+			t.Errorf("%v: path = %v, want [0 2 3]", engine, p)
+		}
+		// Self distance is not defined (non-reflexive; the graph is acyclic
+		// so no cycle through b0 exists either).
+		if m.dist(0, 0) != inf {
+			t.Errorf("%v: self-reflexive transition recorded", engine)
+		}
 	}
 }
 
@@ -84,9 +87,11 @@ func TestPathMatrixExcludesIndirect(t *testing.T) {
 	b1.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.None()}}
 	b2.Insts = []rtl.Inst{{Kind: rtl.Ret, Src: rtl.None()}}
 	e := cfg.ComputeEdges(f)
-	m := newPathMatrix(f, e)
-	if m.dist[0][1] != inf || m.dist[0][2] != inf {
-		t.Error("paths must not traverse indirect jumps")
+	for _, engine := range []PathEngine{EngineMatrix, EngineOracle} {
+		m := newPathFinder(f, e, engine)
+		if m.dist(0, 1) != inf || m.dist(0, 2) != inf {
+			t.Errorf("%v: paths must not traverse indirect jumps", engine)
+		}
 	}
 }
 

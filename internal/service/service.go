@@ -79,12 +79,26 @@ func (c Config) gridTimeout() time.Duration {
 type metrics struct {
 	reg *obs.Registry
 
-	reqCompile *obs.Counter
-	reqMeasure *obs.Counter
-	reqGrid    *obs.Counter
-	errors     *obs.Counter
-	gridCells  *obs.Counter
-	latency    *obs.Histogram
+	reqCompile  *obs.Counter
+	reqMeasure  *obs.Counter
+	reqGrid     *obs.Counter
+	errors      *obs.Counter
+	gridCells   *obs.Counter
+	compileRTLs *obs.Counter
+	latency     *obs.Histogram
+	throughput  *obs.Histogram
+}
+
+// observeThroughput feeds the compile-throughput metrics from one optimize
+// run: rtls is the program size entering the optimizer, elapsed the wall
+// time of the optimize phase alone (cache hits never get here, so the
+// histogram only reflects real compiles).
+func (m *metrics) observeThroughput(rtls int, elapsed time.Duration) {
+	if rtls <= 0 || elapsed <= 0 {
+		return
+	}
+	m.compileRTLs.Add(int64(rtls))
+	m.throughput.Observe(float64(rtls) / elapsed.Seconds())
 }
 
 func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64) *metrics {
@@ -106,6 +120,8 @@ func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64) *metrics {
 	reg.CounterFunc("mccd_task_panics_total", "pool tasks that panicked", pool.Panics)
 	reg.GaugeFunc("mccd_jobs_running", "async jobs currently queued or running", jobsRunning)
 	m.latency = reg.Histogram("mccd_job_seconds", "per-job wall time (compile, measure, grid cell)", nil)
+	m.compileRTLs = reg.Counter("mccd_compile_rtls_total", "RTL instructions fed into the optimizer (cache misses only)")
+	m.throughput = reg.Histogram("mccd_compile_rtls_per_second", "optimizer throughput per compile in input RTLs/sec", obs.ThroughputBuckets)
 	return m
 }
 
@@ -235,6 +251,9 @@ type ReplicationOptions struct {
 	MaxSeqRTLs int `json:"maxseq,omitempty"`
 	// AllowIndirect enables the §6 indirect-jump extension.
 	AllowIndirect bool `json:"indirect,omitempty"`
+	// Engine picks the step-1 shortest-path engine: "" or "oracle"
+	// (default), or "matrix" for the Floyd–Warshall reference.
+	Engine string `json:"engine,omitempty"`
 }
 
 func (o ReplicationOptions) resolve() (replicate.Options, error) {
@@ -249,14 +268,23 @@ func (o ReplicationOptions) resolve() (replicate.Options, error) {
 	default:
 		return opts, badRequestf("unknown heuristic %q (want shortest, returns or loops)", o.Heuristic)
 	}
+	engine, err := replicate.ParseEngine(o.Engine)
+	if err != nil {
+		return opts, badRequestf("%v", err)
+	}
+	opts.Engine = engine
 	return opts, nil
 }
 
-// hashOptions folds the replication options into a cache key.
+// hashOptions folds the replication options into a cache key. Engine is
+// included even though both engines produce identical code: keeping it in
+// the key means a request pinning the reference engine is never answered
+// with a result computed by the other one.
 func (b *keyBuilder) options(o ReplicationOptions) {
 	b.str(o.Heuristic)
 	b.int(int64(o.MaxSeqRTLs))
 	b.bool(o.AllowIndirect)
+	b.str(o.Engine)
 }
 
 // CompileRequest is the body of POST /compile.
@@ -333,9 +361,15 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		if err != nil {
 			return nil, badRequestf("%v", err)
 		}
+		inputRTLs := 0
+		for _, f := range prog.Funcs {
+			inputRTLs += f.NumRTLs()
+		}
+		optStart := time.Now()
 		st := pipeline.Optimize(prog, pipeline.Config{
 			Machine: m, Level: lv, Replication: repOpts,
 		})
+		s.met.observeThroughput(inputRTLs, time.Since(optStart))
 		var buf bytes.Buffer
 		if err := asm.Emit(&buf, prog, m); err != nil {
 			return nil, err
@@ -468,6 +502,7 @@ func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResu
 		if err != nil {
 			return nil, badRequestf("%v", err)
 		}
+		s.met.observeThroughput(run.InputRTLs, run.OptimizeElapsed)
 		out := &MeasureResult{
 			Name: name, Machine: m.Name, Level: lv.String(),
 			Static: run.Static, Dynamic: run.Dynamic,

@@ -76,6 +76,43 @@ func TestClosedServiceRejects(t *testing.T) {
 	}
 }
 
+// TestEngineOptionWire covers the replication engine on the wire: both
+// engines compile to identical code, the engine participates in the cache
+// key (a matrix request never reuses an oracle result), unknown names are
+// client errors, and real compiles feed the throughput metrics.
+func TestEngineOptionWire(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(context.Background())
+	base := CompileRequest{Source: tinySrc, Level: "jumps"}
+	oracle, err := s.Compile(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixReq := base
+	matrixReq.Replication.Engine = "matrix"
+	matrix, err := s.Compile(context.Background(), matrixReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Cached {
+		t.Fatal("matrix request served from the oracle request's cache entry")
+	}
+	if matrix.Assembly != oracle.Assembly || matrix.Static != oracle.Static {
+		t.Fatal("engines disagree on compiled output")
+	}
+	bad := base
+	bad.Replication.Engine = "bogus"
+	if _, err := s.Compile(context.Background(), bad); !IsBadRequest(err) {
+		t.Fatalf("unknown engine = %v, want bad request", err)
+	}
+	if n := s.met.compileRTLs.Value(); n <= 0 {
+		t.Fatalf("mccd_compile_rtls_total = %d after two compiles, want > 0", n)
+	}
+	if n := s.met.throughput.Count(); n != 2 {
+		t.Fatalf("mccd_compile_rtls_per_second count = %d, want 2", n)
+	}
+}
+
 // TestJobTimeout bounds a synchronous job: the waiter gives up even if
 // the job itself would take longer.
 func TestJobTimeout(t *testing.T) {

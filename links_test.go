@@ -1,0 +1,123 @@
+// Link checker for the repository documentation: every relative markdown
+// link in README.md and docs/ must point at a file that exists, and every
+// fragment must match a heading anchor in the target file. This runs in the
+// ordinary `go test ./...` CI gate, so renaming or moving a document
+// without updating its references fails the build.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files covered by the link checker:
+// README.md plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	return files
+}
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]\n]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// mdHeading matches ATX headings; the text becomes the GitHub anchor.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// anchorDrop strips the characters GitHub removes when deriving an anchor.
+var anchorDrop = regexp.MustCompile("[^a-z0-9 _-]")
+
+// githubAnchor converts a heading text to its GitHub anchor form:
+// lowercase, punctuation removed, spaces become dashes.
+func githubAnchor(heading string) string {
+	// Inline code and emphasis markers vanish from anchors along with all
+	// other punctuation, so stripping marker characters first is enough.
+	s := strings.ToLower(heading)
+	s = anchorDrop.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// anchorsOf returns the set of heading anchors of a markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(string(data), -1) {
+		a := githubAnchor(m[1])
+		if !anchors[a] {
+			anchors[a] = true
+			continue
+		}
+		// Repeated headings get -1, -2, ... suffixes, like GitHub.
+		for i := 1; ; i++ {
+			suffixed := fmt.Sprintf("%s-%d", a, i)
+			if !anchors[suffixed] {
+				anchors[suffixed] = true
+				break
+			}
+		}
+	}
+	return anchors
+}
+
+// TestDocLinksResolve walks every relative link in the documentation set
+// and fails on targets that do not exist, including heading fragments.
+func TestDocLinksResolve(t *testing.T) {
+	anchorCache := map[string]map[string]bool{}
+	anchors := func(path string) map[string]bool {
+		if a, ok := anchorCache[path]; ok {
+			return a
+		}
+		a := anchorsOf(t, path)
+		anchorCache[path] = a
+		return a
+	}
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this gate's business
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				info, err := os.Stat(resolved)
+				if err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+				if info.IsDir() {
+					continue // directory links render as a listing; fine
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchors(resolved)[frag] {
+					t.Errorf("%s: link %q: no heading with anchor #%s in %s",
+						file, target, frag, resolved)
+				}
+			}
+		}
+	}
+}
