@@ -41,16 +41,17 @@ func main() {
 	explain := flag.Bool("explain", false, "print a human-readable pass/replication narrative to stderr")
 	profile := flag.Bool("profile", false, "print the hottest blocks to stderr")
 	quiet := flag.Bool("q", false, "suppress the per-cell progress line on stderr")
+	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass; violations (attributed to the offending pass) abort with exit 1")
 	grid := flag.Bool("grid", false, "measure the full Table-3 grid and print the paper's tables")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel measurement workers for -grid")
 	flag.Parse()
 
 	if *grid {
-		runGrid(*caches, *jobs, *quiet)
+		runGrid(*caches, *jobs, *quiet, *verifyEach)
 		return
 	}
 
-	req := ease.Request{SimulateCaches: *caches, Profile: *profile}
+	req := ease.Request{SimulateCaches: *caches, Profile: *profile, VerifyEach: *verifyEach}
 	switch {
 	case *progName != "":
 		p := bench.ProgramByName(*progName)
@@ -139,6 +140,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if len(run.Static.Verify) > 0 {
+		for _, v := range run.Static.Verify {
+			fmt.Fprintln(os.Stderr, "ease:", v.String())
+		}
+		os.Exit(1)
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "ease: measured %s × %s × %s in %s\n",
 			req.Name, req.Machine.Name, lv, time.Since(start).Round(time.Millisecond))
@@ -197,7 +204,7 @@ func main() {
 // bytes are identical for every -j: cells land at preassigned grid
 // positions, and the per-cell progress lines on stderr are serialized by
 // bench.RunGrid (only their order varies with -j > 1).
-func runGrid(caches bool, jobs int, quiet bool) {
+func runGrid(caches bool, jobs int, quiet bool, verifyEach bool) {
 	pool := service.NewPool(jobs, 0)
 	var progress *os.File
 	if !quiet {
@@ -205,9 +212,10 @@ func runGrid(caches bool, jobs int, quiet bool) {
 	}
 	start := time.Now()
 	res, err := bench.RunGrid(context.Background(), bench.GridConfig{
-		Caches:   caches,
-		Progress: progress,
-		Pool:     pool,
+		Caches:     caches,
+		Progress:   progress,
+		Pool:       pool,
+		VerifyEach: verifyEach,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ease:", err)

@@ -48,6 +48,7 @@ func main() {
 	budget := flag.Int("budget", 0, "generator statement budget per function (0 = generator default); larger programs stress step 1 harder")
 	engineName := flag.String("engine", "", "step-1 path engine: oracle (default) or matrix")
 	residual := flag.Bool("residual", false, "enable the opt-in residual-replicable-jump check")
+	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass, attributing violations to the offending pass")
 	inject := flag.String("inject", "", "fault injection for self-testing the oracle: 'rollback' disables the reducibility rollback")
 	quiet := flag.Bool("q", false, "suppress per-interval progress output")
 	flag.Parse()
@@ -108,6 +109,7 @@ func main() {
 		Input:         []byte("fuzzjump"),
 		Tracer:        tracer,
 		CheckResidual: *residual,
+		VerifyEach:    *verifyEach,
 	}
 
 	// The seed feed: a monotone counter, drained by the workers until the

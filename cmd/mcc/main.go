@@ -40,6 +40,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
 	explain := flag.Bool("explain", false, "print a human-readable pass/replication narrative to stderr")
 	profile := flag.Bool("profile", false, "with -run: print the hottest blocks to stderr")
+	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass; violations (attributed to the offending pass) abort with exit 1")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcc [flags] file.c")
@@ -127,7 +128,14 @@ func main() {
 		Level:       lv,
 		Replication: replicate.Options{MaxSeqRTLs: *maxSeq},
 		Tracer:      tracer,
+		VerifyEach:  *verifyEach,
 	})
+	if len(st.Verify) > 0 {
+		for _, v := range st.Verify {
+			fmt.Fprintln(os.Stderr, "mcc:", v.String())
+		}
+		os.Exit(1)
+	}
 	switch {
 	case *emitAsm:
 		if err := asm.Emit(os.Stdout, prog, m); err != nil {

@@ -1,0 +1,101 @@
+// Command mcclint runs the repository's determinism lint suite
+// (internal/lint) over the optimizer packages: the compiler's output must
+// be a pure function of its inputs, so map iteration order may not escape
+// uncanonicalized (maporder) and the wall clock and math/rand are off
+// limits (nodeterminism).
+//
+//	mcclint ./...              # lint the deterministic packages (CI gate)
+//	mcclint internal/opt       # lint one package, policy ignored
+//	mcclint -list              # show the analyzers
+//
+// Exit status: 0 when clean, 1 when any finding survives `det:allow`
+// suppression, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "log every package checked")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	dirs, err := targetDirs(loader, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "mcclint: checking %s\n", pkg.Path)
+		}
+		for _, d := range lint.Run(pkg, lint.Analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mcclint: %d findings\n", findings)
+		os.Exit(1)
+	}
+}
+
+// targetDirs resolves the command's arguments to package directories.
+// The "./..." pattern (and no arguments at all) means "apply the policy":
+// exactly the deterministic packages are checked. Naming a directory
+// checks it regardless of policy.
+func targetDirs(loader *lint.Loader, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			for _, path := range lint.DeterministicPackages {
+				rel := path[len("repro"):]
+				dirs = append(dirs, filepath.Join(loader.Root, filepath.FromSlash(rel)))
+			}
+			continue
+		}
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, fmt.Errorf("mcclint: %w", err)
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("mcclint: %s is not a directory", arg)
+		}
+		dirs = append(dirs, arg)
+	}
+	return dirs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcclint:", err)
+	os.Exit(2)
+}

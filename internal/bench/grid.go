@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ease"
 	"repro/internal/replicate"
+	"repro/internal/verify"
 )
 
 // Pool is the subset of the service worker pool the grid runner needs.
@@ -30,6 +31,10 @@ type GridConfig struct {
 	CacheSizes []int64
 	// Replication tunes the JUMPS algorithm.
 	Replication replicate.Options
+	// VerifyEach runs the semantic IR verifier (internal/verify) after
+	// every pipeline pass in every cell; the first violation fails the
+	// grid run with the offending pass named in the error.
+	VerifyEach bool
 	// Progress, when non-nil, receives one line per completed cell.
 	// Writes are serialized, so any io.Writer is safe.
 	Progress io.Writer
@@ -100,9 +105,14 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			Replication:    cfg.Replication,
 			SimulateCaches: cfg.Caches,
 			CacheSizes:     cfg.CacheSizes,
+			VerifyEach:     cfg.VerifyEach,
 		})
 		if err != nil {
 			fail(err)
+			return
+		}
+		if err := verify.Error(run.Static.Verify); err != nil {
+			fail(fmt.Errorf("bench: %s (%s/%s): %w", sp.prog.Name, m.Name, lv, err))
 			return
 		}
 		res.Cells[i] = Cell{sp.prog.Name, m.Name, lv, run}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/bench"
@@ -52,7 +53,7 @@ func TestRunGridParallelMatchesSequential(t *testing.T) {
 		if s.Program != p.Program || s.Machine != p.Machine || s.Level != p.Level {
 			t.Fatalf("cell %d order differs: %v vs %v", i, s, p)
 		}
-		if s.Run.Dynamic != p.Run.Dynamic || s.Run.Static != p.Run.Static {
+		if s.Run.Dynamic != p.Run.Dynamic || !reflect.DeepEqual(s.Run.Static, p.Run.Static) {
 			t.Fatalf("cell %d measurements differ", i)
 		}
 	}
@@ -102,6 +103,31 @@ func TestRunGridOnCell(t *testing.T) {
 	}
 	if n != 6 {
 		t.Fatalf("OnCell calls = %d, want 6", n)
+	}
+}
+
+// TestRunGridVerifyEach runs a slice of the grid with the semantic
+// verifier after every pipeline pass: a healthy pipeline must survive
+// every cell, and the measurements must match a plain run (verification
+// observes, never rewrites).
+func TestRunGridVerifyEach(t *testing.T) {
+	progs := subset(t, "queens", "sieve")
+	plain, err := bench.RunGrid(context.Background(), bench.GridConfig{Programs: progs})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	verified, err := bench.RunGrid(context.Background(), bench.GridConfig{
+		Programs:   progs,
+		VerifyEach: true,
+	})
+	if err != nil {
+		t.Fatalf("verify-each grid failed: %v", err)
+	}
+	for i := range plain.Cells {
+		p, v := plain.Cells[i], verified.Cells[i]
+		if p.Run.Dynamic != v.Run.Dynamic || p.Run.CodeBytes != v.Run.CodeBytes {
+			t.Fatalf("cell %d: verify-each changed the measurement", i)
+		}
 	}
 }
 

@@ -22,15 +22,19 @@ func Validate(f *Func, delaySlots bool) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("cfg: %s: no blocks", f.Name)
 	}
-	seen := map[rtl.Label]bool{}
+	// One pass builds the label index and rejects duplicates; target checks
+	// below are then O(1) map lookups instead of a linear Func.BlockByLabel
+	// scan per target (which made Validate O(blocks x targets) on the
+	// goto-heavy stress functions).
+	seen := make(map[rtl.Label]*Block, len(f.Blocks))
 	for _, b := range f.Blocks {
-		if seen[b.Label] {
+		if seen[b.Label] != nil {
 			return fmt.Errorf("cfg: %s: duplicate label %s", f.Name, b.Label)
 		}
-		seen[b.Label] = true
+		seen[b.Label] = b
 	}
 	checkTarget := func(b *Block, l rtl.Label) error {
-		if f.BlockByLabel(l) == nil {
+		if seen[l] == nil {
 			return fmt.Errorf("cfg: %s: block %s targets unknown label %s", f.Name, b.Label, l)
 		}
 		return nil

@@ -24,6 +24,9 @@ func FuzzGenerated(f *testing.F) {
 			// Generated programs finish in well under this; a tighter
 			// budget keeps throughput high.
 			MaxSteps: 10_000_000,
+			// Run the semantic verifier after every pass so a violation is
+			// attributed to the pass that introduced it.
+			VerifyEach: true,
 		})
 		if v.Skipped {
 			t.Fatalf("seed %d skipped (generator emitted ill-defined program): %s\n%s",
@@ -59,8 +62,9 @@ func FuzzDifferential(f *testing.F) {
 			t.Skip("oversized input")
 		}
 		v := Check(src, Options{
-			Input:    []byte("in"),
-			MaxSteps: 2_000_000,
+			Input:      []byte("in"),
+			MaxSteps:   2_000_000,
+			VerifyEach: true,
 		})
 		if v.Skipped {
 			t.Skip(v.SkipReason)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
 	"repro/internal/rtl"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -23,12 +24,18 @@ const (
 	VOutput = "output-mismatch"
 	// VExit: the optimized build returned a different exit code.
 	VExit = "exit-mismatch"
-	// VStructure: cfg.ValidateProgram failed after the pipeline (dangling
-	// target, mid-block CTI, bad delay-slot shape, malformed operand).
+	// VStructure: the verifier's structure rule (cfg.ValidateProgram)
+	// failed after the pipeline (dangling target, mid-block CTI, bad
+	// delay-slot shape, malformed operand).
 	VStructure = "invalid-structure"
 	// VIrreducible: a function's flow graph is irreducible after the
 	// pipeline — the reducibility rollback (step 6) failed its job.
 	VIrreducible = "irreducible-cfg"
+	// VSemantic: a semantic rule of the IR verifier (internal/verify)
+	// failed — use-before-def, dead-register read, condition-code pairing,
+	// delay-slot legality, or an unreachable block. With Options.VerifyEach
+	// the detail names the pipeline pass that introduced the violation.
+	VSemantic = "semantic-violation"
 	// VResidual: after a JUMPS pipeline, re-running the replication
 	// algorithm still lowers the static unconditional-jump count — a
 	// replicable jump survived although no growth cap was hit.
@@ -89,6 +96,12 @@ type Options struct {
 	CheckResidual bool
 	// SkipDynamic disables the dynamic-jump-count invariant.
 	SkipDynamic bool
+	// VerifyEach runs the semantic verifier after every pipeline pass in
+	// every cell (pipeline.Config.VerifyEach), so a violation is attributed
+	// to the pass that introduced it instead of only being caught by the
+	// post-pipeline check. Slower; the fuzz smoke and nightly campaigns
+	// enable it.
+	VerifyEach bool
 	// PostOptimize, when non-nil, runs after the pipeline and before the
 	// structural checks and execution of each cell — a fault-injection
 	// hook for testing that the oracle actually catches miscompiles.
@@ -177,28 +190,33 @@ func Check(src string, o Options) *Verdict {
 				v.add(o, m, lv, VStructure, fmt.Sprintf("recompile: %v", err))
 				continue
 			}
-			pipeline.Optimize(prog, pipeline.Config{
+			st := pipeline.Optimize(prog, pipeline.Config{
 				Machine:     m,
 				Level:       lv,
 				Replication: o.replication(),
+				VerifyEach:  o.VerifyEach,
 			})
 			if o.PostOptimize != nil {
 				o.PostOptimize(m, lv, prog)
 			}
 
-			// Structural invariants (post-pipeline, pre-execution).
-			if err := cfg.ValidateProgram(prog, m.DelaySlots); err != nil {
-				v.add(o, m, lv, VStructure, err.Error())
-				continue
+			// Structural and semantic invariants (post-pipeline,
+			// pre-execution), all through the verifier so every kind of
+			// corruption shares one diagnostic format. Verify-each
+			// violations carry pass attribution and supersede the
+			// whole-program check: the corruption they pinpoint is the
+			// same one the final state would show.
+			vs := st.Verify
+			if len(vs) == 0 {
+				vs = verify.Program(prog, verify.Options{
+					DelaySlots:   m.DelaySlots,
+					PostRegalloc: true,
+				})
 			}
-			irreducible := false
-			for _, f := range prog.Funcs {
-				if !cfg.IsReducible(f) {
-					v.add(o, m, lv, VIrreducible, fmt.Sprintf("function %s", f.Name))
-					irreducible = true
+			if len(vs) > 0 {
+				for _, vio := range vs {
+					v.add(o, m, lv, kindForRule(vio.Rule), vio.String())
 				}
-			}
-			if irreducible {
 				continue
 			}
 			if lv == pipeline.Jumps && o.CheckResidual {
@@ -247,6 +265,19 @@ func Check(src string, o Options) *Verdict {
 		}
 	}
 	return v
+}
+
+// kindForRule maps a verifier rule to the oracle's violation taxonomy:
+// the structure and reducibility rules keep their historical kinds, every
+// other rule is a semantic violation.
+func kindForRule(r verify.Rule) string {
+	switch r {
+	case verify.RuleStructure:
+		return VStructure
+	case verify.RuleIrreducible:
+		return VIrreducible
+	}
+	return VSemantic
 }
 
 func (v *Verdict) add(o Options, m *machine.Machine, lv pipeline.Level, kind, detail string) {

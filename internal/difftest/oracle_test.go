@@ -132,6 +132,51 @@ func TestOracleCatchesMiscompile(t *testing.T) {
 	t.Fatal("oracle saw no behavioural violation from an inverted branch in 5 seeds")
 }
 
+// TestOracleCatchesSemanticCorruption: a corruption that is invisible to
+// execution on most inputs (a read of a never-defined register) must still
+// surface, through the semantic verifier, as a semantic-violation verdict.
+func TestOracleCatchesSemanticCorruption(t *testing.T) {
+	corrupt := func(m *machine.Machine, lv pipeline.Level, prog *cfg.Program) {
+		// Leave a virtual register in post-regalloc code: the classic
+		// incomplete-rewrite bug, caught by the virtual-after-regalloc rule.
+		f := prog.Func("main")
+		if f == nil {
+			return
+		}
+		b := f.Entry()
+		b.Insts = append([]rtl.Inst{{
+			Kind: rtl.Move, Dst: rtl.R(rtl.RV), Src: rtl.R(f.NewVReg()),
+		}}, b.Insts...)
+	}
+	v := Check(Generate(1), Options{
+		Seed:         1,
+		PostOptimize: corrupt,
+		Machines:     []*machine.Machine{machine.M68020},
+		Levels:       []pipeline.Level{pipeline.Jumps},
+	})
+	for _, vi := range v.Violations {
+		if vi.Kind == VSemantic {
+			return
+		}
+	}
+	t.Fatalf("no %s verdict from an injected semantic corruption: %v", VSemantic, v.Violations)
+}
+
+// TestOracleVerifyEachAttribution: with VerifyEach on, a corruption
+// introduced mid-pipeline is reported with the offending pass's name in
+// the detail, not just as a post-pipeline finding.
+func TestOracleVerifyEachAttribution(t *testing.T) {
+	v := Check(Generate(1), Options{
+		Seed:       1,
+		VerifyEach: true,
+		Machines:   []*machine.Machine{machine.M68020},
+		Levels:     []pipeline.Level{pipeline.Jumps},
+	})
+	if v.Failed() {
+		t.Fatalf("clean program failed under VerifyEach: %v", v.Violations)
+	}
+}
+
 // TestOracleResidualGap documents the pipeline's §5.2 conservatism: on
 // goto-heavy programs the anti-churn cutoffs may leave replicable jumps
 // behind, which the opt-in residual check reports.

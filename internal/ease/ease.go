@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -47,12 +48,20 @@ type Request struct {
 	// Profile enables per-block execution counting in the VM; implied by
 	// Tracer. The counts are returned in Run.Profile.
 	Profile bool
-	// Validate runs the structural checks after the optimizer and before
-	// execution: cfg.ValidateProgram (targets resolve, CTIs terminate
-	// blocks, delay-slot shape) and per-function flow-graph reducibility.
-	// A violation aborts the measurement with an error. The differential
-	// oracle sets this; interactive tools usually do not pay for it.
+	// Validate runs the semantic IR verifier (internal/verify) after the
+	// optimizer and before execution: structure (targets resolve, CTIs
+	// terminate blocks, delay-slot shape), reachability, condition-code
+	// pairing, delay-slot legality, register discipline, use-before-def,
+	// and flow-graph reducibility. A violation aborts the measurement with
+	// an error. The differential oracle sets this; interactive tools
+	// usually do not pay for it.
 	Validate bool
+	// VerifyEach additionally runs the verifier after every pipeline pass,
+	// attributing the first violation to the pass that introduced it
+	// (pipeline.Config.VerifyEach). Violations do not abort: they are
+	// collected in Run.Static.Verify for the caller — cmd/ease turns them
+	// into a non-zero exit, mccd into a structured response diagnostic.
+	VerifyEach bool
 }
 
 // Run is the outcome of one measurement.
@@ -147,19 +156,21 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		Level:       req.Level,
 		Replication: req.Replication,
 		Tracer:      req.Tracer,
+		VerifyEach:  req.VerifyEach,
 	})
 	optimizeElapsed := time.Since(start)
 	phaseSpan(req.Tracer, "optimize", start)
 	if req.Validate {
-		if err := cfg.ValidateProgram(prog, req.Machine.DelaySlots); err != nil {
-			return nil, fmt.Errorf("ease: %s (%s/%s): post-pipeline validation: %w",
+		// One diagnostic format for structural and semantic checks: the
+		// verifier's first rule wraps cfg.ValidateProgram, the rest add the
+		// semantic invariants (see internal/verify).
+		vs := verify.Program(prog, verify.Options{
+			DelaySlots:   req.Machine.DelaySlots,
+			PostRegalloc: true,
+		})
+		if err := verify.Error(vs); err != nil {
+			return nil, fmt.Errorf("ease: %s (%s/%s): post-pipeline verification: %w",
 				req.Name, req.Machine.Name, req.Level, err)
-		}
-		for _, f := range prog.Funcs {
-			if !cfg.IsReducible(f) {
-				return nil, fmt.Errorf("ease: %s (%s/%s): flow graph of %s is irreducible after optimization",
-					req.Name, req.Machine.Name, req.Level, f.Name)
-			}
 		}
 	}
 	layoutStart := time.Now()

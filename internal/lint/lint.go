@@ -1,0 +1,159 @@
+// Package lint is a small, dependency-free static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, carrying the repository's
+// own analyzers. The optimizer must be a pure function of its inputs —
+// the differential oracle, the result cache of mccd, and the golden trace
+// tests all assume that compiling the same program twice yields the same
+// bytes — so the analyzers police the two ways Go code silently breaks
+// that property: map iteration order escaping into output (maporder) and
+// wall-clock or random inputs (nodeterminism).
+//
+// A finding can be suppressed with a comment on the same or the
+// preceding line:
+//
+//	start := time.Now() // det:allow nodeterminism — telemetry only
+//
+// The suppression names the analyzer and should state a reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// det:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects the package via pass and reports findings with
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Analyzers is the repository's analyzer suite, in reporting order.
+var Analyzers = []*Analyzer{MapOrder, NoDeterminism}
+
+// DeterministicPackages lists the import paths whose output must be a
+// pure function of their inputs: the optimizer core and everything it
+// sits on. cmd/mcclint applies the suite to exactly these packages.
+var DeterministicPackages = []string{
+	"repro/internal/cfg",
+	"repro/internal/opt",
+	"repro/internal/pipeline",
+	"repro/internal/replicate",
+}
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to pkg and returns the diagnostics that
+// survive det:allow suppression, in position order.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	sup := collectSuppressions(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{
+			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+			Pkg: pkg.Types, TypesInfo: pkg.Info,
+		}
+		a.Run(p)
+		for _, d := range p.diags {
+			if !sup.allows(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressionSet records, per analyzer, the file:line positions carrying
+// a det:allow comment.
+type suppressionSet map[string]bool
+
+func suppressionKey(analyzer, file string, line int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", analyzer, file, line)
+}
+
+// allows reports whether a det:allow comment for the analyzer sits on the
+// diagnostic's line or the line above it.
+func (s suppressionSet) allows(analyzer string, pos token.Position) bool {
+	return s[suppressionKey(analyzer, pos.Filename, pos.Line)] ||
+		s[suppressionKey(analyzer, pos.Filename, pos.Line-1)]
+}
+
+const suppressionMarker = "det:allow "
+
+func collectSuppressions(pkg *Package) suppressionSet {
+	sup := suppressionSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, suppressionMarker)
+				if i < 0 {
+					continue
+				}
+				rest := strings.TrimSpace(text[i+len(suppressionMarker):])
+				name := rest
+				if j := strings.IndexFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t'
+				}); j >= 0 {
+					name = rest[:j]
+				}
+				// Anchor the suppression at the end of the whole comment
+				// group, so a multi-line explanation above the finding
+				// still covers it.
+				p := pkg.Fset.Position(cg.End())
+				sup[suppressionKey(name, p.Filename, p.Line)] = true
+			}
+		}
+	}
+	return sup
+}

@@ -1,0 +1,147 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// want is one expectation seeded in a fixture with a `// want "regexp"`
+// comment: a diagnostic matching the pattern must appear on that line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans a loaded package's comments for want expectations.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.End())
+					wants = append(wants, &want{
+						file: pos.Filename, line: pos.Line, pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs the full analyzer suite over the seeded fixture
+// packages and checks the diagnostics against the want comments: every
+// finding must be expected, every expectation must be found.
+func TestFixtures(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fixture := range []string{"maporder", "nodeterminism"} {
+		t.Run(fixture, func(t *testing.T) {
+			pkg, err := loader.Load(filepath.Join("testdata", fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no want comments; the test would pass vacuously")
+			}
+			diags := lint.Run(pkg, lint.Analyzers)
+			for _, d := range diags {
+				ok := false
+				for _, w := range wants {
+					if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+						w.matched = true
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+						w.file, w.line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean is the in-tree mirror of the mcclint CI gate: the
+// deterministic packages must produce zero findings.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks four packages through the source importer; skipped with -short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range lint.DeterministicPackages {
+		rel := strings.TrimPrefix(path, "repro")
+		pkg, err := loader.Load(filepath.Join(loader.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range lint.Run(pkg, lint.Analyzers) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestDiagnosticString pins the editor-friendly rendering.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "maporder",
+		Message:  "boom",
+	}
+	if got, wantS := d.String(), "x.go:3:7: boom (maporder)"; got != wantS {
+		t.Fatalf("String() = %q, want %q", got, wantS)
+	}
+}
+
+// TestAnalyzerCatalog keeps the suite and the policy list stable: adding
+// an analyzer or a package should be a conscious act that updates this
+// test alongside the docs.
+func TestAnalyzerCatalog(t *testing.T) {
+	var names []string
+	for _, a := range lint.Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run function", a)
+		}
+		names = append(names, a.Name)
+	}
+	if got, wantS := fmt.Sprint(names), "[maporder nodeterminism]"; got != wantS {
+		t.Errorf("analyzer names = %s, want %s", got, wantS)
+	}
+	wantPkgs := []string{
+		"repro/internal/cfg",
+		"repro/internal/opt",
+		"repro/internal/pipeline",
+		"repro/internal/replicate",
+	}
+	if got, wantS := fmt.Sprint(lint.DeterministicPackages), fmt.Sprint(wantPkgs); got != wantS {
+		t.Errorf("DeterministicPackages = %s, want %s", got, wantS)
+	}
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the package's import path within the module.
+	Path string
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports resolve straight to their
+// directories, standard-library imports go through the source importer.
+// (The x/tools loaders are off-limits here — the build must work with an
+// empty module cache.)
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+
+	fset    *token.FileSet
+	std     types.Importer
+	memo    map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  module,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		memo:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(name), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks the package in dir with full type
+// information. Type errors are tolerated (the analyses degrade
+// gracefully on partial information); parse errors are not.
+func (l *Loader) Load(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	path, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // tolerate type errors, keep partial info
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	return &Package{
+		Dir: dir, Path: path, Fset: l.fset,
+		Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// importPath maps a directory under the module root to its import path.
+func (l *Loader) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.Root)
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer: module-internal paths load from their
+// directory (memoized, cycle-guarded), everything else delegates to the
+// standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+		return l.std.Import(path)
+	}
+	if pkg, ok := l.memo[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module)))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {},
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		return nil, err
+	}
+	l.memo[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test Go file of dir, in name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries { // ReadDir sorts by name
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PackageDirs walks root and returns every directory holding a non-test
+// Go package, skipping testdata, hidden and underscore directories. This
+// is the loader's "./..." expansion.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

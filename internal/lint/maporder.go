@@ -1,0 +1,421 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for … range m` statements over maps whose iteration
+// order escapes the loop: the compiler's output must not depend on Go's
+// randomized map order. The analyzer understands the package's
+// canonicalization idioms and stays quiet for:
+//
+//   - writes into maps or sets keyed by the range variables (building
+//     another unordered structure is order-free);
+//   - delete calls, compound assignments and ++/-- (commutative
+//     accumulation);
+//   - appends that are later passed to a sort.*/slices.* call in the same
+//     file (the collect-then-sort idiom);
+//   - assignments guarded by a condition that order-compares the range
+//     key itself (the deterministic argmin/argmax tie-break idiom, e.g.
+//     `score < best || score == best && k < bestKey`);
+//   - method calls whose receiver is itself a map (set.add(k) et al.).
+//
+// Everything else that moves key- or value-derived data out of the loop —
+// a bare append, an unguarded assignment to an outer variable, a return,
+// a call with derived arguments — is reported.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "report map iterations whose order escapes without canonicalization " +
+		"(sorting, set insertion, or a key-ordered tie-break)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		sorted := sortedObjects(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[rs.X]; !ok || !isMap(tv.Type) {
+				return true
+			}
+			checkMapRange(pass, rs, sorted)
+			return true
+		})
+	}
+}
+
+// sortedObjects collects every object that appears as an argument to a
+// sort.* or slices.* call anywhere in the file: an append target in this
+// set is canonicalized before use.
+func sortedObjects(pass *Pass, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange analyzes one map-range statement.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	info := pass.TypesInfo
+	keyObj := identObject(info, rs.Key)
+	valObj := identObject(info, rs.Value)
+
+	// Taint: the range variables plus every local assigned from them
+	// inside the body. Two propagation rounds cover chained locals.
+	tainted := map[types.Object]bool{}
+	if keyObj != nil {
+		tainted[keyObj] = true
+	}
+	if valObj != nil {
+		tainted[valObj] = true
+	}
+	for round := 0; round < 2; round++ {
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs := rhsFor(as, i)
+				if rhs != nil && exprTainted(info, rhs, tainted) {
+					if obj := identObject(info, lhs); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	c := &mapRangeChecker{
+		pass: pass, rs: rs,
+		keyObj: keyObj, tainted: tainted, sorted: sorted,
+	}
+	c.stmt(rs.Body, nil)
+}
+
+type mapRangeChecker struct {
+	pass    *Pass
+	rs      *ast.RangeStmt
+	keyObj  types.Object
+	tainted map[types.Object]bool
+	sorted  map[types.Object]bool
+}
+
+// stmt walks one statement carrying the stack of enclosing if/switch
+// conditions (the guards) inside the loop body.
+func (c *mapRangeChecker) stmt(s ast.Stmt, guards []ast.Expr) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub, guards)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guards)
+		}
+		inner := append(guards[:len(guards):len(guards)], s.Cond)
+		c.stmt(s.Body, inner)
+		if s.Else != nil {
+			c.stmt(s.Else, inner)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guards)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, guards)
+		}
+		c.stmt(s.Body, guards)
+	case *ast.RangeStmt:
+		c.stmt(s.Body, guards)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, guards)
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			inner := append(guards[:len(guards):len(guards)], cl.List...)
+			for _, sub := range cl.Body {
+				c.stmt(sub, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guards)
+	case *ast.AssignStmt:
+		c.assign(s, guards)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if c.isTainted(r) {
+				c.report(s.Pos(), "return of map-order-dependent value from inside a map range")
+				return
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			c.call(call)
+		}
+	case *ast.DeferStmt:
+		c.call(s.Call)
+	case *ast.GoStmt:
+		c.call(s.Call)
+	}
+	// IncDecStmt, DeclStmt, Branch/Empty: order-free or handled by taint.
+}
+
+// assign classifies one assignment inside the loop body.
+func (c *mapRangeChecker) assign(as *ast.AssignStmt, guards []ast.Expr) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return // compound assignment: commutative accumulation
+	}
+	for i, lhs := range as.Lhs {
+		rhs := rhsFor(as, i)
+		if as.Tok == token.DEFINE {
+			continue // new local: not an escape, tracked by taint
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isAppend(call) {
+			taintedArg := false
+			for _, a := range call.Args[1:] {
+				if c.isTainted(a) {
+					taintedArg = true
+				}
+			}
+			if !taintedArg {
+				continue // appending order-free values: count, not order
+			}
+			obj := identObject(c.pass.TypesInfo, lhs)
+			if obj != nil && (c.declaredInside(obj) || c.sorted[obj]) {
+				continue // loop-local, or canonicalized by a later sort
+			}
+			c.report(as.Pos(),
+				"append of map-order-dependent data to %s without a later sort", exprString(lhs))
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			if tv, ok := c.pass.TypesInfo.Types[l.X]; ok && isMap(tv.Type) {
+				continue // write into a map/set: unordered into unordered
+			}
+			// Slice/array write: a constant value lands identically
+			// whatever the order; a derived value bakes the order in.
+			if rhs != nil && c.isConst(rhs) {
+				continue
+			}
+			if c.isTainted(l.X) || c.isTainted(l.Index) || (rhs != nil && c.isTainted(rhs)) {
+				c.report(as.Pos(), "indexed write of map-order-dependent data escapes the map range")
+			}
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+			// Resolve the root variable: writing a field of a loop-local
+			// struct (info.step = …) is as local as writing the struct.
+			obj := baseObject(c.pass.TypesInfo, lhs)
+			if obj != nil && c.declaredInside(obj) {
+				continue // loop-local: dies with the iteration
+			}
+			if rhs == nil || !c.isTainted(rhs) {
+				continue
+			}
+			if c.orderGuarded(guards) {
+				continue // argmin/argmax with a key-ordered tie-break
+			}
+			c.report(as.Pos(),
+				"assignment of map-order-dependent value to %s escapes the map range; "+
+					"sort the keys first or tie-break on the range key", exprString(lhs))
+		}
+	}
+}
+
+// call classifies one call statement inside the loop body.
+func (c *mapRangeChecker) call(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "delete", "len", "cap", "print", "println", "panic":
+			return // builtins: removal, queries, failure paths
+		}
+	case *ast.SelectorExpr:
+		// A method on a map receiver (set.add, set.remove …) moves data
+		// from one unordered structure to another.
+		if tv, ok := c.pass.TypesInfo.Types[fun.X]; ok && isMap(tv.Type) {
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		if c.isTainted(arg) {
+			c.report(call.Pos(),
+				"call passes map-order-dependent data out of the map range")
+			return
+		}
+	}
+}
+
+// orderGuarded reports whether any enclosing condition order-compares the
+// range key itself — the total-order tie-break that makes an argmin/argmax
+// deterministic.
+func (c *mapRangeChecker) orderGuarded(guards []ast.Expr) bool {
+	if c.keyObj == nil {
+		return false
+	}
+	for _, g := range guards {
+		found := false
+		ast.Inspect(g, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || found {
+				return !found
+			}
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if c.isKey(be.X) || c.isKey(be.Y) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *mapRangeChecker) isKey(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && c.pass.TypesInfo.ObjectOf(id) == c.keyObj
+}
+
+func (c *mapRangeChecker) isTainted(e ast.Expr) bool {
+	return exprTainted(c.pass.TypesInfo, e, c.tainted)
+}
+
+func (c *mapRangeChecker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func (c *mapRangeChecker) declaredInside(obj types.Object) bool {
+	return obj.Pos() >= c.rs.Body.Pos() && obj.Pos() <= c.rs.Body.End()
+}
+
+func (c *mapRangeChecker) report(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, format, args...)
+}
+
+// rhsFor pairs the i-th left-hand side with its right-hand side (nil for
+// multi-value calls, where taint is judged per call).
+func rhsFor(as *ast.AssignStmt, i int) ast.Expr {
+	if len(as.Rhs) == len(as.Lhs) {
+		return as.Rhs[i]
+	}
+	if len(as.Rhs) == 1 {
+		return as.Rhs[0]
+	}
+	return nil
+}
+
+// isAppend reports whether the call is the builtin append.
+func isAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// identObject resolves the defining or used object behind an identifier
+// expression (through a pointer deref or selector).
+func identObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.StarExpr:
+		return identObject(info, e.X)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// baseObject resolves the root variable of an lvalue expression: the
+// object behind x in x, x.f, x.f.g, *x, x[i] and parenthesized forms.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.StarExpr:
+		return baseObject(info, e.X)
+	case *ast.SelectorExpr:
+		return baseObject(info, e.X)
+	case *ast.IndexExpr:
+		return baseObject(info, e.X)
+	case *ast.ParenExpr:
+		return baseObject(info, e.X)
+	}
+	return nil
+}
+
+// exprTainted reports whether e mentions any tainted object.
+func exprTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short name for the assignment target.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	}
+	return "?"
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NoDeterminism forbids the two standard-library sources of run-to-run
+// variation in deterministic packages: the wall clock (time.Now and the
+// helpers built on it) and math/rand (any use). Telemetry code that only
+// timestamps trace events may suppress a finding with
+// `det:allow nodeterminism — <reason>`.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid wall-clock reads (time.Now/Since/Until) and math/rand " +
+		"in packages whose output must be reproducible",
+	Run: runNoDeterminism,
+}
+
+// forbiddenTimeFuncs are the package time functions that read the clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runNoDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		// Map the file's import names to import paths, respecting renames.
+		imports := map[string]string{}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			name := defaultImportName(path)
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			imports[name] = path
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Only package selectors: a local variable named "time"
+			// shadows the import and is fine.
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			switch imports[id.Name] {
+			case "time":
+				if forbiddenTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock read time.%s in a deterministic package", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(),
+					"use of %s.%s: randomness in a deterministic package", id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// defaultImportName is the package name an unrenamed import binds: the
+// last path element ("rand" for math/rand).
+func defaultImportName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

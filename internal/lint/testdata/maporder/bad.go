@@ -1,0 +1,67 @@
+// Package maporder holds seeded findings for the maporder analyzer.
+// Every `want` comment names a diagnostic the fixture test demands on
+// that line.
+package maporder
+
+// spillVictim mirrors the register-allocator bug class that motivated the
+// analyzer: an argmax over a map with no tie-break on the key, so two
+// equally-scored candidates are picked in map order.
+func spillVictim(cost map[int]float64) int {
+	best := -1
+	var bestCost float64
+	for r, c := range cost {
+		if c > bestCost {
+			bestCost = c // want "assignment of map-order-dependent value to bestCost escapes the map range"
+			best = r     // want "assignment of map-order-dependent value to best escapes the map range"
+		}
+	}
+	return best
+}
+
+// collectUnsorted appends map keys and never sorts them, so the slice
+// order differs run to run.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append of map-order-dependent data to keys without a later sort"
+	}
+	return keys
+}
+
+// firstKey returns whichever key the runtime happens to visit first.
+func firstKey(m map[string]bool) string {
+	for k := range m {
+		return k // want "return of map-order-dependent value from inside a map range"
+	}
+	return ""
+}
+
+// leakThroughCall hands a map key to an outside function whose behavior
+// the analyzer cannot see.
+func leakThroughCall(m map[int]int, sink func(int)) {
+	for k := range m {
+		sink(k) // want "call passes map-order-dependent data out of the map range"
+	}
+}
+
+// bakeOrderIntoSlice writes a value derived from the visit order into a
+// slice cell.
+func bakeOrderIntoSlice(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "indexed write of map-order-dependent data escapes the map range"
+		i++
+	}
+}
+
+// chainedTaint launders a value through a local before letting it escape;
+// the two-round taint propagation still catches it.
+func chainedTaint(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		double := v * 2
+		tmp := double
+		total = tmp // want "assignment of map-order-dependent value to total escapes the map range"
+	}
+	return total
+}

@@ -1,0 +1,94 @@
+package maporder
+
+import "sort"
+
+// collectThenSort is the canonical fix: gather in any order, then sort.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// argminWithTieBreak orders equal scores by the key itself, so the result
+// is a pure function of the map contents.
+func argminWithTieBreak(score map[int]float64) int {
+	best, bestScore := -1, 0.0
+	for k, s := range score {
+		if best == -1 || s < bestScore || (s == bestScore && k < best) {
+			best, bestScore = k, s
+		}
+	}
+	return best
+}
+
+// invert writes into another map: unordered into unordered.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[k2(v)] = k
+	}
+	return out
+}
+
+func k2(v int) int { return v }
+
+// accumulate uses only commutative updates: sum, count, delete.
+func accumulate(m map[int]int, drop map[int]bool) int {
+	total := 0
+	for k, v := range m {
+		total += v
+		drop[k] = true
+		delete(drop, k-1)
+	}
+	return total
+}
+
+// markConst writes a constant through an index: whatever the visit order,
+// the final slice is identical.
+func markConst(m map[int]string, used []bool) {
+	for c := range m {
+		used[c] = true
+	}
+}
+
+type record struct {
+	key  int
+	step int
+}
+
+// loopLocalField writes a field of a struct declared inside the loop; the
+// struct dies with the iteration, so nothing escapes.
+func loopLocalField(m map[int]int) []record {
+	var recs []record
+	for k, v := range m {
+		r := record{key: k}
+		r.step = v
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	return recs
+}
+
+type intSet map[int]bool
+
+func (s intSet) add(v int) { s[v] = true }
+
+// setInsert calls a method on a map receiver: moving data between
+// unordered structures is order-free.
+func setInsert(m map[int]int, s intSet) {
+	for k := range m {
+		s.add(k)
+	}
+}
+
+// suppressed demonstrates det:allow: the finding on the next line is
+// acknowledged and silenced with a reason.
+func suppressed(m map[int]int, sink func(int)) {
+	for k := range m {
+		// det:allow maporder — sink is a test spy that records a set.
+		sink(k)
+	}
+}

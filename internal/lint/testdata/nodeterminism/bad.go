@@ -1,0 +1,25 @@
+// Package nodeterminism holds seeded findings for the nodeterminism
+// analyzer.
+package nodeterminism
+
+import (
+	"math/rand"
+	"time"
+
+	mrand "math/rand/v2"
+)
+
+// stamp reads the wall clock three different ways.
+func stamp() (int64, time.Duration, time.Duration) {
+	now := time.Now()                     // want "wall-clock read time.Now in a deterministic package"
+	d := time.Since(now)                  // want "wall-clock read time.Since in a deterministic package"
+	u := time.Until(now.Add(time.Second)) // want "wall-clock read time.Until in a deterministic package"
+	return now.UnixNano(), d, u
+}
+
+// roll draws randomness from both math/rand generations.
+func roll() int {
+	a := rand.Intn(6)  // want "use of rand.Intn: randomness in a deterministic package"
+	b := mrand.IntN(6) // want "use of mrand.IntN: randomness in a deterministic package"
+	return a + b
+}

@@ -1,0 +1,32 @@
+package nodeterminism
+
+import "time"
+
+// durations uses package time for arithmetic only: constructing and
+// formatting durations never reads the clock.
+func durations(ns int64) string {
+	d := time.Duration(ns) * time.Nanosecond
+	return d.String()
+}
+
+// shadowed declares a local named time; selecting from it is not a
+// package reference.
+func shadowed() int {
+	time := struct{ Now int }{Now: 42}
+	return time.Now
+}
+
+// allowed reads the clock for telemetry and says so.
+func allowed() int64 {
+	start := time.Now() // det:allow nodeterminism — telemetry timestamp only
+	return start.UnixNano()
+}
+
+// multiline shows a suppression inside a longer comment group: the
+// directive covers the line after the whole group.
+func multiline() int64 {
+	// det:allow nodeterminism — timestamp for a debug artifact;
+	// the value never reaches compiler output.
+	t := time.Now()
+	return t.UnixNano()
+}

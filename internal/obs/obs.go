@@ -33,6 +33,12 @@ const (
 	// detail in Name. cmd/fuzzjump streams these as its JSONL failure
 	// report.
 	EvFinding = "finding"
+	// EvVerify is one semantic-verifier violation found by verify-each mode
+	// (internal/verify via pipeline.Config.VerifyEach): the offending pass
+	// in Name (with Stage/Iter placing it in the Figure-3 pipeline), the
+	// function and block, the rule id in Rule, and a one-line explanation
+	// in Detail.
+	EvVerify = "verify"
 )
 
 // Decision outcomes.
@@ -118,6 +124,11 @@ type Event struct {
 	Machine string `json:"machine,omitempty"`
 	Level   string `json:"level,omitempty"`
 	Seed    int64  `json:"seed,omitempty"`
+
+	// EvVerify: the semantic-verifier rule that fired and its one-line
+	// explanation (the pass lives in Name, the location in Func/Block).
+	Rule   string `json:"rule,omitempty"`
+	Detail string `json:"detail,omitempty"`
 
 	// EvBlock / EvHot: dynamic execution counts. Count is the number of
 	// times the block was entered, Insts the instructions it executed in

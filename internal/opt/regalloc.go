@@ -13,8 +13,12 @@ import (
 // PromoteLocals is the paper's "register assignment" phase: scalar locals
 // and parameters whose address is never taken are assigned to (virtual)
 // registers, turning frame traffic into register traffic. Parameters gain a
-// prologue copy out of their incoming frame slot. Reports whether anything
-// changed.
+// prologue copy out of their incoming frame slot, and so does any promoted
+// local that may be read before it is written: the language zero-initializes
+// the frame, and the copy keeps that behaviour visible in the register —
+// which also establishes the invariant the semantic verifier
+// (internal/verify) checks, that every register read is preceded by a
+// definition on every path from the entry. Reports whether anything changed.
 func PromoteLocals(f *cfg.Func) bool {
 	// Offsets whose address escapes cannot be promoted.
 	blocked := map[int64]bool{}
@@ -38,6 +42,7 @@ func PromoteLocals(f *cfg.Func) bool {
 	if len(promoted) == 0 {
 		return false
 	}
+	needsInit := uninitReads(f, promoted)
 	rewrite := func(o *rtl.Operand) {
 		if o.Kind == rtl.OLocal {
 			if r, ok := promoted[o.Val]; ok {
@@ -53,19 +58,145 @@ func PromoteLocals(f *cfg.Func) bool {
 			rewrite(&in.Src2)
 		}
 	}
-	// Prologue copies for promoted parameters (the calling convention
-	// delivers arguments in the frame).
+	// Prologue copies: promoted parameters (the calling convention delivers
+	// arguments in the frame) and promoted locals with a possibly-
+	// uninitialized read (the frame slot holds the zero the program would
+	// have observed). Sorted offsets keep the emitted prologue
+	// deterministic.
 	var prologue []rtl.Inst
 	for i := 0; i < f.NParams; i++ {
 		if r, ok := promoted[int64(i)]; ok {
 			prologue = append(prologue, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(r), Src: rtl.Local(int64(i))})
 		}
 	}
+	var inits []int64
+	for off := range needsInit {
+		if off >= int64(f.NParams) {
+			inits = append(inits, off)
+		}
+	}
+	sort.Slice(inits, func(i, j int) bool { return inits[i] < inits[j] })
+	for _, off := range inits {
+		prologue = append(prologue, rtl.Inst{Kind: rtl.Move, Dst: rtl.R(promoted[off]), Src: rtl.Local(off)})
+	}
 	if len(prologue) > 0 {
 		entry := f.Entry()
 		entry.Insts = append(prologue, entry.Insts...)
 	}
 	return true
+}
+
+// uninitReads finds the promoted frame offsets with a read that is not
+// preceded by a write on every path from the entry — a forward
+// must-assigned dataflow over the promoted scalars, run before the operand
+// rewrite. Parameters count as assigned at the entry (the call wrote them).
+func uninitReads(f *cfg.Func, promoted map[int64]rtl.Reg) map[int64]bool {
+	e := cfg.ComputeEdges(f)
+	n := len(f.Blocks)
+	writes := make([]map[int64]bool, n)
+	for i, b := range f.Blocks {
+		w := map[int64]bool{}
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			if in.Dst.Kind == rtl.OLocal {
+				if _, ok := promoted[in.Dst.Val]; ok {
+					w[in.Dst.Val] = true
+				}
+			}
+		}
+		writes[i] = w
+	}
+
+	// in[i]: offsets assigned on every path from the entry to block i; nil
+	// marks a block not yet reached (unreachable blocks stay nil and are
+	// not scanned: they never execute).
+	in := make([]map[int64]bool, n)
+	entry := map[int64]bool{}
+	for i := 0; i < f.NParams; i++ {
+		if _, ok := promoted[int64(i)]; ok {
+			entry[int64(i)] = true
+		}
+	}
+	in[0] = entry
+	out := func(i int) map[int64]bool {
+		if in[i] == nil {
+			return nil
+		}
+		o := make(map[int64]bool, len(in[i])+len(writes[i]))
+		for off := range in[i] {
+			o[off] = true
+		}
+		for off := range writes[i] {
+			o[off] = true
+		}
+		return o
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < n; i++ {
+			var cur map[int64]bool
+			for _, p := range e.Preds[i] {
+				po := out(p.Index)
+				if po == nil {
+					continue
+				}
+				if cur == nil {
+					cur = po
+					continue
+				}
+				for off := range cur {
+					if !po[off] {
+						delete(cur, off)
+					}
+				}
+			}
+			if cur == nil {
+				continue
+			}
+			if in[i] != nil && len(cur) == len(in[i]) {
+				same := true
+				for off := range cur {
+					if !in[i][off] {
+						same = false
+						break
+					}
+				}
+				if same {
+					continue
+				}
+			}
+			in[i] = cur
+			changed = true
+		}
+	}
+
+	needs := map[int64]bool{}
+	for i, b := range f.Blocks {
+		if in[i] == nil {
+			continue
+		}
+		cur := make(map[int64]bool, len(in[i]))
+		for off := range in[i] {
+			cur[off] = true
+		}
+		for ii := range b.Insts {
+			in2 := &b.Insts[ii]
+			for _, o := range in2.SrcOperands() {
+				if o.Kind != rtl.OLocal || cur[o.Val] {
+					continue
+				}
+				if _, ok := promoted[o.Val]; ok {
+					needs[o.Val] = true
+				}
+			}
+			if in2.Dst.Kind == rtl.OLocal {
+				if _, ok := promoted[in2.Dst.Val]; ok {
+					cur[in2.Dst.Val] = true
+				}
+			}
+		}
+	}
+	return needs
 }
 
 // AllocateRegisters maps every virtual register to one of the machine's
@@ -241,6 +372,8 @@ func buildInterference(f *cfg.Func) *interference {
 				}
 				for l := range live {
 					if l != copySrc {
+						// det:allow maporder — addEdge inserts into unordered
+						// adjacency sets; insertion order cannot escape.
 						addEdge(d, l)
 					}
 				}

@@ -48,7 +48,7 @@ func reduceLoop(f *cfg.Func, e *cfg.Edges, l *cfg.Loop) bool {
 	// Find basic induction variables: registers with exactly one in-loop
 	// definition of the shape r = r + c or r = r - c.
 	defs := map[rtl.Reg][]bivInfo{}
-	for bi := range l.Blocks {
+	for _, bi := range l.BlockIndices() {
 		b := f.Blocks[bi]
 		for ii := range b.Insts {
 			in := &b.Insts[ii]

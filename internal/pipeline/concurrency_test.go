@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -85,7 +86,9 @@ int main() {
 					Machine: c.m, Level: c.lv,
 					Replication: replicate.Options{Heuristic: replicate.HeurReturns},
 				})
-				if st != want[i] {
+				// Stats carries a slice field (Verify) since verify-each
+				// landed, so compare deeply rather than with ==.
+				if !reflect.DeepEqual(st, want[i]) {
 					errs <- "concurrent result diverged from sequential reference"
 				}
 			}(i, c)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/replicate"
 	"repro/internal/rtl"
+	"repro/internal/verify"
 )
 
 // Level is the optimization level of the paper's experiments.
@@ -73,6 +74,23 @@ type Config struct {
 	// overrides it — the replication decision log. Nil disables tracing;
 	// the instrumented paths then cost a single nil check.
 	Tracer obs.Tracer
+	// VerifyEach runs the semantic IR verifier (internal/verify) after
+	// every pass and attributes the first violation to the pass that
+	// introduced it: violations land in Stats.Verify, are emitted as
+	// obs.EvVerify trace events, and are handed to OnViolation. After a
+	// function's first violating pass its remaining passes go unchecked —
+	// the damage is already attributed, and a corrupt function would drown
+	// the report in downstream noise. This is a debugging mode: every
+	// check recomputes edges, liveness and dominators.
+	VerifyEach bool
+	// OnViolation, when non-nil, receives every verify-each violation as
+	// it is found (the same data that accumulates in Stats.Verify).
+	OnViolation func(verify.Violation)
+
+	// corruptAfter, when non-nil, mutates the function after the named
+	// pass runs and before its verify-each check — the fault-injection
+	// hook behind this package's pass-attribution tests.
+	corruptAfter func(pass string, f *cfg.Func)
 }
 
 func (c Config) maxIterations() int {
@@ -102,6 +120,10 @@ type Stats struct {
 	// reducibility rollbacks, and RTLs copied (Table-5 code growth,
 	// explained per-jump by the decision log).
 	Replication replicate.Result
+	// Verify holds the semantic-verifier violations found by verify-each
+	// mode (empty unless Config.VerifyEach; a healthy pipeline reports
+	// none). Each violation names the pass that introduced it.
+	Verify []verify.Violation `json:"verify,omitempty"`
 }
 
 // Optimize runs the full Figure-3 pipeline over every function of the
@@ -116,6 +138,7 @@ func Optimize(p *cfg.Program, c Config) Stats {
 			st.Iterations = st0.Iterations
 		}
 		st.Replication.Merge(st0.Replication)
+		st.Verify = append(st.Verify, st0.Verify...)
 	}
 	count(p, &st)
 	return st
@@ -145,30 +168,112 @@ type passRunner struct {
 	f     *cfg.Func
 	stage string
 	iter  int
+	// ver holds the verify-each state (nil unless Config.VerifyEach).
+	ver *verifier
+}
+
+// verifier is the per-function verify-each state: the rule options evolve
+// as the pipeline crosses its phase boundaries (regalloc forbids virtual
+// registers, delay-slot filling changes the legal block shape), and
+// checking stops at the first violating pass so the attribution stays
+// sharp.
+type verifier struct {
+	cfg *Config
+	// slotsAfterFill: the machine has delay slots, so the delay-slots pass
+	// switches the verifier to the filled shape.
+	slotsAfterFill bool
+	opts           verify.Options
+	violations     []verify.Violation
+	stopped        bool
 }
 
 func (p *passRunner) run(name string, pass func() bool) bool {
-	if p.tr == nil {
+	if p.tr == nil && p.ver == nil {
 		return pass()
 	}
+	if p.tr == nil {
+		changed := pass()
+		p.verify(name)
+		return changed
+	}
 	rtlsBefore, blocksBefore := p.f.NumRTLs(), len(p.f.Blocks)
-	start := time.Now()
+	start := time.Now() // det:allow nodeterminism — pass-timing telemetry only
 	changed := pass()
 	p.tr.Emit(&obs.Event{
 		Type: obs.EvPass, Name: name, Func: p.f.Name,
 		Stage: p.stage, Iter: p.iter, Changed: changed,
 		RTLsBefore: rtlsBefore, RTLsAfter: p.f.NumRTLs(),
 		BlocksBefore: blocksBefore, BlocksAfter: len(p.f.Blocks),
+		// det:allow nodeterminism — trace-event duration, not compiler output.
 		TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)),
 	})
+	p.verify(name)
 	return changed
+}
+
+// verify runs the semantic verifier after one pass (verify-each mode) and
+// attributes any violations to it.
+func (p *passRunner) verify(name string) {
+	v := p.ver
+	if v == nil {
+		return
+	}
+	// Phase boundaries change which rules apply from here on.
+	switch name {
+	case "regalloc":
+		v.opts.PostRegalloc = true
+	case "delay-slots":
+		v.opts.DelaySlots = v.slotsAfterFill
+	}
+	if v.cfg.corruptAfter != nil {
+		v.cfg.corruptAfter(name, p.f)
+	}
+	if v.stopped {
+		return
+	}
+	p.report(name, verify.Func(p.f, v.opts))
+}
+
+// report attributes freshly-found violations to the named pass, records
+// them, and stops further checks for this function.
+func (p *passRunner) report(pass string, vs []verify.Violation) {
+	if len(vs) == 0 {
+		return
+	}
+	v := p.ver
+	v.stopped = true
+	for i := range vs {
+		vs[i].Pass, vs[i].Stage, vs[i].Iter = pass, p.stage, p.iter
+		if p.tr != nil {
+			p.tr.Emit(&obs.Event{
+				Type: obs.EvVerify, Name: pass, Func: vs[i].Func,
+				Block: vs[i].Block, Rule: string(vs[i].Rule),
+				Detail: vs[i].Detail, Stage: p.stage, Iter: p.iter,
+			})
+		}
+		if v.cfg.OnViolation != nil {
+			v.cfg.OnViolation(vs[i])
+		}
+	}
+	v.violations = append(v.violations, vs...)
 }
 
 func optimizeFunc(f *cfg.Func, c Config) Stats {
 	m := c.Machine
 	var st Stats
-	funcStart := time.Now()
+	funcStart := time.Now() // det:allow nodeterminism — phase-timing telemetry only
 	pr := &passRunner{tr: c.Tracer, f: f, stage: "prologue"}
+	if c.VerifyEach {
+		pr.ver = &verifier{
+			cfg:            &c,
+			slotsAfterFill: m.DelaySlots,
+			// Mid-pipeline, stranded-but-unreachable blocks are legitimate:
+			// replication and branch chaining leave them for the next
+			// dead-code pass. The final post-pipeline check re-enables the
+			// rule.
+			opts: verify.Options{SkipUnreachable: true},
+		}
+	}
 	replicateHere := func() bool {
 		r := replicatePass(f, c)
 		st.Replication.Merge(r)
@@ -250,10 +355,23 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 		return st.SlotsFilled+st.SlotsNops > 0
 	})
 
+	if pr.ver != nil {
+		// Whole-function epilogue check: the per-pass checks tolerate
+		// unreachable blocks (the next dead-code pass reclaims them), but
+		// nothing runs after this point, so the final code must not carry
+		// any.
+		if !pr.ver.stopped {
+			pr.ver.opts.SkipUnreachable = false
+			pr.report("post-pipeline", verify.Func(f, pr.ver.opts))
+		}
+		st.Verify = pr.ver.violations
+	}
+
 	if c.Tracer != nil {
 		c.Tracer.Emit(&obs.Event{
 			Type: obs.EvPhase, Name: "optimize-func", Func: f.Name,
 			Iter: iters, RTLsAfter: f.NumRTLs(), BlocksAfter: len(f.Blocks),
+			// det:allow nodeterminism — trace-event duration, not compiler output.
 			TimeNS: funcStart.UnixNano(), DurNS: int64(time.Since(funcStart)),
 		})
 	}

@@ -300,6 +300,7 @@ func emitDecision(opts Options, f *cfg.Func, block, target rtl.Label, meta []obs
 		Type: obs.EvDecision, Func: f.Name,
 		Block: block.String(), Target: target.String(),
 		Heuristic: opts.Heuristic.String(), Candidates: meta, Outcome: outcome,
+		// det:allow nodeterminism — decision-log timestamp, not compiler output.
 		TimeNS: time.Now().UnixNano(),
 	})
 }

@@ -85,6 +85,7 @@ type metrics struct {
 	errors      *obs.Counter
 	gridCells   *obs.Counter
 	compileRTLs *obs.Counter
+	verifyViol  *obs.Counter
 	latency     *obs.Histogram
 	throughput  *obs.Histogram
 }
@@ -121,6 +122,7 @@ func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64) *metrics {
 	reg.GaugeFunc("mccd_jobs_running", "async jobs currently queued or running", jobsRunning)
 	m.latency = reg.Histogram("mccd_job_seconds", "per-job wall time (compile, measure, grid cell)", nil)
 	m.compileRTLs = reg.Counter("mccd_compile_rtls_total", "RTL instructions fed into the optimizer (cache misses only)")
+	m.verifyViol = reg.Counter("mccd_verify_violations_total", "semantic verifier violations reported by verify-each requests")
 	m.throughput = reg.Histogram("mccd_compile_rtls_per_second", "optimizer throughput per compile in input RTLs/sec", obs.ThroughputBuckets)
 	return m
 }
@@ -296,6 +298,10 @@ type CompileRequest struct {
 	// Level is "simple", "loops" or "jumps" (default).
 	Level       string             `json:"level,omitempty"`
 	Replication ReplicationOptions `json:"replication,omitempty"`
+	// VerifyEach runs the semantic IR verifier after every pipeline pass;
+	// any violations (attributed to the offending pass) come back as
+	// structured diagnostics in Static.Verify.
+	VerifyEach bool `json:"verify_each,omitempty"`
 }
 
 // CompileResult is the body of a successful POST /compile response.
@@ -322,6 +328,7 @@ func compileKey(req CompileRequest) Key {
 	b.str(req.Machine)
 	b.str(req.Level)
 	b.options(req.Replication)
+	b.bool(req.VerifyEach)
 	return b.sum()
 }
 
@@ -368,8 +375,10 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		optStart := time.Now()
 		st := pipeline.Optimize(prog, pipeline.Config{
 			Machine: m, Level: lv, Replication: repOpts,
+			VerifyEach: req.VerifyEach,
 		})
 		s.met.observeThroughput(inputRTLs, time.Since(optStart))
+		s.met.verifyViol.Add(int64(len(st.Verify)))
 		var buf bytes.Buffer
 		if err := asm.Emit(&buf, prog, m); err != nil {
 			return nil, err
@@ -411,6 +420,10 @@ type MeasureRequest struct {
 	Caches bool `json:"caches,omitempty"`
 	// IncludeOutput echoes the program's output in the response.
 	IncludeOutput bool `json:"output,omitempty"`
+	// VerifyEach runs the semantic IR verifier after every pipeline pass;
+	// any violations (attributed to the offending pass) come back as
+	// structured diagnostics in Static.Verify.
+	VerifyEach bool `json:"verify_each,omitempty"`
 }
 
 // MeasureResult is the body of a successful POST /measure response.
@@ -445,6 +458,7 @@ func measureKey(req MeasureRequest, source, input string) Key {
 	b.options(req.Replication)
 	b.bool(req.Caches)
 	b.bool(req.IncludeOutput)
+	b.bool(req.VerifyEach)
 	return b.sum()
 }
 
@@ -498,11 +512,13 @@ func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResu
 			Name: name, Source: source, Input: []byte(input),
 			Machine: m, Level: lv, Replication: repOpts,
 			SimulateCaches: req.Caches,
+			VerifyEach:     req.VerifyEach,
 		})
 		if err != nil {
 			return nil, badRequestf("%v", err)
 		}
 		s.met.observeThroughput(run.InputRTLs, run.OptimizeElapsed)
+		s.met.verifyViol.Add(int64(len(run.Static.Verify)))
 		out := &MeasureResult{
 			Name: name, Machine: m.Name, Level: lv.String(),
 			Static: run.Static, Dynamic: run.Dynamic,
@@ -578,6 +594,10 @@ type GridRequest struct {
 	// CacheSizes overrides the paper's {1,2,4,8} KB bank (bytes).
 	CacheSizes  []int64            `json:"cache_sizes,omitempty"`
 	Replication ReplicationOptions `json:"replication,omitempty"`
+	// VerifyEach runs the semantic IR verifier after every pipeline pass
+	// in every cell; the first violation (attributed to the offending
+	// pass) fails the job with the violation text as its error.
+	VerifyEach bool `json:"verify_each,omitempty"`
 	// Tables includes the rendered Tables 3–6 text in the job result.
 	Tables bool `json:"tables,omitempty"`
 }
@@ -646,6 +666,7 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 			Caches:      req.Caches,
 			CacheSizes:  req.CacheSizes,
 			Replication: repOpts,
+			VerifyEach:  req.VerifyEach,
 			Pool:        s.pool,
 			OnCell: func(c *bench.Cell) {
 				job.step()

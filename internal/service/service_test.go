@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func TestDeterministicAcrossConcurrency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Assembly != b.Assembly || a.Static != b.Static || a.CodeBytes != b.CodeBytes {
+	if a.Assembly != b.Assembly || !reflect.DeepEqual(a.Static, b.Static) || a.CodeBytes != b.CodeBytes {
 		t.Fatalf("results diverge across pool sizes:\n%+v\n%+v", a, b)
 	}
 }
@@ -97,7 +98,7 @@ func TestEngineOptionWire(t *testing.T) {
 	if matrix.Cached {
 		t.Fatal("matrix request served from the oracle request's cache entry")
 	}
-	if matrix.Assembly != oracle.Assembly || matrix.Static != oracle.Static {
+	if matrix.Assembly != oracle.Assembly || !reflect.DeepEqual(matrix.Static, oracle.Static) {
 		t.Fatal("engines disagree on compiled output")
 	}
 	bad := base
@@ -110,6 +111,56 @@ func TestEngineOptionWire(t *testing.T) {
 	}
 	if n := s.met.throughput.Count(); n != 2 {
 		t.Fatalf("mccd_compile_rtls_per_second count = %d, want 2", n)
+	}
+}
+
+// TestVerifyEachWire covers the verify-each mode on the wire: the flag
+// participates in both cache keys, a clean program reports no violations
+// (and increments no violation counter), and the response carries the
+// structured diagnostics via Static.Verify.
+func TestVerifyEachWire(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(context.Background())
+
+	base := CompileRequest{Source: tinySrc, Level: "jumps"}
+	plain, err := s.Compile(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vreq := base
+	vreq.VerifyEach = true
+	verified, err := s.Compile(context.Background(), vreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified.Cached {
+		t.Fatal("verify_each request served from the plain request's cache entry")
+	}
+	if len(verified.Static.Verify) != 0 {
+		t.Fatalf("clean compile reported violations: %v", verified.Static.Verify)
+	}
+	if plain.Assembly != verified.Assembly {
+		t.Fatal("verify_each changed the compiled output")
+	}
+	if n := s.met.verifyViol.Value(); n != 0 {
+		t.Fatalf("mccd_verify_violations_total = %d after clean compiles, want 0", n)
+	}
+
+	mplain := MeasureRequest{Program: "queens"}
+	if _, err := s.Measure(context.Background(), mplain); err != nil {
+		t.Fatal(err)
+	}
+	mver := mplain
+	mver.VerifyEach = true
+	mres, err := s.Measure(context.Background(), mver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Cached {
+		t.Fatal("verify_each measure served from the plain measure's cache entry")
+	}
+	if len(mres.Static.Verify) != 0 {
+		t.Fatalf("clean measure reported violations: %v", mres.Static.Verify)
 	}
 }
 
