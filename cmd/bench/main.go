@@ -5,6 +5,8 @@
 //	bench -out FILE          measure and write FILE
 //	bench -states N          size the stress function (default 300)
 //	bench -check FILE        validate an existing baseline file and exit
+//	bench -history FILE      additionally append the result to a JSONL
+//	                         history file (one timestamped record per run)
 //
 // The baseline records compile throughput (ns/op, allocs/op, RTLs/sec) of
 // the Table-3 suite per pipeline level, plus the stress-function compile
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -26,6 +29,7 @@ func main() {
 	out := flag.String("out", "BENCH_baseline.json", "write the measured baseline to this file")
 	check := flag.String("check", "", "validate this baseline file and exit (no measurement)")
 	states := flag.Int("states", bench.DefaultStressStates, "stress-function size in goto-machine states")
+	history := flag.String("history", "", "append the measured baseline to this JSONL history file")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -62,6 +66,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *history != "" {
+		if err := bench.AppendHistory(*history, bl, time.Now()); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended to %s\n", *history)
 	}
 	for _, s := range bl.Suite {
 		fmt.Printf("suite %-8s %12d ns/op %10.0f RTLs/sec\n", s.Level, s.NsPerOp, s.RTLsPerSec)

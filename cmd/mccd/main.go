@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -33,16 +34,27 @@ func main() {
 	jobTimeout := flag.Duration("timeout", 2*time.Minute, "per-job timeout for /compile and /measure")
 	gridTimeout := flag.Duration("grid-timeout", 15*time.Minute, "timeout for one /grid batch job")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	recorderSize := flag.Int("flight-recorder-size", 0,
+		"flight-recorder ring capacity in events for GET /debug/events (0 = default)")
+	retainTraces := flag.Int("retain-traces", 0,
+		"completed jobs that keep their full trace for GET /jobs/{id}/trace (0 = default)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(service.ResolveVersion())
+		return
+	}
 
 	logger := log.New(os.Stderr, "mccd: ", log.LstdFlags)
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
-		GridTimeout:  *gridTimeout,
-		Logf:         logger.Printf,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cacheEntries,
+		JobTimeout:         *jobTimeout,
+		GridTimeout:        *gridTimeout,
+		FlightRecorderSize: *recorderSize,
+		RetainTraces:       *retainTraces,
+		Logf:               logger.Printf,
 	})
 
 	srv := &http.Server{
@@ -52,8 +64,8 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (%d workers, queue %d, cache %d entries)",
-		*addr, svc.Pool().Workers(), svc.Pool().QueueCap(), *cacheEntries)
+	logger.Printf("mccd %s listening on %s (%d workers, queue %d, cache %d entries)",
+		svc.Version(), *addr, svc.Pool().Workers(), svc.Pool().QueueCap(), *cacheEntries)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,11 +88,46 @@ func main() {
 	logger.Printf("drained cleanly")
 }
 
-// logRequests logs one line per request: method, path, and duration.
+// statusWriter captures the response status and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// logRequests logs one structured line per request: method, path, status,
+// response size, duration, and — when the handler set one — the job ID,
+// so a log line correlates with /jobs/{id}/trace and /debug/events?job=.
 func logRequests(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		logger.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		line := fmt.Sprintf("%s %s status=%d bytes=%d dur=%s",
+			r.Method, r.URL.Path, sw.status, sw.bytes,
+			time.Since(start).Round(time.Microsecond))
+		if job := sw.Header().Get("X-Mccd-Job"); job != "" {
+			line += " job=" + job
+		}
+		logger.Printf("%s", line)
 	})
 }

@@ -1,0 +1,46 @@
+// Command promlint checks Prometheus text exposition for the structural
+// rules a scraper relies on (see internal/obs.LintExposition): HELP/TYPE
+// metadata pairing and ordering, counter naming, and per-label-set
+// histogram invariants (ascending le bounds, cumulative bucket counts, a
+// +Inf bucket, _count consistency).
+//
+//	promlint FILE...         lint exposition files
+//	curl -s $URL/metrics | promlint
+//
+// Exit status 1 when any violation is found. CI's observability smoke
+// runs it against a live mccd /metrics scrape.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	failed := false
+	lint := func(name string, r io.Reader) {
+		for _, err := range obs.LintExposition(r) {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+		}
+	}
+	if len(os.Args) < 2 {
+		lint("<stdin>", os.Stdin)
+	} else {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+				os.Exit(1)
+			}
+			lint(path, f)
+			f.Close()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ease"
+	"repro/internal/obs"
 	"repro/internal/replicate"
 	"repro/internal/verify"
 )
@@ -44,6 +45,33 @@ type GridConfig struct {
 	// OnCell, when non-nil, is called (serialized) after each completed
 	// cell — the daemon uses it for job progress and latency metrics.
 	OnCell func(*Cell)
+	// Tracer, when non-nil, receives the whole grid's telemetry: a
+	// queue-wait span and the full EASE span tree (phases, per-pass
+	// spans, decision log, VM profile) per cell, with each cell's events
+	// stamped with its machine and level so concurrent cells stay
+	// distinguishable. Tracing never changes the measured results: the
+	// rendered tables are byte-identical with and without it.
+	Tracer obs.Tracer
+}
+
+// cellStamp stamps a cell's grid coordinates onto every event that does
+// not already carry them (on a copy — emitted events are immutable by
+// the Tracer contract).
+type cellStamp struct {
+	machine string
+	level   string
+	next    obs.Tracer
+}
+
+func (t cellStamp) Emit(ev *obs.Event) {
+	cp := *ev
+	if cp.Machine == "" {
+		cp.Machine = t.machine
+	}
+	if cp.Level == "" {
+		cp.Level = t.level
+	}
+	t.next.Emit(&cp)
 }
 
 // cellSpec is one grid position, fixed before execution so results land
@@ -93,9 +121,17 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 		cancel()
 	}
 
-	runCell := func(i int) {
+	runCell := func(i int, wait time.Duration) {
 		sp := specs[i]
 		m, lv := machines[sp.mach], levels[sp.level]
+		tr := cfg.Tracer
+		if tr != nil {
+			tr = cellStamp{machine: m.Name, level: lv.String(), next: tr}
+			tr.Emit(&obs.Event{
+				Type: obs.EvPhase, Name: "queue-wait", Func: sp.prog.Name,
+				TimeNS: time.Now().Add(-wait).UnixNano(), DurNS: int64(wait),
+			})
+		}
 		run, err := ease.Measure(ease.Request{
 			Name:           sp.prog.Name,
 			Source:         sp.prog.Source,
@@ -106,6 +142,7 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			SimulateCaches: cfg.Caches,
 			CacheSizes:     cfg.CacheSizes,
 			VerifyEach:     cfg.VerifyEach,
+			Tracer:         tr,
 		})
 		if err != nil {
 			fail(err)
@@ -115,7 +152,10 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			fail(fmt.Errorf("bench: %s (%s/%s): %w", sp.prog.Name, m.Name, lv, err))
 			return
 		}
-		res.Cells[i] = Cell{sp.prog.Name, m.Name, lv, run}
+		res.Cells[i] = Cell{
+			Program: sp.prog.Name, Machine: m.Name, Level: lv,
+			Run: run, QueueWait: wait,
+		}
 		mu.Lock()
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "measured %-10s %-6s %-6s exec=%d in %s\n",
@@ -133,7 +173,7 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			runCell(i)
+			runCell(i, 0)
 			if firstErr != nil {
 				return nil, firstErr
 			}
@@ -146,12 +186,13 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			}
 			i := i
 			wg.Add(1)
+			submitted := time.Now()
 			err := cfg.Pool.Submit(ctx, func(ctx context.Context) {
 				defer wg.Done()
 				if ctx.Err() != nil {
 					return
 				}
-				runCell(i)
+				runCell(i, time.Since(submitted))
 			})
 			if err != nil {
 				wg.Done()

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// HistoryRecord is one appended line of a baseline history file
+// (BENCH_history.jsonl): the full baseline plus the moment it was
+// measured, so throughput can be tracked across commits and CI runs
+// without overwriting the committed baseline.
+type HistoryRecord struct {
+	// Time is when the baseline was measured (UTC, RFC 3339).
+	Time time.Time `json:"time"`
+	// Baseline is the measurement itself (its Schema field identifies the
+	// record format).
+	Baseline *Baseline `json:"baseline"`
+}
+
+// AppendHistory appends the baseline as one JSONL record to path,
+// creating the file if needed. Appends are atomic at the line level
+// (O_APPEND, single write), so concurrent CI runs interleave whole
+// records rather than corrupting each other.
+func AppendHistory(path string, bl *Baseline, at time.Time) error {
+	if err := bl.Validate(); err != nil {
+		return fmt.Errorf("bench: refusing to append invalid baseline: %w", err)
+	}
+	line, err := json.Marshal(HistoryRecord{Time: at.UTC(), Baseline: bl})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHistory reads every record of a history file in append order,
+// validating each baseline. A missing file is an empty history, not an
+// error.
+func LoadHistory(path string) ([]HistoryRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec HistoryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("bench: %s line %d: %w", path, line, err)
+		}
+		if rec.Baseline == nil {
+			return nil, fmt.Errorf("bench: %s line %d: record has no baseline", path, line)
+		}
+		if err := rec.Baseline.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: %s line %d: %w", path, line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return out, nil
+}

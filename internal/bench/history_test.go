@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/replicate"
+)
+
+// fakeBaseline builds a structurally valid baseline without measuring.
+func fakeBaseline(ns int64) *Baseline {
+	bl := &Baseline{Schema: BaselineSchema, Machine: "68020", StressSpeedup: 3.5}
+	for _, lv := range []string{"SIMPLE", "LOOPS", "JUMPS"} {
+		bl.Suite = append(bl.Suite, SuiteResult{
+			Level: lv, NsPerOp: ns, AllocsPerOp: 1, BytesPerOp: 1,
+			RTLs: 1000, RTLsPerSec: float64(1000) * 1e9 / float64(ns),
+		})
+	}
+	for _, eng := range []replicate.PathEngine{replicate.EngineOracle, replicate.EngineMatrix} {
+		bl.Stress = append(bl.Stress, StressResult{
+			Engine: eng.String(), States: 10, RTLs: 500,
+			NsPerOp: ns, RTLsPerSec: float64(500) * 1e9 / float64(ns),
+		})
+	}
+	return bl
+}
+
+func TestHistoryAppendAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+
+	// Missing file loads as empty history.
+	recs, err := LoadHistory(path)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("missing file: %v, %d records", err, len(recs))
+	}
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	if err := AppendHistory(path, fakeBaseline(100), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, fakeBaseline(200), t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err = LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(recs))
+	}
+	if !recs[0].Time.Equal(t0) || recs[0].Baseline.Suite[0].NsPerOp != 100 {
+		t.Fatalf("first record: %+v", recs[0])
+	}
+	if recs[1].Baseline.Suite[0].NsPerOp != 200 {
+		t.Fatalf("second record: %+v", recs[1])
+	}
+
+	// The file is one JSON object per line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file has %d lines, want 2", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"time":`) {
+			t.Fatalf("unexpected line shape: %s", l)
+		}
+	}
+}
+
+func TestHistoryRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	bad := fakeBaseline(100)
+	bad.Schema = 999
+	if err := AppendHistory(path, bad, time.Now()); err == nil {
+		t.Fatal("appended a baseline with a bogus schema")
+	}
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(path); err == nil {
+		t.Fatal("loaded a corrupt history file")
+	}
+}

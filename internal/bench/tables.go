@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/ease"
@@ -25,6 +26,10 @@ type Cell struct {
 	Level   pipeline.Level
 	// Run carries the cell's full EASE measurement.
 	Run *ease.Run
+	// QueueWait is how long the cell sat in the worker pool's queue
+	// before a worker picked it up (0 when run sequentially). It feeds
+	// the daemon's queue-wait histogram and never affects the tables.
+	QueueWait time.Duration
 }
 
 // cellKey indexes the grid by (program, machine, level).

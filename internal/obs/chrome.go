@@ -10,28 +10,56 @@ import (
 // ChromeWriter renders the trace in the Chrome trace_event JSON array
 // format, loadable in about://tracing or https://ui.perfetto.dev. Events
 // with a duration become complete ("X") slices; the rest become instants
-// ("i"). Events are buffered until Close, which writes the array.
+// ("i"). Events are mapped to one pid with one tid lane per function
+// (lane 0 holds function-less events: service and phase spans); Close
+// emits thread_name metadata so the lanes are labeled in the viewer.
+// Events are buffered until Close, which writes the array.
 type ChromeWriter struct {
 	mu     sync.Mutex
 	w      io.Writer
 	events []chromeEvent
+	tids   map[string]int
+	lanes  []string // lane names in tid order, index 0 = the service lane
 }
 
 type chromeEvent struct {
 	Name string `json:"name"`
-	Cat  string `json:"cat"`
+	Cat  string `json:"cat,omitempty"`
 	Ph   string `json:"ph"`
 	TS   int64  `json:"ts"` // microseconds
 	Dur  int64  `json:"dur,omitempty"`
 	PID  int    `json:"pid"`
 	TID  int    `json:"tid"`
 	S    string `json:"s,omitempty"` // instant scope
-	Args *Event `json:"args,omitempty"`
+	Args any    `json:"args,omitempty"`
 }
+
+// chromePID is the single process every event maps to.
+const chromePID = 1
+
+// serviceLane names the tid-0 lane holding events without a function.
+const serviceLane = "service"
 
 // NewChromeWriter returns a Chrome trace sink writing to w on Close.
 func NewChromeWriter(w io.Writer) *ChromeWriter {
-	return &ChromeWriter{w: w}
+	return &ChromeWriter{
+		w:     w,
+		tids:  map[string]int{"": 0},
+		lanes: []string{serviceLane},
+	}
+}
+
+// tid maps a function name to its lane, assigning lanes in first-seen
+// order (deterministic for a deterministic event stream). Must be called
+// with mu held.
+func (c *ChromeWriter) tid(fn string) int {
+	if id, ok := c.tids[fn]; ok {
+		return id
+	}
+	id := len(c.lanes)
+	c.tids[fn] = id
+	c.lanes = append(c.lanes, fn)
+	return id
 }
 
 // Emit implements Tracer.
@@ -40,8 +68,7 @@ func (c *ChromeWriter) Emit(ev *Event) {
 		Name: chromeName(ev),
 		Cat:  ev.Type,
 		TS:   ev.TimeNS / 1000,
-		PID:  1,
-		TID:  1,
+		PID:  chromePID,
 		Args: ev,
 	}
 	if ev.DurNS > 0 {
@@ -54,6 +81,7 @@ func (c *ChromeWriter) Emit(ev *Event) {
 		ce.Ph, ce.S = "i", "t"
 	}
 	c.mu.Lock()
+	ce.TID = c.tid(ev.Func)
 	c.events = append(c.events, ce)
 	c.mu.Unlock()
 }
@@ -69,12 +97,15 @@ func chromeName(ev *Event) string {
 		return fmt.Sprintf("%s: jump %s -> %s (%s)", ev.Func, ev.Block, ev.Target, ev.Outcome)
 	case EvBlock, EvHot:
 		return fmt.Sprintf("%s %s ×%d", ev.Func, ev.Block, ev.Count)
+	case EvVerify:
+		return fmt.Sprintf("%s: %s violated after %s", ev.Func, ev.Rule, ev.Name)
 	}
 	return ev.Type
 }
 
-// Close rebases timestamps so the trace starts at zero and writes the JSON
-// array. The writer must not be used afterwards.
+// Close rebases timestamps so the trace starts at zero, prepends the
+// thread_name metadata naming each lane, and writes the JSON array. The
+// writer must not be used afterwards.
 func (c *ChromeWriter) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -87,6 +118,13 @@ func (c *ChromeWriter) Close() error {
 	for i := range c.events {
 		c.events[i].TS -= base
 	}
+	meta := make([]chromeEvent, 0, len(c.lanes))
+	for tid, name := range c.lanes {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
 	enc := json.NewEncoder(c.w)
-	return enc.Encode(c.events)
+	return enc.Encode(append(meta, c.events...))
 }

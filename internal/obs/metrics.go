@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -47,10 +49,18 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // A Histogram counts observations into cumulative buckets with fixed
 // upper bounds, plus a running sum and count — enough to render the
 // Prometheus histogram form and derive mean latency.
+//
+// Writers serialize on a mutex and bracket their update with a sequence
+// counter (a seqlock); Snapshot readers retry until they observe a quiet
+// even sequence, so a scrape always sees sum, count and buckets from one
+// consistent instant without ever blocking an Observe.
 type Histogram struct {
 	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+
+	mu     sync.Mutex    // serializes writers; readers never take it
+	seq    atomic.Uint64 // odd while a write is in flight
 	counts []atomic.Int64
-	sum    atomic.Uint64 // float64 bits, updated by CAS
+	sum    atomic.Uint64 // float64 bits
 	count  atomic.Int64
 }
 
@@ -79,15 +89,13 @@ func NewHistogram(bounds []float64) *Histogram {
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.seq.Add(1) // odd: update in flight
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	h.sum.Store(math.Float64bits(math.Float64frombits(h.sum.Load()) + v))
+	h.seq.Add(1) // even: consistent again
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations.
@@ -95,6 +103,42 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistogramSnapshot is one consistent observation of a histogram: the
+// per-bucket counts (the +Inf bucket last), the sum and the count all
+// belong to the same instant, so cumulating Counts always lands exactly
+// on Count.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (ascending; +Inf implicit).
+	Bounds []float64
+	// Counts are per-bucket observation counts, len(Bounds)+1 with the
+	// +Inf bucket last. Not cumulative.
+	Counts []int64
+	// Sum and Count are the running sum and total observation count.
+	Sum   float64
+	Count int64
+}
+
+// Snapshot returns a consistent view of the histogram (see the type
+// comment on Histogram for the seqlock protocol).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts := make([]int64, len(h.counts))
+	for {
+		s1 := h.seq.Load()
+		if s1%2 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
+		sum := math.Float64frombits(h.sum.Load())
+		count := h.count.Load()
+		if h.seq.Load() == s1 {
+			return HistogramSnapshot{Bounds: h.bounds, Counts: counts, Sum: sum, Count: count}
+		}
+	}
+}
 
 // metric is one registered entry; write renders it in exposition format.
 type metric struct {
@@ -166,17 +210,27 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	}
 	h := NewHistogram(bounds)
 	r.register(metric{name, help, "histogram", func(w io.Writer, n string) {
-		var cum int64
-		for i, b := range h.bounds {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(b), cum)
-		}
-		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
-		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+		writeHistogram(w, n, "", h.Snapshot())
 	}})
 	return h
+}
+
+// writeHistogram renders one histogram snapshot in exposition format.
+// labelPrefix is either empty or a rendered `k="v",...,` label list
+// (trailing comma included) that precedes the le label.
+func writeHistogram(w io.Writer, name, labelPrefix string, s HistogramSnapshot) {
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, formatFloat(b), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, cum)
+	if labelPrefix != "" {
+		labelPrefix = "{" + strings.TrimSuffix(labelPrefix, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelPrefix, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelPrefix, s.Count)
 }
 
 func formatFloat(v float64) string {

@@ -121,3 +121,43 @@ func TestMetricsConcurrent(t *testing.T) {
 		t.Fatalf("lost updates: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
 	}
 }
+
+// TestHistogramSnapshotConsistent is the torn-read regression test: under
+// concurrent observation of a fixed value, every snapshot must be
+// internally consistent — buckets summing exactly to count, and sum equal
+// to count times the observed value. Before the seqlock, a scrape could
+// see count updated but sum (or a bucket) not yet.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		var cum int64
+		for _, c := range s.Counts {
+			cum += c
+		}
+		if cum != s.Count {
+			t.Fatalf("torn snapshot: buckets sum to %d, count %d", cum, s.Count)
+		}
+		if s.Sum != float64(s.Count) {
+			t.Fatalf("torn snapshot: sum %v with count %d (observing 1.0)", s.Sum, s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

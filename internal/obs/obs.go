@@ -90,6 +90,9 @@ type Candidate struct {
 // fields each event kind populates.
 type Event struct {
 	Type string `json:"type"`
+	// Job is the service job the event belongs to (stamped by WithJob;
+	// empty for CLI traces).
+	Job string `json:"job,omitempty"`
 	// Name is the span name: the pass name for EvPass, the stage name for
 	// EvPhase.
 	Name string `json:"name,omitempty"`
@@ -177,4 +180,26 @@ func (m multiTracer) Emit(ev *Event) {
 	for _, t := range m {
 		t.Emit(ev)
 	}
+}
+
+// WithJob returns a tracer that stamps every event with the given job ID
+// before forwarding to next (on a copy — emitted events are immutable by
+// the Tracer contract). A nil next yields nil, preserving the disabled
+// convention.
+func WithJob(job string, next Tracer) Tracer {
+	if next == nil {
+		return nil
+	}
+	return jobTracer{job: job, next: next}
+}
+
+type jobTracer struct {
+	job  string
+	next Tracer
+}
+
+func (t jobTracer) Emit(ev *Event) {
+	cp := *ev
+	cp.Job = t.job
+	t.next.Emit(&cp)
 }

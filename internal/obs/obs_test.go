@@ -107,9 +107,16 @@ func TestChromeWriterFormat(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	var evs []map[string]any
-	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+	var all []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &all); err != nil {
 		t.Fatalf("not a JSON array: %v", err)
+	}
+	// Drop the thread_name metadata; this test covers the event slices.
+	var evs []map[string]any
+	for _, e := range all {
+		if e["ph"] != "M" {
+			evs = append(evs, e)
+		}
 	}
 	if len(evs) != 3 {
 		t.Fatalf("want 3 events, got %d", len(evs))

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the repo's own Prometheus text exposition linter, used by
+// the CI observability smoke (via cmd/promlint) and the registry's unit
+// tests. It checks the structural rules a scraper relies on:
+//
+//   - every sample belongs to a family announced by a # TYPE line, and
+//     HELP/TYPE metadata pairs up (at most one each, HELP before TYPE,
+//     both before the samples);
+//   - counter family names end in _total;
+//   - histogram families have, per label set: le bucket bounds that parse
+//     as floats and strictly ascend, cumulative bucket counts that never
+//     decrease, a final le="+Inf" bucket, and _count equal to the +Inf
+//     bucket's value.
+
+// promFamily accumulates what the linter has seen of one metric family.
+type promFamily struct {
+	help, typ   string
+	samples     int
+	buckets     map[string][]promBucket // histogram buckets by non-le label set
+	infCount    map[string]float64      // +Inf bucket value by label set
+	countSample map[string]float64      // _count value by label set
+}
+
+// promBucket is one histogram bucket sample.
+type promBucket struct {
+	le    float64
+	count float64
+	raw   string // the le value as written, for messages
+}
+
+// LintExposition checks Prometheus text exposition read from r and
+// returns every violation found (nil means clean).
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	errorf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	fams := map[string]*promFamily{}
+	fam := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{
+				buckets:     map[string][]promBucket{},
+				infCount:    map[string]float64{},
+				countSample: map[string]float64{},
+			}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			f := fam(name)
+			if f.help != "" {
+				errorf(lineNo, "duplicate HELP for %s", name)
+			}
+			if f.typ != "" {
+				errorf(lineNo, "HELP for %s after its TYPE (want HELP first)", name)
+			}
+			if f.samples > 0 {
+				errorf(lineNo, "HELP for %s after its samples", name)
+			}
+			f.help = rest
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				errorf(lineNo, "malformed TYPE line %q", line)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				errorf(lineNo, "unknown metric type %q for %s", typ, name)
+			}
+			f := fam(name)
+			if f.typ != "" {
+				errorf(lineNo, "duplicate TYPE for %s", name)
+			}
+			if f.samples > 0 {
+				errorf(lineNo, "TYPE for %s after its samples", name)
+			}
+			f.typ = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				errorf(lineNo, "counter %s does not end in _total", name)
+			}
+		case strings.HasPrefix(line, "#"):
+			// Other comments are fine.
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				errorf(lineNo, "%v", err)
+				continue
+			}
+			base, sample := baseName(name, fams)
+			f, ok := fams[base]
+			if !ok || f.typ == "" {
+				errorf(lineNo, "sample %s without a preceding TYPE", name)
+				continue
+			}
+			f.samples++
+			if f.typ != "histogram" {
+				continue
+			}
+			le, rest := splitLE(labels)
+			switch sample {
+			case "_bucket":
+				if le == "" {
+					errorf(lineNo, "%s_bucket without an le label", base)
+					continue
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						errorf(lineNo, "%s_bucket le=%q is not a float", base, le)
+						continue
+					}
+				} else {
+					f.infCount[rest] = value
+				}
+				f.buckets[rest] = append(f.buckets[rest], promBucket{le: bound, count: value, raw: le})
+			case "_count":
+				f.countSample[rest] = value
+			case "_sum":
+				// Nothing to cross-check against on its own.
+			default:
+				errorf(lineNo, "histogram %s has non-histogram sample %s", base, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	// Whole-family checks, in name order for deterministic output.
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if f.help != "" && f.typ == "" {
+			errs = append(errs, fmt.Errorf("%s: HELP without a TYPE", name))
+		}
+		// A TYPE with no samples yet is legal: label vectors only
+		// materialize children on first use.
+		if f.typ != "histogram" {
+			continue
+		}
+		for labels, bs := range f.buckets {
+			at := name
+			if labels != "" {
+				at = name + "{" + labels + "}"
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					errs = append(errs, fmt.Errorf("%s: le buckets out of order (%s after %s)",
+						at, bs[i].raw, bs[i-1].raw))
+				}
+				if bs[i].count < bs[i-1].count {
+					errs = append(errs, fmt.Errorf("%s: bucket counts not cumulative (le=%s drops to %g)",
+						at, bs[i].raw, bs[i].count))
+				}
+			}
+			inf, ok := f.infCount[labels]
+			if !ok {
+				errs = append(errs, fmt.Errorf("%s: missing le=\"+Inf\" bucket", at))
+				continue
+			}
+			if count, ok := f.countSample[labels]; ok && count != inf {
+				errs = append(errs, fmt.Errorf("%s: _count %g != +Inf bucket %g", at, count, inf))
+			}
+		}
+	}
+	return errs
+}
+
+// baseName strips a histogram sample suffix when the base is a known
+// histogram family; the second result is the suffix ("" for plain
+// samples).
+func baseName(name string, fams map[string]*promFamily) (string, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.typ == "histogram" {
+			return base, suffix
+		}
+	}
+	return name, ""
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLE removes the le label from a label list, returning its value and
+// the remaining labels (still in their original order).
+func splitLE(labels string) (le, rest string) {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(part, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabels splits a rendered label list on commas outside quotes.
+func splitLabels(labels string) []string {
+	var out []string
+	var sb strings.Builder
+	inQuotes, escaped := false, false
+	for _, r := range labels {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			inQuotes = !inQuotes
+		case r == ',' && !inQuotes:
+			out = append(out, sb.String())
+			sb.Reset()
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	if sb.Len() > 0 {
+		out = append(out, sb.String())
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func recEvent(job string, i int) *Event {
+	return &Event{Type: EvPhase, Job: job, Name: fmt.Sprintf("e%d", i)}
+}
+
+func TestFlightRecorderTail(t *testing.T) {
+	r := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(recEvent("a", i))
+	}
+	tail := r.Tail(0, "")
+	if len(tail) != 5 {
+		t.Fatalf("tail = %d events, want 5", len(tail))
+	}
+	for i, re := range tail {
+		if re.Seq != uint64(i) || re.Name != fmt.Sprintf("e%d", i) {
+			t.Fatalf("tail[%d] = seq %d %q", i, re.Seq, re.Name)
+		}
+	}
+	if got := r.Tail(2, ""); len(got) != 2 || got[0].Name != "e3" || got[1].Name != "e4" {
+		t.Fatalf("Tail(2) = %v", got)
+	}
+}
+
+func TestFlightRecorderWrapAround(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(recEvent("a", i))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	tail := r.Tail(0, "")
+	if len(tail) != 4 {
+		t.Fatalf("retained %d, want capacity 4", len(tail))
+	}
+	if tail[0].Name != "e6" || tail[3].Name != "e9" {
+		t.Fatalf("ring retained wrong window: %q..%q", tail[0].Name, tail[3].Name)
+	}
+}
+
+func TestFlightRecorderJobIndex(t *testing.T) {
+	r := NewFlightRecorder(16)
+	for i := 0; i < 6; i++ {
+		job := "a"
+		if i%2 == 1 {
+			job = "b"
+		}
+		r.Emit(recEvent(job, i))
+	}
+	r.Emit(&Event{Type: EvPhase, Name: "nojob"}) // unindexed
+	a := r.Tail(0, "a")
+	if len(a) != 3 {
+		t.Fatalf("job a has %d events, want 3", len(a))
+	}
+	for _, re := range a {
+		if re.Job != "a" {
+			t.Fatalf("job filter leaked %q", re.Job)
+		}
+	}
+	if got := r.Tail(1, "b"); len(got) != 1 || got[0].Name != "e5" {
+		t.Fatalf("Tail(1, b) = %v", got)
+	}
+	if got := r.Tail(0, "missing"); len(got) != 0 {
+		t.Fatalf("unknown job returned %d events", len(got))
+	}
+}
+
+// TestFlightRecorderIndexPruned checks the per-job index follows ring
+// eviction: once a job's events fall off the ring, the index forgets the
+// job instead of growing without bound.
+func TestFlightRecorderIndexPruned(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 4; i++ {
+		r.Emit(recEvent("old", i))
+	}
+	for i := 0; i < 4; i++ {
+		r.Emit(recEvent("new", i))
+	}
+	if got := r.Tail(0, "old"); len(got) != 0 {
+		t.Fatalf("evicted job still has %d indexed events", len(got))
+	}
+	r.mu.Lock()
+	_, stale := r.byJob["old"]
+	r.mu.Unlock()
+	if stale {
+		t.Fatal("evicted job still present in the index")
+	}
+	if got := r.Tail(0, "new"); len(got) != 4 {
+		t.Fatalf("surviving job has %d events, want 4", len(got))
+	}
+}
+
+// TestFlightRecorderConcurrent is meaningful under -race.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			job := fmt.Sprintf("j%d", g%3)
+			for i := 0; i < 200; i++ {
+				r.Emit(recEvent(job, i))
+				if i%17 == 0 {
+					r.Tail(8, job)
+					r.Tail(8, "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 8*200 {
+		t.Fatalf("total = %d, want %d", r.Total(), 8*200)
+	}
+}
+
+func TestWithJobStamps(t *testing.T) {
+	var col Collector
+	tr := WithJob("abc", &col)
+	orig := &Event{Type: EvPass, Name: "cse"}
+	tr.Emit(orig)
+	if orig.Job != "" {
+		t.Fatal("WithJob mutated the caller's event")
+	}
+	evs := col.Events()
+	if len(evs) != 1 || evs[0].Job != "abc" || evs[0].Name != "cse" {
+		t.Fatalf("stamped event = %+v", evs[0])
+	}
+	if WithJob("abc", nil) != nil {
+		t.Fatal("WithJob(nil) must stay nil (disabled convention)")
+	}
+}

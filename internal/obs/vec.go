@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file adds labeled metric vectors to the registry: families of
+// counters, gauges and histograms keyed by a fixed set of label names.
+// Children are created on first use (WithLabelValues) and rendered in the
+// Prometheus text exposition format with a deterministic order — label
+// names in registration order, children sorted by their label values — so
+// two scrapes of the same state are byte-identical.
+
+// labelChild is one (label values → metric) entry of a vector.
+type labelChild[M any] struct {
+	// expo is the rendered label portion `name="value",...` — the sort key
+	// and the exposition text.
+	expo   string
+	metric M
+}
+
+// vec is the shared child table behind CounterVec/GaugeVec/HistogramVec.
+type vec[M any] struct {
+	name   string
+	labels []string
+	newM   func() M
+
+	mu       sync.Mutex
+	children map[string]*labelChild[M]
+}
+
+func newVec[M any](name string, labels []string, newM func() M) *vec[M] {
+	if len(labels) == 0 {
+		panic("obs: metric vector " + name + " needs at least one label")
+	}
+	return &vec[M]{
+		name: name, labels: append([]string(nil), labels...),
+		newM: newM, children: map[string]*labelChild[M]{},
+	}
+}
+
+// with returns the child for the given label values, creating it on first
+// use. The value count must match the label count (a programming error,
+// like a duplicate registration).
+func (v *vec[M]) with(values []string) M {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c.metric
+	}
+	var sb strings.Builder
+	for i, l := range v.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	c := &labelChild[M]{expo: sb.String(), metric: v.newM()}
+	v.children[key] = c
+	return c.metric
+}
+
+// sorted returns the children ordered by their rendered label text, so
+// exposition output is deterministic regardless of creation order.
+func (v *vec[M]) sorted() []*labelChild[M] {
+	v.mu.Lock()
+	out := make([]*labelChild[M], 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].expo < out[j].expo })
+	return out
+}
+
+// labelEscaper applies the exposition format's label-value escapes: the
+// backslash, the double quote, and the line feed.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value for the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
+// A CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ v *vec[*Counter] }
+
+// WithLabelValues returns the counter for the given label values,
+// creating it on first use.
+func (cv *CounterVec) WithLabelValues(values ...string) *Counter { return cv.v.with(values) }
+
+// A GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ v *vec[*Gauge] }
+
+// WithLabelValues returns the gauge for the given label values, creating
+// it on first use.
+func (gv *GaugeVec) WithLabelValues(values ...string) *Gauge { return gv.v.with(values) }
+
+// A HistogramVec is a family of histograms (sharing one bucket layout)
+// keyed by label values.
+type HistogramVec struct{ v *vec[*Histogram] }
+
+// WithLabelValues returns the histogram for the given label values,
+// creating it on first use.
+func (hv *HistogramVec) WithLabelValues(values ...string) *Histogram { return hv.v.with(values) }
+
+// CounterVec registers and returns a counter family with the given label
+// names.
+func (r *Registry) CounterVec(name, help string, labels []string) *CounterVec {
+	cv := &CounterVec{newVec(name, labels, func() *Counter { return &Counter{} })}
+	r.register(metric{name, help, "counter", func(w io.Writer, n string) {
+		for _, c := range cv.v.sorted() {
+			fmt.Fprintf(w, "%s{%s} %d\n", n, c.expo, c.metric.Value())
+		}
+	}})
+	return cv
+}
+
+// GaugeVec registers and returns a gauge family with the given label
+// names.
+func (r *Registry) GaugeVec(name, help string, labels []string) *GaugeVec {
+	gv := &GaugeVec{newVec(name, labels, func() *Gauge { return &Gauge{} })}
+	r.register(metric{name, help, "gauge", func(w io.Writer, n string) {
+		for _, c := range gv.v.sorted() {
+			fmt.Fprintf(w, "%s{%s} %d\n", n, c.expo, c.metric.Value())
+		}
+	}})
+	return gv
+}
+
+// HistogramVec registers and returns a histogram family with the given
+// label names and bucket upper bounds (nil = DefaultLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	hv := &HistogramVec{newVec(name, labels, func() *Histogram { return NewHistogram(bs) })}
+	r.register(metric{name, help, "histogram", func(w io.Writer, n string) {
+		for _, c := range hv.v.sorted() {
+			writeHistogram(w, n, c.expo+",", c.metric.Snapshot())
+		}
+	}})
+	return hv
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("req_total", "requests by kind", []string{"kind", "result"})
+	// Create children out of sorted order to prove render order is
+	// deterministic by label values, not creation order.
+	cv.WithLabelValues("measure", "miss").Add(2)
+	cv.WithLabelValues("compile", "hit").Inc()
+	cv.WithLabelValues("compile", "miss").Add(3)
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	out := sb.String()
+	wantOrder := []string{
+		`req_total{kind="compile",result="hit"} 1`,
+		`req_total{kind="compile",result="miss"} 3`,
+		`req_total{kind="measure",result="miss"} 2`,
+	}
+	last := -1
+	for _, w := range wantOrder {
+		i := strings.Index(out, w)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", w, out)
+		}
+		if i < last {
+			t.Fatalf("series out of order (%q before its predecessor):\n%s", w, out)
+		}
+		last = i
+	}
+	// Same label values return the same child.
+	if cv.WithLabelValues("compile", "hit").Value() != 1 {
+		t.Fatal("WithLabelValues did not return the existing child")
+	}
+}
+
+func TestVecDeterministicAcrossCreationOrder(t *testing.T) {
+	render := func(order [][2]string) string {
+		r := NewRegistry()
+		gv := r.GaugeVec("g", "", []string{"a", "b"})
+		for _, o := range order {
+			gv.WithLabelValues(o[0], o[1]).Set(1)
+		}
+		var sb strings.Builder
+		r.WriteProm(&sb)
+		return sb.String()
+	}
+	a := render([][2]string{{"x", "1"}, {"y", "2"}, {"x", "0"}})
+	b := render([][2]string{{"x", "0"}, {"y", "2"}, {"x", "1"}})
+	if a != b {
+		t.Fatalf("exposition depends on creation order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat_seconds", "latency by kind", []string{"kind"}, []float64{0.5, 2})
+	hv.WithLabelValues("compile").Observe(0.1)
+	hv.WithLabelValues("compile").Observe(1)
+	hv.WithLabelValues("grid").Observe(3)
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{kind="compile",le="0.5"} 1`,
+		`lat_seconds_bucket{kind="compile",le="2"} 2`,
+		`lat_seconds_bucket{kind="compile",le="+Inf"} 2`,
+		`lat_seconds_sum{kind="compile"} 1.1`,
+		`lat_seconds_count{kind="compile"} 2`,
+		`lat_seconds_bucket{kind="grid",le="+Inf"} 1`,
+		`lat_seconds_count{kind="grid"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("vec exposition fails its own lint: %v", errs)
+	}
+}
+
+func TestVecLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("e_total", "", []string{"v"})
+	cv.WithLabelValues(`a"b` + "\n" + `c\d`).Inc()
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `v="a\"b\nc\\d"`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestVecWrongArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("x_total", "", []string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	cv.WithLabelValues("only-one")
+}
+
+// TestVecConcurrent is meaningful under -race.
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c_total", "", []string{"i"})
+	hv := r.HistogramVec("h", "", []string{"i"}, []float64{1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := string(rune('a' + g%4))
+			for j := 0; j < 500; j++ {
+				cv.WithLabelValues(lbl).Inc()
+				hv.WithLabelValues(lbl).Observe(float64(j % 3))
+			}
+		}(g)
+	}
+	var render sync.WaitGroup
+	render.Add(1)
+	go func() {
+		defer render.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WriteProm(&sb)
+		}
+	}()
+	wg.Wait()
+	render.Wait()
+	var total int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += cv.WithLabelValues(l).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+}

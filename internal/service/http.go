@@ -5,30 +5,45 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /compile   mini-C source -> assembly + static/replication counters
-//	POST /measure   program or source -> EASE jump/instruction/cache metrics
-//	POST /grid      async batch over a program list -> job ID
-//	GET  /jobs/{id} job status and result
-//	GET  /jobs      all jobs
-//	GET  /programs  the Table-3 program list
-//	GET  /healthz   liveness + pool stats
-//	GET  /metrics   Prometheus text exposition
+//	POST /compile          mini-C source -> assembly + static/replication counters
+//	POST /measure          program or source -> EASE jump/instruction/cache metrics
+//	POST /grid             async batch over a program list -> job ID
+//	GET  /jobs/{id}        job status and result
+//	GET  /jobs/{id}/trace  the job's span tree as Chrome trace_event JSON
+//	GET  /jobs/{id}/events the job's raw telemetry events as JSONL
+//	GET  /jobs             all jobs
+//	GET  /programs         the Table-3 program list
+//	GET  /healthz          liveness + pool stats + build version
+//	GET  /metrics          Prometheus text exposition
+//	GET  /debug/events     flight-recorder tail (?job= filter, ?n= limit)
+//	GET  /debug/pprof/     the standard Go profiling endpoints
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /measure", s.handleMeasure)
 	mux.HandleFunc("POST /grid", s.handleGrid)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /programs", s.handlePrograms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -87,6 +102,7 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	w.Header().Set("X-Mccd-Job", res.JobID)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -100,6 +116,7 @@ func (s *Service) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	w.Header().Set("X-Mccd-Job", res.JobID)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -114,7 +131,60 @@ func (s *Service) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+view.ID)
+	w.Header().Set("X-Mccd-Job", view.ID)
 	writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleJobTrace renders the job's retained trace as a Chrome trace_event
+// JSON array, loadable in about://tracing or Perfetto.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	evs, err := s.JobEvents(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	cw := obs.NewChromeWriter(w)
+	for _, ev := range evs {
+		cw.Emit(ev)
+	}
+	cw.Close() // nothing to do about a broken client connection
+}
+
+// handleJobEvents streams the job's retained trace as JSONL, one raw
+// telemetry event per line.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	evs, err := s.JobEvents(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	jw := obs.NewJSONLWriter(w)
+	for _, ev := range evs {
+		jw.Emit(ev)
+	}
+}
+
+// handleDebugEvents streams the flight recorder's tail as JSONL: the most
+// recent n events (?n=, default 256), optionally filtered to one job
+// (?job=).
+func (s *Service) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	n := 256
+	if v := r.URL.Query().Get("n"); v != "" {
+		i, err := strconv.Atoi(v)
+		if err != nil || i < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{"bad n: " + v})
+			return
+		}
+		n = i
+	}
+	tail := s.recorder.Tail(n, r.URL.Query().Get("job"))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, re := range tail {
+		enc.Encode(re) // nothing to do about a broken client connection
+	}
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +219,7 @@ func (s *Service) handlePrograms(w http.ResponseWriter, r *http.Request) {
 // health is the GET /healthz body.
 type health struct {
 	Status      string `json:"status"`
+	Version     string `json:"version"`
 	Workers     int    `json:"workers"`
 	Busy        int64  `json:"busy"`
 	QueueDepth  int    `json:"queue_depth"`
@@ -159,6 +230,7 @@ type health struct {
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, health{
 		Status:      "ok",
+		Version:     s.version,
 		Workers:     s.pool.Workers(),
 		Busy:        s.pool.Busy(),
 		QueueDepth:  s.pool.QueueDepth(),

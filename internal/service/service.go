@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -56,6 +57,15 @@ type Config struct {
 	JobTimeout time.Duration
 	// GridTimeout bounds one async grid job (0 = 15m).
 	GridTimeout time.Duration
+	// FlightRecorderSize bounds the global event ring behind GET
+	// /debug/events (<= 0 = obs.DefaultFlightRecorderSize).
+	FlightRecorderSize int
+	// RetainTraces bounds how many completed jobs keep their full trace
+	// for GET /jobs/{id}/trace (<= 0 = DefaultRetainTraces).
+	RetainTraces int
+	// Version overrides the build version reported by GET /healthz and
+	// the mccd_build_info metric ("" = ResolveVersion()).
+	Version string
 	// Logf, when non-nil, receives one line per noteworthy event.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +98,24 @@ type metrics struct {
 	verifyViol  *obs.Counter
 	latency     *obs.Histogram
 	throughput  *obs.Histogram
+
+	// Labeled families behind the debug plane: end-to-end and queue-wait
+	// latency by {kind, level, machine}, cache lookups by {kind, result},
+	// and verifier violations by offending pass.
+	jobDur       *obs.HistogramVec
+	queueWait    *obs.HistogramVec
+	cacheReq     *obs.CounterVec
+	verifyByPass *obs.CounterVec
+}
+
+// observeVerify feeds the verifier-violation counters: the legacy total
+// plus the per-pass family (verify-each attributes each violation to the
+// pass that introduced it).
+func (m *metrics) observeVerify(vs []verify.Violation) {
+	m.verifyViol.Add(int64(len(vs)))
+	for _, v := range vs {
+		m.verifyByPass.WithLabelValues(v.Pass).Inc()
+	}
 }
 
 // observeThroughput feeds the compile-throughput metrics from one optimize
@@ -102,7 +130,7 @@ func (m *metrics) observeThroughput(rtls int, elapsed time.Duration) {
 	m.throughput.Observe(float64(rtls) / elapsed.Seconds())
 }
 
-func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64) *metrics {
+func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64, version string) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{reg: reg}
 	m.reqCompile = reg.Counter("mccd_compile_requests_total", "POST /compile requests accepted")
@@ -124,16 +152,30 @@ func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64) *metrics {
 	m.compileRTLs = reg.Counter("mccd_compile_rtls_total", "RTL instructions fed into the optimizer (cache misses only)")
 	m.verifyViol = reg.Counter("mccd_verify_violations_total", "semantic verifier violations reported by verify-each requests")
 	m.throughput = reg.Histogram("mccd_compile_rtls_per_second", "optimizer throughput per compile in input RTLs/sec", obs.ThroughputBuckets)
+	m.jobDur = reg.HistogramVec("mccd_job_duration_seconds",
+		"end-to-end job latency (grid jobs: per cell)", []string{"kind", "level", "machine"}, nil)
+	m.queueWait = reg.HistogramVec("mccd_queue_wait_seconds",
+		"time a job spent waiting in the work queue (grid jobs: per cell)", []string{"kind", "level", "machine"}, nil)
+	m.cacheReq = reg.CounterVec("mccd_cache_requests_total",
+		"result cache lookups by request kind and outcome", []string{"kind", "result"})
+	m.verifyByPass = reg.CounterVec("mccd_verify_violations_by_pass_total",
+		"semantic verifier violations by the pass that introduced them", []string{"pass"})
+	reg.GaugeVec("mccd_build_info",
+		"build version carried in the labels; the value is always 1", []string{"version"}).
+		WithLabelValues(version).Set(1)
 	return m
 }
 
 // Service is the compile-and-measure engine behind cmd/mccd: one worker
 // pool, one content-addressed result cache, and an async job table.
 type Service struct {
-	cfg   Config
-	pool  *Pool
-	cache *Cache
-	met   *metrics
+	cfg      Config
+	pool     *Pool
+	cache    *Cache
+	met      *metrics
+	recorder *obs.FlightRecorder
+	traces   *traceStore
+	version  string
 
 	// baseCtx parents every grid job; cancel aborts them if a drain
 	// deadline expires.
@@ -149,14 +191,74 @@ type Service struct {
 // New builds and starts a service.
 func New(cfg Config) *Service {
 	s := &Service{
-		cfg:   cfg,
-		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
-		cache: NewCache(cfg.CacheEntries),
-		jobs:  make(map[string]*Job),
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:    NewCache(cfg.CacheEntries),
+		recorder: obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		traces:   newTraceStore(cfg.RetainTraces),
+		version:  cfg.Version,
+		jobs:     make(map[string]*Job),
+	}
+	if s.version == "" {
+		s.version = ResolveVersion()
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
-	s.met = newMetrics(s.pool, s.cache, s.jobsRunning)
+	s.met = newMetrics(s.pool, s.cache, s.jobsRunning, s.version)
 	return s
+}
+
+// Recorder exposes the flight recorder (for GET /debug/events and tests).
+func (s *Service) Recorder() *obs.FlightRecorder { return s.recorder }
+
+// Version returns the effective build version.
+func (s *Service) Version() string { return s.version }
+
+// JobEvents returns the retained trace of a job (running, or among the
+// last RetainTraces completed ones).
+func (s *Service) JobEvents(id string) ([]*obs.Event, error) {
+	evs, ok := s.traces.events(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return evs, nil
+}
+
+// jobTracer builds the tracer that records one job's span tree: events
+// fan out to the job's retained trace and the global flight recorder,
+// each stamped with the job ID.
+func (s *Service) jobTracer(id string) obs.Tracer {
+	return obs.WithJob(id, obs.Multi(s.traces.begin(id), s.recorder))
+}
+
+// beginJob registers a synchronous job in the job table and starts its
+// trace. Asynchronous grid jobs register inline in SubmitGrid (their
+// insertion is atomic with the grids waitgroup) and call jobTracer
+// directly.
+func (s *Service) beginJob(job *Job) (obs.Tracer, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.jobs[job.ID()] = job
+	s.mu.Unlock()
+	return s.jobTracer(job.ID()), nil
+}
+
+// finishJob completes a job and prunes the job table in step with trace
+// retention, so /jobs stays bounded by the last RetainTraces completed
+// jobs (running jobs are never pruned).
+func (s *Service) finishJob(job *Job, result any, err error) {
+	job.finish(result, err)
+	evicted := s.traces.complete(job.ID())
+	if len(evicted) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, id := range evicted {
+		delete(s.jobs, id)
+	}
+	s.mu.Unlock()
 }
 
 // Registry exposes the metric registry (for GET /metrics and tests).
@@ -320,6 +422,9 @@ type CompileResult struct {
 	Cached bool `json:"cached"`
 	// ElapsedNS is the compile wall time (0 when Cached).
 	ElapsedNS int64 `json:"elapsed_ns"`
+	// JobID identifies this request's trace: GET /jobs/{id}/trace and
+	// /jobs/{id}/events replay it while it is retained.
+	JobID string `json:"job_id,omitempty"`
 }
 
 func compileKey(req CompileRequest) Key {
@@ -355,14 +460,25 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 	}
 	s.met.reqCompile.Inc()
 
+	job := newJob("compile", 1)
+	tr, err := s.beginJob(job)
+	if err != nil {
+		return nil, err
+	}
+	job.start()
+	meta := jobMeta{kind: "compile", level: lv.String(), machine: m.Name, tracer: tr}
+
 	key := compileKey(req)
-	if v, ok := s.cache.Get(key); ok {
+	if v, ok := s.lookupCache(key, meta); ok {
 		out := *v.(*CompileResult)
 		out.Cached = true
 		out.ElapsedNS = 0
+		out.JobID = job.ID()
+		job.step()
+		s.finishJob(job, &out, nil)
 		return &out, nil
 	}
-	v, err := s.runSync(ctx, func(context.Context) (any, error) {
+	v, err := s.runSync(ctx, meta, func(context.Context) (any, error) {
 		start := time.Now()
 		prog, err := mcc.Compile(req.Source)
 		if err != nil {
@@ -375,10 +491,10 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		optStart := time.Now()
 		st := pipeline.Optimize(prog, pipeline.Config{
 			Machine: m, Level: lv, Replication: repOpts,
-			VerifyEach: req.VerifyEach,
+			Tracer: tr, VerifyEach: req.VerifyEach,
 		})
 		s.met.observeThroughput(inputRTLs, time.Since(optStart))
-		s.met.verifyViol.Add(int64(len(st.Verify)))
+		s.met.observeVerify(st.Verify)
 		var buf bytes.Buffer
 		if err := asm.Emit(&buf, prog, m); err != nil {
 			return nil, err
@@ -392,12 +508,36 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 	})
 	if err != nil {
 		s.met.errors.Inc()
+		s.finishJob(job, nil, err)
 		return nil, err
 	}
 	res := v.(*CompileResult)
 	s.cache.Put(key, res)
 	out := *res
+	out.JobID = job.ID()
+	job.step()
+	s.finishJob(job, &out, nil)
 	return &out, nil
+}
+
+// lookupCache checks the result cache for one sync request, recording
+// the outcome as a span on the job's trace and in the labeled cache
+// counters (the unlabeled hit/miss totals come from the cache itself).
+func (s *Service) lookupCache(key Key, meta jobMeta) (any, bool) {
+	start := time.Now()
+	v, ok := s.cache.Get(key)
+	outcome := "miss"
+	if ok {
+		outcome = "hit"
+	}
+	s.met.cacheReq.WithLabelValues(meta.kind, outcome).Inc()
+	if meta.tracer != nil {
+		meta.tracer.Emit(&obs.Event{
+			Type: obs.EvPhase, Name: "cache-lookup", Outcome: outcome,
+			TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)),
+		})
+	}
+	return v, ok
 }
 
 // MeasureRequest is the body of POST /measure: either a Table-3 program
@@ -447,6 +587,9 @@ type MeasureResult struct {
 	Cached bool   `json:"cached"`
 	// ElapsedNS is the measurement wall time (0 when Cached).
 	ElapsedNS int64 `json:"elapsed_ns"`
+	// JobID identifies this request's trace: GET /jobs/{id}/trace and
+	// /jobs/{id}/events replay it while it is retained.
+	JobID string `json:"job_id,omitempty"`
 }
 
 func measureKey(req MeasureRequest, source, input string) Key {
@@ -500,25 +643,37 @@ func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResu
 	}
 	s.met.reqMeasure.Inc()
 
+	job := newJob("measure", 1)
+	tr, err := s.beginJob(job)
+	if err != nil {
+		return nil, err
+	}
+	job.start()
+	meta := jobMeta{kind: "measure", level: lv.String(), machine: m.Name, tracer: tr}
+
 	key := measureKey(req, source, input)
-	if v, ok := s.cache.Get(key); ok {
+	if v, ok := s.lookupCache(key, meta); ok {
 		out := *v.(*MeasureResult)
 		out.Cached = true
 		out.ElapsedNS = 0
+		out.JobID = job.ID()
+		job.step()
+		s.finishJob(job, &out, nil)
 		return &out, nil
 	}
-	v, err := s.runSync(ctx, func(context.Context) (any, error) {
+	v, err := s.runSync(ctx, meta, func(context.Context) (any, error) {
 		run, err := ease.Measure(ease.Request{
 			Name: name, Source: source, Input: []byte(input),
 			Machine: m, Level: lv, Replication: repOpts,
 			SimulateCaches: req.Caches,
+			Tracer:         tr,
 			VerifyEach:     req.VerifyEach,
 		})
 		if err != nil {
 			return nil, badRequestf("%v", err)
 		}
 		s.met.observeThroughput(run.InputRTLs, run.OptimizeElapsed)
-		s.met.verifyViol.Add(int64(len(run.Static.Verify)))
+		s.met.observeVerify(run.Static.Verify)
 		out := &MeasureResult{
 			Name: name, Machine: m.Name, Level: lv.String(),
 			Static: run.Static, Dynamic: run.Dynamic,
@@ -536,19 +691,32 @@ func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResu
 	})
 	if err != nil {
 		s.met.errors.Inc()
+		s.finishJob(job, nil, err)
 		return nil, err
 	}
 	res := v.(*MeasureResult)
 	s.cache.Put(key, res)
 	out := *res
+	out.JobID = job.ID()
+	job.step()
+	s.finishJob(job, &out, nil)
 	return &out, nil
+}
+
+// jobMeta labels one synchronous job for the latency/queue-wait metric
+// families and carries its trace sink.
+type jobMeta struct {
+	kind, level, machine string
+	tracer               obs.Tracer
 }
 
 // runSync routes one job through the worker pool and waits for it: the
 // per-job timeout and the caller's cancellation both apply, queue
 // overflow surfaces as ErrQueueFull (HTTP 503), and a panicking job
-// comes back as an error instead of killing a worker.
-func (s *Service) runSync(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+// comes back as an error instead of killing a worker. The time between
+// submission and a worker picking the task up is recorded as the job's
+// queue-wait span and fed to the labeled queue-wait histogram.
+func (s *Service) runSync(ctx context.Context, meta jobMeta, fn func(context.Context) (any, error)) (any, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.jobTimeout())
 	defer cancel()
 	type outcome struct {
@@ -558,6 +726,14 @@ func (s *Service) runSync(ctx context.Context, fn func(context.Context) (any, er
 	ch := make(chan outcome, 1)
 	start := time.Now()
 	err := s.pool.TrySubmit(ctx, func(ctx context.Context) {
+		wait := time.Since(start)
+		s.met.queueWait.WithLabelValues(meta.kind, meta.level, meta.machine).Observe(wait.Seconds())
+		if meta.tracer != nil {
+			meta.tracer.Emit(&obs.Event{
+				Type: obs.EvPhase, Name: "queue-wait",
+				TimeNS: start.UnixNano(), DurNS: int64(wait),
+			})
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				ch <- outcome{nil, fmt.Errorf("service: job panicked: %v", r)}
@@ -575,7 +751,9 @@ func (s *Service) runSync(ctx context.Context, fn func(context.Context) (any, er
 	}
 	select {
 	case o := <-ch:
-		s.met.latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		s.met.latency.Observe(elapsed)
+		s.met.jobDur.WithLabelValues(meta.kind, meta.level, meta.machine).Observe(elapsed)
 		return o.v, o.err
 	case <-ctx.Done():
 		// The job may still run to completion on its worker; only the
@@ -654,6 +832,7 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 	s.jobs[job.ID()] = job
 	s.grids.Add(1)
 	s.mu.Unlock()
+	tr := s.jobTracer(job.ID())
 
 	go func() {
 		defer s.grids.Done()
@@ -668,15 +847,20 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 			Replication: repOpts,
 			VerifyEach:  req.VerifyEach,
 			Pool:        s.pool,
+			Tracer:      tr,
 			OnCell: func(c *bench.Cell) {
 				job.step()
 				s.met.gridCells.Inc()
 				s.met.latency.Observe(c.Run.Elapsed.Seconds())
+				s.met.jobDur.WithLabelValues("grid", c.Level.String(), c.Machine).
+					Observe(c.Run.Elapsed.Seconds())
+				s.met.queueWait.WithLabelValues("grid", c.Level.String(), c.Machine).
+					Observe(c.QueueWait.Seconds())
 			},
 		})
 		if err != nil {
 			s.met.errors.Inc()
-			job.finish(nil, err)
+			s.finishJob(job, nil, err)
 			s.logf("grid job %s failed after %s: %v", job.ID(), time.Since(start).Round(time.Millisecond), err)
 			return
 		}
@@ -693,7 +877,7 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 			res.WriteAll(&buf, req.Caches)
 			out.Tables = buf.String()
 		}
-		job.finish(out, nil)
+		s.finishJob(job, out, nil)
 		s.logf("grid job %s: %d cells in %s", job.ID(), len(res.Cells), time.Since(start).Round(time.Millisecond))
 	}()
 	return job.View(), nil

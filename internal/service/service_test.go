@@ -194,14 +194,14 @@ func TestJobTimeout(t *testing.T) {
 func TestPanicBecomesError(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close(context.Background())
-	_, err := s.runSync(context.Background(), func(context.Context) (any, error) {
+	_, err := s.runSync(context.Background(), jobMeta{kind: "test"}, func(context.Context) (any, error) {
 		panic("kaboom")
 	})
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("runSync panic = %v, want job-panicked error", err)
 	}
 	// The worker survived: the next job runs fine.
-	v, err := s.runSync(context.Background(), func(context.Context) (any, error) {
+	v, err := s.runSync(context.Background(), jobMeta{kind: "test"}, func(context.Context) (any, error) {
 		return 7, nil
 	})
 	if err != nil || v.(int) != 7 {

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultRetainTraces is how many completed jobs keep their full event
+// trace when Config.RetainTraces is unset.
+const DefaultRetainTraces = 16
+
+// traceStore retains the full telemetry trace (span tree, decision log,
+// VM profile) of every running job plus the last K completed ones, keyed
+// by job ID. GET /jobs/{id}/trace and /jobs/{id}/events read from here.
+type traceStore struct {
+	mu     sync.Mutex
+	retain int
+	traces map[string]*obs.Collector
+	done   []string // completed job IDs, oldest first
+}
+
+func newTraceStore(retain int) *traceStore {
+	if retain <= 0 {
+		retain = DefaultRetainTraces
+	}
+	return &traceStore{retain: retain, traces: map[string]*obs.Collector{}}
+}
+
+// begin allocates the job's trace collector.
+func (ts *traceStore) begin(jobID string) *obs.Collector {
+	c := &obs.Collector{}
+	ts.mu.Lock()
+	ts.traces[jobID] = c
+	ts.mu.Unlock()
+	return c
+}
+
+// complete marks the job's trace as finished and returns the job IDs
+// whose traces were evicted to stay within the retention limit (the
+// caller prunes its own job table in step).
+func (ts *traceStore) complete(jobID string) []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.traces[jobID]; !ok {
+		return nil
+	}
+	ts.done = append(ts.done, jobID)
+	var evicted []string
+	for len(ts.done) > ts.retain {
+		evicted = append(evicted, ts.done[0])
+		delete(ts.traces, ts.done[0])
+		ts.done = ts.done[1:]
+	}
+	return evicted
+}
+
+// events returns the job's trace so far (running jobs included).
+func (ts *traceStore) events(jobID string) ([]*obs.Event, bool) {
+	ts.mu.Lock()
+	c, ok := ts.traces[jobID]
+	ts.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return c.Events(), true
+}

@@ -1,0 +1,43 @@
+package service
+
+import "runtime/debug"
+
+// Version is the daemon build version, injected at link time:
+//
+//	go build -ldflags "-X repro/internal/service.Version=v1.2.3" ./cmd/mccd
+//
+// Leave it empty to let ResolveVersion fall back to the VCS revision
+// embedded in the build info.
+var Version string
+
+// ResolveVersion returns the effective build version: the linker-injected
+// Version if set, else the VCS revision from the embedded build info
+// (truncated to 12 hex digits, "-dirty" appended when the tree had local
+// modifications), else "devel".
+func ResolveVersion() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			if dirty {
+				return rev + "-dirty"
+			}
+			return rev
+		}
+	}
+	return "devel"
+}
