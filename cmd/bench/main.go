@@ -39,8 +39,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: ok (schema %d, %d suite levels, %d stress engines, stress speedup %.1fx)\n",
-			*check, bl.Schema, len(bl.Suite), len(bl.Stress), bl.StressSpeedup)
+		fmt.Printf("%s: ok (schema %d, %d suite levels, %d stress engines, %d encoded cells, stress speedup %.1fx)\n",
+			*check, bl.Schema, len(bl.Suite), len(bl.Stress), len(bl.Encoded), bl.StressSpeedup)
 		return
 	}
 

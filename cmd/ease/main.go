@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -32,7 +33,8 @@ func main() {
 	progName := flag.String("prog", "", "Table-3 program name (see `tables -list`)")
 	file := flag.String("file", "", "mini-C source file (alternative to -prog)")
 	inFile := flag.String("in", "", "input file (default: the program's canned input for -prog)")
-	machName := flag.String("machine", "68020", "target machine: 68020 or sparc")
+	machName := flag.String("machine", "68020",
+		"target machine: "+strings.Join(machine.Names(), ", "))
 	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
 	caches := flag.Bool("caches", false, "simulate the Table-6 instruction caches")
 	showOutput := flag.Bool("output", false, "print the program's output")
@@ -79,15 +81,12 @@ func main() {
 		}
 		req.Input = in
 	}
-	switch *machName {
-	case "68020", "68k":
-		req.Machine = machine.M68020
-	case "sparc", "SPARC":
-		req.Machine = machine.SPARC
-	default:
-		fmt.Fprintf(os.Stderr, "ease: unknown machine %q\n", *machName)
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ease:", err)
 		os.Exit(2)
 	}
+	req.Machine = m
 	lv, err := pipeline.ParseLevel(*levelName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ease:", err)

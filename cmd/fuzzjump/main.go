@@ -1,6 +1,6 @@
 // Command fuzzjump runs offline differential-fuzzing campaigns against the
 // SIMPLE/LOOPS/JUMPS pipeline: it generates seeded mini-C programs, checks
-// each one with the internal/difftest oracle on both simulated machines,
+// each one with the internal/difftest oracle on every registered machine,
 // and reports every violation. Unlike the 60-second `go test -fuzz` smoke
 // in CI, fuzzjump is built for long unattended runs: it parallelizes across
 // workers, persists failing programs (and their minimized forms) to a
@@ -38,7 +38,8 @@ func main() {
 	duration := flag.Duration("duration", 0, "run until this much time has passed (0 = use -count)")
 	count := flag.Int64("count", 200, "number of seeds to check when -duration is 0")
 	seed := flag.Int64("seed", 1, "first seed of the campaign")
-	machines := flag.String("machines", "68020,sparc", "comma-separated target machines")
+	machines := flag.String("machines", strings.Join(machine.Names(), ","),
+		"comma-separated target machines")
 	levels := flag.String("levels", "simple,loops,jumps", "comma-separated optimization levels")
 	workers := flag.Int("j", 4, "parallel workers")
 	corpus := flag.String("corpus", "", "directory to write failing programs to (<seed>.c, <seed>.min.c)")
@@ -215,15 +216,14 @@ func main() {
 func parseMachines(s string) ([]*machine.Machine, error) {
 	var ms []*machine.Machine
 	for _, name := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(name)) {
-		case "68020", "68k":
-			ms = append(ms, machine.M68020)
-		case "sparc":
-			ms = append(ms, machine.SPARC)
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown machine %q (want 68020 or sparc)", name)
+		if strings.TrimSpace(name) == "" {
+			continue
 		}
+		m, err := machine.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
 	}
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("no machines selected")

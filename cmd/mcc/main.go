@@ -5,6 +5,7 @@
 //	mcc -machine sparc -level jumps prog.c
 //	mcc -dump-naive prog.c            # show the front end's raw RTLs
 //	mcc -S prog.c                     # emit target assembly syntax
+//	mcc -listing -machine x86 prog.c  # encoded listing: offsets, sizes, short/near forms
 //	mcc -dot prog.c | dot -Tsvg ...   # flow graph in Graphviz form
 //	mcc -run -in input.txt prog.c     # also execute and report counts
 //	mcc -trace t.jsonl -stats prog.c  # telemetry: pass spans + decisions
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
@@ -27,10 +29,12 @@ import (
 )
 
 func main() {
-	machName := flag.String("machine", "68020", "target machine: 68020 or sparc")
+	machName := flag.String("machine", "68020",
+		"target machine: "+strings.Join(machine.Names(), ", "))
 	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
 	dumpNaive := flag.Bool("dump-naive", false, "print the unoptimized RTLs and exit")
 	emitAsm := flag.Bool("S", false, "emit target assembly syntax instead of RTLs")
+	emitListing := flag.Bool("listing", false, "emit an encoded assembly listing (byte offsets and sizes from internal/encode)")
 	emitDot := flag.Bool("dot", false, "emit the flow graph in Graphviz dot form")
 	run := flag.Bool("run", false, "execute the optimized program")
 	inFile := flag.String("in", "", "input file for -run (default: empty input)")
@@ -61,14 +65,9 @@ func main() {
 		fmt.Print(prog)
 		return
 	}
-	var m *machine.Machine
-	switch *machName {
-	case "68020", "68k":
-		m = machine.M68020
-	case "sparc", "SPARC":
-		m = machine.SPARC
-	default:
-		fmt.Fprintf(os.Stderr, "mcc: unknown machine %q\n", *machName)
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcc:", err)
 		os.Exit(2)
 	}
 	lv, err := pipeline.ParseLevel(*levelName)
@@ -137,6 +136,11 @@ func main() {
 		os.Exit(1)
 	}
 	switch {
+	case *emitListing:
+		if err := asm.EmitListing(os.Stdout, prog, m); err != nil {
+			fmt.Fprintln(os.Stderr, "mcc:", err)
+			os.Exit(1)
+		}
 	case *emitAsm:
 		if err := asm.Emit(os.Stdout, prog, m); err != nil {
 			fmt.Fprintln(os.Stderr, "mcc:", err)

@@ -1,10 +1,12 @@
 // Package asm renders optimized RTL programs in the assembly syntax of the
-// simulated target machines — Motorola syntax for the 68020 and SPARC
-// syntax for the RISC. It is a pretty-printer for inspection and teaching,
-// not an encoder: each RTL prints as one instruction line, mirroring the
-// one-RTL-one-instruction accounting of the measurements (real 68020
-// three-address cases would need an extra move; these print in a
-// three-address pseudo form and are marked with a trailing comment).
+// simulated target machines — Motorola syntax for the 68020, SPARC syntax
+// for the RISC, Intel syntax for the x86. It is a pretty-printer for
+// inspection and teaching, not an encoder: each RTL prints as one
+// instruction line, mirroring the one-RTL-one-instruction accounting of
+// the measurements (real 68020/x86 three-address cases would need an extra
+// move; these print in a three-address pseudo form and are marked with a
+// trailing comment). EmitListing additionally prefixes every line with the
+// byte offset and encoded size from internal/encode's layout fixpoint.
 package asm
 
 import (
@@ -13,17 +15,35 @@ import (
 	"strings"
 
 	"repro/internal/cfg"
+	"repro/internal/encode"
 	"repro/internal/machine"
 	"repro/internal/rtl"
 )
 
+// emitters is the per-machine syntax registry, keyed by canonical machine
+// name. Dispatching by name instead of by the LoadStore property means a
+// machine the package does not know is an explicit error, never a silently
+// wrong syntax.
+var emitters = map[string]emitter{
+	machine.M68020.Name: m68kEmitter{},
+	machine.SPARC.Name:  sparcEmitter{},
+	machine.X86.Name:    x86Emitter{},
+}
+
+// emitterFor resolves the machine's emitter from the registry.
+func emitterFor(m *machine.Machine) (emitter, error) {
+	e, ok := emitters[m.Name]
+	if !ok {
+		return nil, fmt.Errorf("asm: no emitter registered for machine %q", m.Name)
+	}
+	return e, nil
+}
+
 // Emit writes the whole program in the machine's assembly syntax.
 func Emit(w io.Writer, p *cfg.Program, m *machine.Machine) error {
-	var e emitter
-	if m.LoadStore {
-		e = sparcEmitter{}
-	} else {
-		e = m68kEmitter{}
+	e, err := emitterFor(m)
+	if err != nil {
+		return err
 	}
 	for _, g := range p.Globals {
 		fmt.Fprintf(w, "\t.data %s, %d cells\n", g.Name, g.Size)
@@ -42,6 +62,52 @@ func Emit(w io.Writer, p *cfg.Program, m *machine.Machine) error {
 		}
 	}
 	return nil
+}
+
+// EmitListing writes the program as an encoded listing: every instruction
+// line is prefixed with its program-relative byte offset and encoded size
+// from internal/encode's layout. On machines with an Encoder the variable
+// jumps carry their fixpoint-assigned form as a trailing comment
+// ("; short" / "; near"); other machines list their flat InstSize sums.
+func EmitListing(w io.Writer, p *cfg.Program, m *machine.Machine) error {
+	e, err := emitterFor(m)
+	if err != nil {
+		return err
+	}
+	ep := encode.LayoutProgram(p, m)
+	for _, g := range p.Globals {
+		fmt.Fprintf(w, "\t.data %s, %d cells\n", g.Name, g.Size)
+	}
+	for fi, f := range p.Funcs {
+		ef := ep.Funcs[fi]
+		base := ep.FuncBase[fi]
+		fmt.Fprintf(w, "\n%06x %s:\n", base, f.Name)
+		for bi, b := range f.Blocks {
+			fmt.Fprintf(w, "%06x %s:\n", base+ef.BlockOff[bi], localLabel(f, b.Label))
+			for ii := range b.Insts {
+				line, err := e.inst(f, &b.Insts[ii])
+				if err != nil {
+					return fmt.Errorf("asm: %s: %v", f.Name, err)
+				}
+				switch ef.Form[bi][ii] {
+				case encode.FormShort, encode.FormNear:
+					line += " ; " + ef.Form[bi][ii].String()
+				}
+				fmt.Fprintf(w, "%06x %2d\t%s\n", base+ef.Off[bi][ii], ef.Size[bi][ii], line)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n; %s: %d code bytes\n", m.Name, ep.CodeBytes)
+	return nil
+}
+
+// EmitListingString is EmitListing into a string, for tests and tools.
+func EmitListingString(p *cfg.Program, m *machine.Machine) (string, error) {
+	var b strings.Builder
+	if err := EmitListing(&b, p, m); err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // localLabel namespaces block labels per function.

@@ -72,6 +72,75 @@ func TestEmitSPARC(t *testing.T) {
 	}
 }
 
+func TestEmitX86(t *testing.T) {
+	out := compileFor(t, machine.X86)
+	for _, want := range []string{
+		"call twice", "leave; ret", "cmp ", "mov ",
+		"main:", "twice:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("x86 asm misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "%o0") {
+		t.Error("SPARC register leaked into x86 output")
+	}
+	if strings.Contains(out, "(a6)") {
+		t.Error("68020 addressing leaked into x86 output")
+	}
+}
+
+func TestEmitListingX86(t *testing.T) {
+	prog, err := mcc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline.Optimize(prog, pipeline.Config{Machine: machine.X86, Level: pipeline.Jumps})
+	out, err := asm.EmitListingString(prog, machine.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "; short") && !strings.Contains(out, "; near") {
+		t.Errorf("x86 listing has no fixpoint form annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "code bytes") {
+		t.Errorf("x86 listing misses the code-bytes trailer:\n%s", out)
+	}
+	// Byte-for-byte determinism: a second emission of a fresh compile of
+	// the same source must be identical.
+	prog2, err := mcc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline.Optimize(prog2, pipeline.Config{Machine: machine.X86, Level: pipeline.Jumps})
+	out2, err := asm.EmitListingString(prog2, machine.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != out2 {
+		t.Error("x86 encoded listing is not deterministic across compiles")
+	}
+}
+
+func TestEmitListingAllMachines(t *testing.T) {
+	// Encoder-less machines list flat InstSize sums; the listing must
+	// still be offset-consistent and render every instruction.
+	for _, m := range machine.All() {
+		prog, err := mcc.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: pipeline.Jumps})
+		out, err := asm.EmitListingString(prog, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if !strings.Contains(out, "code bytes") {
+			t.Errorf("%s listing misses the code-bytes trailer", m.Name)
+		}
+	}
+}
+
 func TestEmitAnnulledBranch(t *testing.T) {
 	// A counted loop on SPARC typically ends with an annulled backward
 	// branch after delay-slot filling.
@@ -83,10 +152,10 @@ func TestEmitAnnulledBranch(t *testing.T) {
 
 func TestEmitEveryTable3Program(t *testing.T) {
 	// The emitter must handle every instruction shape the full pipeline
-	// can produce on either machine.
+	// can produce on any registered machine.
 	progs := []string{"cal", "compact", "grep", "quicksort", "mincost"}
 	for _, name := range progs {
-		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+		for _, m := range machine.All() {
 			for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Jumps} {
 				p := benchSource(t, name)
 				prog, err := mcc.Compile(p)

@@ -1,0 +1,128 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// --- x86 (Intel syntax) ---
+
+type x86Emitter struct{}
+
+// x86Reg maps the generic registers onto the 32-bit x86 file: eax holds
+// return values, ebp/esp are the frame and stack pointers, and the five
+// allocatable registers land on ebx, ecx, edx, esi, edi.
+func x86Reg(r rtl.Reg) string {
+	switch r {
+	case rtl.FP:
+		return "ebp"
+	case rtl.SP:
+		return "esp"
+	case rtl.RV:
+		return "eax"
+	}
+	names := []string{"ebx", "ecx", "edx", "esi", "edi"}
+	n := int(r - rtl.FirstAlloc)
+	if n < len(names) {
+		return names[n]
+	}
+	return fmt.Sprintf("r%d?", n)
+}
+
+func x86Operand(o rtl.Operand) string {
+	switch o.Kind {
+	case rtl.OReg:
+		return x86Reg(o.Reg)
+	case rtl.OImm:
+		return fmt.Sprint(o.Val)
+	case rtl.OLocal:
+		return fmt.Sprintf("dword [ebp%+d]", o.Val)
+	case rtl.OGlobal:
+		if o.Val == 0 {
+			return fmt.Sprintf("dword [%s]", o.Sym)
+		}
+		return fmt.Sprintf("dword [%s+%d]", o.Sym, o.Val)
+	case rtl.OMem:
+		switch {
+		case o.Index != rtl.RegNone:
+			s := fmt.Sprintf("%s+%s*%d", x86Reg(o.Reg), x86Reg(o.Index), o.Scale)
+			if o.Val != 0 {
+				s += fmt.Sprintf("%+d", o.Val)
+			}
+			return "dword [" + s + "]"
+		case o.Val == 0:
+			return fmt.Sprintf("dword [%s]", x86Reg(o.Reg))
+		default:
+			return fmt.Sprintf("dword [%s%+d]", x86Reg(o.Reg), o.Val)
+		}
+	case rtl.OAddrLocal:
+		return fmt.Sprintf("lea<ebp%+d>", o.Val)
+	case rtl.OAddrGlobal:
+		if o.Val == 0 {
+			return "offset " + o.Sym
+		}
+		return fmt.Sprintf("offset %s+%d", o.Sym, o.Val)
+	}
+	return "?"
+}
+
+var x86BinOps = map[rtl.BinOp]string{
+	rtl.Add: "add", rtl.Sub: "sub", rtl.Mul: "imul", rtl.Div: "idiv",
+	rtl.Mod: "irem", rtl.And: "and", rtl.Or: "or", rtl.Xor: "xor",
+	rtl.Shl: "sal", rtl.Shr: "sar",
+}
+
+var x86Branches = map[rtl.Rel]string{
+	rtl.Eq: "je", rtl.Ne: "jne", rtl.Lt: "jl",
+	rtl.Le: "jle", rtl.Gt: "jg", rtl.Ge: "jge",
+}
+
+func (x86Emitter) inst(f *cfg.Func, in *rtl.Inst) (string, error) {
+	switch in.Kind {
+	case rtl.Move:
+		return fmt.Sprintf("mov %s, %s", x86Operand(in.Dst), x86Operand(in.Src)), nil
+	case rtl.Bin:
+		op := x86BinOps[in.BOp]
+		if in.Dst.Equal(in.Src) {
+			return fmt.Sprintf("%s %s, %s", op, x86Operand(in.Dst), x86Operand(in.Src2)), nil
+		}
+		if in.BOp.Commutative() && in.Dst.Equal(in.Src2) {
+			return fmt.Sprintf("%s %s, %s", op, x86Operand(in.Dst), x86Operand(in.Src)), nil
+		}
+		// Three-address pseudo form; the real encoding needs a move first
+		// (and idiv/irem would go through eax:edx).
+		return fmt.Sprintf("%s %s, %s, %s ; pseudo 3-addr", op,
+			x86Operand(in.Dst), x86Operand(in.Src), x86Operand(in.Src2)), nil
+	case rtl.Un:
+		op := "neg"
+		if in.UOp == rtl.Not {
+			op = "not"
+		}
+		if in.Dst.Equal(in.Src) {
+			return fmt.Sprintf("%s %s", op, x86Operand(in.Dst)), nil
+		}
+		return fmt.Sprintf("%s %s, %s ; pseudo 2-addr", op, x86Operand(in.Dst), x86Operand(in.Src)), nil
+	case rtl.Cmp:
+		return fmt.Sprintf("cmp %s, %s", x86Operand(in.Src), x86Operand(in.Src2)), nil
+	case rtl.Br:
+		return fmt.Sprintf("%s %s", x86Branches[in.BrRel], localLabel(f, in.Target)), nil
+	case rtl.Jmp:
+		return "jmp " + localLabel(f, in.Target), nil
+	case rtl.IJmp:
+		return fmt.Sprintf("jmp dword [.%s_tbl+%s*4]", f.Name, x86Operand(in.Src)), nil
+	case rtl.Arg:
+		return "push " + x86Operand(in.Src), nil
+	case rtl.Call:
+		return "call " + in.Sym, nil
+	case rtl.Ret:
+		if in.Src.Kind != rtl.ONone {
+			return fmt.Sprintf("mov eax, %s; leave; ret", x86Operand(in.Src)), nil
+		}
+		return "leave; ret", nil
+	case rtl.Nop:
+		return "nop", nil
+	}
+	return "", fmt.Errorf("unknown instruction kind %v", in.Kind)
+}

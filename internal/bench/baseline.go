@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/difftest"
+	"repro/internal/encode"
 	"repro/internal/machine"
 	"repro/internal/mcc"
 	"repro/internal/pipeline"
@@ -16,8 +17,9 @@ import (
 )
 
 // BaselineSchema is the schema version written into BENCH_baseline.json;
-// bump it when the shape of Baseline changes incompatibly.
-const BaselineSchema = 1
+// bump it when the shape of Baseline changes incompatibly. Schema 2 added
+// the Encoded section (per machine×level suite code bytes and jump forms).
+const BaselineSchema = 2
 
 // DefaultStressStates is the standard size of the synthetic stress
 // function (difftest.GenerateStress) used by the committed baseline: large
@@ -46,6 +48,26 @@ type Baseline struct {
 	// compiles — the headline number of the on-demand engine (≥3 is the
 	// acceptance floor; see docs/PERFORMANCE.md for measured values).
 	StressSpeedup float64 `json:"stress_speedup"`
+	// Encoded holds the encoded code size of the whole Table-3 suite for
+	// every machine × level cell, with the displacement fixpoint's jump
+	// form split. Unlike the timing sections these numbers are
+	// deterministic (pure layout, no clocks), so CI can compare them
+	// exactly.
+	Encoded []EncodedResult `json:"encoded"`
+}
+
+// EncodedResult reports the encoded layout of the whole Table-3 suite on
+// one machine at one level.
+type EncodedResult struct {
+	// Machine and Level name the cell.
+	Machine string `json:"machine"`
+	Level   string `json:"level"`
+	// CodeBytes is the summed encoded size of every suite program.
+	CodeBytes int64 `json:"code_bytes"`
+	// ShortJumps and NearJumps count the variable jumps by the form the
+	// fixpoint assigned (both zero on machines without an Encoder).
+	ShortJumps int `json:"short_jumps"`
+	NearJumps  int `json:"near_jumps"`
 }
 
 // SuiteResult reports compiling the whole Table-3 suite at one level.
@@ -149,6 +171,34 @@ func StressCompileBench(engine replicate.PathEngine, states int) func(b *testing
 	}
 }
 
+// MeasureEncoded lays out the whole Table-3 suite on every registered
+// machine at every level and returns the per-cell encoded sizes in
+// canonical (machine × level) order. Deterministic: same sources, same
+// bytes, on any host.
+func MeasureEncoded() ([]EncodedResult, error) {
+	var out []EncodedResult
+	for _, m := range machine.All() {
+		for _, lv := range pipeline.AllLevels() {
+			er := EncodedResult{Machine: m.Name, Level: lv.String()}
+			for _, p := range Programs() {
+				prog, err := mcc.Compile(p.Source)
+				if err != nil {
+					return nil, fmt.Errorf("bench: compile %s: %w", p.Name, err)
+				}
+				pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: lv})
+				ep := encode.LayoutProgram(prog, m)
+				er.CodeBytes += ep.CodeBytes
+				for _, ef := range ep.Funcs {
+					er.ShortJumps += ef.Short
+					er.NearJumps += ef.Near
+				}
+			}
+			out = append(out, er)
+		}
+	}
+	return out, nil
+}
+
 // RunBaseline measures the full baseline: the Table-3 suite compile at
 // every pipeline level plus the stress compile with both path engines.
 // states sizes the stress function (0 = DefaultStressStates). Progress
@@ -201,6 +251,12 @@ func RunBaseline(states int, progress io.Writer) (*Baseline, error) {
 		})
 	}
 	bl.StressSpeedup = float64(byEngine[replicate.EngineMatrix]) / float64(byEngine[replicate.EngineOracle])
+
+	logf("encoded layout of the suite on %d machines...", len(machine.All()))
+	bl.Encoded, err = MeasureEncoded()
+	if err != nil {
+		return nil, err
+	}
 	return bl, nil
 }
 
@@ -263,6 +319,30 @@ func (bl *Baseline) Validate() error {
 	}
 	if bl.StressSpeedup <= 0 {
 		return fmt.Errorf("non-positive stress speedup")
+	}
+	cells := map[string]EncodedResult{}
+	for _, e := range bl.Encoded {
+		if e.CodeBytes <= 0 {
+			return fmt.Errorf("encoded %s/%s: non-positive code bytes", e.Machine, e.Level)
+		}
+		if e.ShortJumps < 0 || e.NearJumps < 0 {
+			return fmt.Errorf("encoded %s/%s: negative jump counts", e.Machine, e.Level)
+		}
+		cells[e.Machine+"/"+e.Level] = e
+	}
+	for _, m := range machine.All() {
+		for _, lv := range pipeline.AllLevels() {
+			e, ok := cells[m.Name+"/"+lv.String()]
+			if !ok {
+				return fmt.Errorf("encoded section is missing cell %s/%s", m.Name, lv)
+			}
+			if m.Encoder != nil && e.ShortJumps+e.NearJumps == 0 {
+				return fmt.Errorf("encoded %s/%s: no variable jumps on an encoder machine", m.Name, lv)
+			}
+			if m.Encoder == nil && e.ShortJumps+e.NearJumps != 0 {
+				return fmt.Errorf("encoded %s/%s: variable jumps on an encoder-less machine", m.Name, lv)
+			}
+		}
 	}
 	return nil
 }

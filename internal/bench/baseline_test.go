@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/machine"
 	"repro/internal/mcc"
+	"repro/internal/pipeline"
 )
 
 // testBaseline returns a structurally valid baseline for serialization
@@ -25,7 +27,24 @@ func testBaseline() *Baseline {
 			{Engine: "matrix", States: 300, RTLs: 4000, NsPerOp: 8000, RTLsPerSec: 5e8},
 		},
 		StressSpeedup: 8,
+		Encoded:       testEncoded(),
 	}
+}
+
+// testEncoded returns a structurally valid encoded section covering the
+// whole machine × level registry grid.
+func testEncoded() []EncodedResult {
+	var out []EncodedResult
+	for _, m := range machine.All() {
+		for _, lv := range pipeline.AllLevels() {
+			er := EncodedResult{Machine: m.Name, Level: lv.String(), CodeBytes: 1000}
+			if m.Encoder != nil {
+				er.ShortJumps, er.NearJumps = 40, 2
+			}
+			out = append(out, er)
+		}
+	}
+	return out
 }
 
 func TestBaselineRoundTrip(t *testing.T) {
@@ -60,6 +79,14 @@ func TestBaselineValidateRejects(t *testing.T) {
 		"zero states":     func(b *Baseline) { b.Stress[0].States = 0 },
 		"zero speedup":    func(b *Baseline) { b.StressSpeedup = 0 },
 		"negative rtls/s": func(b *Baseline) { b.Suite[1].RTLsPerSec = -1 },
+		"no encoded":      func(b *Baseline) { b.Encoded = nil },
+		"missing cell":    func(b *Baseline) { b.Encoded = b.Encoded[1:] },
+		"zero code bytes": func(b *Baseline) { b.Encoded[0].CodeBytes = 0 },
+		"no x86 jumps": func(b *Baseline) {
+			for i := range b.Encoded {
+				b.Encoded[i].ShortJumps, b.Encoded[i].NearJumps = 0, 0
+			}
+		},
 	}
 	for name, mutate := range cases {
 		bl := testBaseline()

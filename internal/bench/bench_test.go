@@ -50,7 +50,7 @@ func TestProgramsDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+		for _, m := range machine.All() {
 			for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
 				t.Run(fmt.Sprintf("%s/%s/%s", p.Name, m.Name, lv), func(t *testing.T) {
 					prog, err := mcc.Compile(p.Source)

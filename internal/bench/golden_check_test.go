@@ -13,9 +13,12 @@ import (
 )
 
 // TestGoldenOutputs pins every Table-3 program's exact output at the
-// highest optimization level on both machines against the recorded
-// digests: any behavioural drift in the front end, optimizer, replication
-// or VM shows up here first.
+// highest optimization level on every registered machine against the
+// recorded digests: any behavioural drift in the front end, optimizer,
+// replication or VM shows up here first. The digests are machine-
+// independent (program output only), so the same table covers the whole
+// registry — including the x86's jump-table lowering and small register
+// file.
 func TestGoldenOutputs(t *testing.T) {
 	for _, p := range bench.Programs() {
 		want, ok := goldenOutputs[p.Name]
@@ -23,7 +26,7 @@ func TestGoldenOutputs(t *testing.T) {
 			t.Errorf("%s: no golden digest recorded (REPRO_GEN_GOLDENS=1 regenerates)", p.Name)
 			continue
 		}
-		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+		for _, m := range machine.All() {
 			prog, err := mcc.Compile(p.Source)
 			if err != nil {
 				t.Fatalf("%s: %v", p.Name, err)

@@ -75,9 +75,10 @@ func TestRunGridProgressSerialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// 2 programs × 3 machines × 3 levels.
 	lines := bytes.Split(bytes.TrimRight(progress.Bytes(), "\n"), []byte("\n"))
-	if len(lines) != 12 {
-		t.Fatalf("progress lines = %d, want 12", len(lines))
+	if len(lines) != 18 {
+		t.Fatalf("progress lines = %d, want 18", len(lines))
 	}
 	for _, ln := range lines {
 		if !bytes.HasPrefix(ln, []byte("measured ")) {
@@ -101,8 +102,9 @@ func TestRunGridOnCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 6 {
-		t.Fatalf("OnCell calls = %d, want 6", n)
+	// One program across the full 3-machine × 3-level grid.
+	if n != 9 {
+		t.Fatalf("OnCell calls = %d, want 9", n)
 	}
 }
 

@@ -25,6 +25,7 @@ func fakeBaseline(ns int64) *Baseline {
 			NsPerOp: ns, RTLsPerSec: float64(500) * 1e9 / float64(ns),
 		})
 	}
+	bl.Encoded = testEncoded()
 	return bl
 }
 

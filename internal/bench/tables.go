@@ -75,8 +75,10 @@ func (r *Results) Get(prog, mach string, lv pipeline.Level) *Cell {
 // Levels in table order.
 var levels = []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps}
 
-// Machines in table order (the paper lists SPARC first in Table 5).
-var machines = []*machine.Machine{machine.SPARC, machine.M68020}
+// Machines in table order: the whole registry, which lists SPARC first to
+// match the paper's Table 5 and appends the machines the paper did not
+// measure (the x86) after the original pair.
+var machines = machine.All()
 
 // RunAll measures every (program × machine × level) cell. With caches true
 // the Table-6 cache bank is simulated as well (roughly 8× slower).
@@ -323,6 +325,39 @@ func (r *Results) BranchDistance(w io.Writer) {
 	}
 }
 
+// CodeSize renders the encoded-code-size table: per machine, the encoded
+// byte footprint of every program at SIMPLE and the percent change at LOOPS
+// and JUMPS. For machines with displacement-dependent jump encodings (the
+// x86) the bytes come from internal/encode's fixpoint — short forms where
+// they fit — so replication's size cost shows up in real bytes, not RTL
+// counts.
+func (r *Results) CodeSize(w io.Writer) {
+	fmt.Fprintln(w, "Encoded Code Size (bytes; LOOPS/JUMPS as change vs SIMPLE)")
+	for _, m := range machines {
+		fmt.Fprintf(w, "\n%s\n%-12s %10s %9s %9s\n", m.Name, "program", "SIMPLE", "LOOPS", "JUMPS")
+		var base []float64
+		var dl, dj []float64
+		for _, name := range programOrder {
+			cs := r.Get(name, m.Name, pipeline.Simple)
+			cl := r.Get(name, m.Name, pipeline.Loops)
+			cj := r.Get(name, m.Name, pipeline.Jumps)
+			if cs == nil || cl == nil || cj == nil {
+				continue
+			}
+			l := ease.PercentChange(cs.Run.CodeBytes, cl.Run.CodeBytes)
+			j := ease.PercentChange(cs.Run.CodeBytes, cj.Run.CodeBytes)
+			fmt.Fprintf(w, "%-12s %10d %+8.2f%% %+8.2f%%\n", name, cs.Run.CodeBytes, l, j)
+			base = append(base, float64(cs.Run.CodeBytes))
+			dl = append(dl, l)
+			dj = append(dj, j)
+		}
+		mb, _ := meanStd(base)
+		ml, _ := meanStd(dl)
+		mj, _ := meanStd(dj)
+		fmt.Fprintf(w, "%-12s %10.0f %+8.2f%% %+8.2f%%\n", "average", mb, ml, mj)
+	}
+}
+
 // Table3 renders the test-set listing.
 func Table3(w io.Writer) {
 	fmt.Fprintln(w, "Table 3: Test Set of C Programs")
@@ -352,5 +387,7 @@ func (r *Results) WriteAll(w io.Writer, withCaches bool) {
 		r.Table6(w)
 		fmt.Fprintln(w, strings.Repeat("-", 72))
 	}
+	r.CodeSize(w)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
 	r.BranchDistance(w)
 }

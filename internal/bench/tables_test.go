@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
 	"repro/internal/replicate"
 )
 
@@ -77,8 +79,8 @@ func TestTablesRenderEndToEnd(t *testing.T) {
 	if !strings.Contains(bd.String(), "no-ops eliminated") {
 		t.Errorf("branch distance misses the no-op summary:\n%s", bd.String())
 	}
-	// The grid must hold all 14 × 2 × 3 cells.
-	if len(res.Cells) != 14*2*3 {
-		t.Errorf("grid has %d cells, want 84", len(res.Cells))
+	// The grid must hold every program × machine × level cell.
+	if want := 14 * len(machine.All()) * len(pipeline.AllLevels()); len(res.Cells) != want {
+		t.Errorf("grid has %d cells, want %d", len(res.Cells), want)
 	}
 }

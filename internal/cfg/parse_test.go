@@ -28,7 +28,7 @@ func TestParseRoundTripCompiled(t *testing.T) {
 		 }`,
 	}
 	for si, src := range srcs {
-		for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+		for _, m := range machine.All() {
 			for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Jumps} {
 				prog, err := mcc.Compile(src)
 				if err != nil {

@@ -15,7 +15,7 @@ func TestValidateAcceptsPipelineOutput(t *testing.T) {
 	src := `
 int f(int n) { int s, i; s = 0; for (i = 0; i < n; i++) s += i; return s; }
 int main() { printint(f(10)); return 0; }`
-	for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+	for _, m := range machine.All() {
 		for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
 			prog, err := mcc.Compile(src)
 			if err != nil {

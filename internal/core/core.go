@@ -20,13 +20,17 @@ import (
 	"repro/internal/vm"
 )
 
-// Re-exported machine models.
+// Re-exported machine models. machine.All and machine.ByName expose the
+// whole registry for callers that iterate or parse names.
 var (
 	// M68020 is the Motorola 68020-like CISC model.
 	M68020 = machine.M68020
 	// SPARC is the SPARC-like RISC model (delay slots, fixed-size
 	// instructions).
 	SPARC = machine.SPARC
+	// X86 is the x86-32-like CISC model (displacement-dependent short/near
+	// jump encodings via internal/encode).
+	X86 = machine.X86
 )
 
 // Optimization levels, re-exported from pipeline.

@@ -15,20 +15,22 @@ import (
 	"repro/internal/vm"
 )
 
-// TestOracleSmoke: generated programs pass the full oracle — both
-// machines, all three levels, structural and behavioural invariants.
+// TestOracleSmoke: generated programs pass the full oracle — every
+// registered machine, all three levels, structural and behavioural
+// invariants.
 func TestOracleSmoke(t *testing.T) {
 	seeds := int64(10)
 	if testing.Short() {
 		seeds = 3
 	}
+	wantCells := len(machine.All()) * len(pipeline.AllLevels())
 	for seed := int64(1); seed <= seeds; seed++ {
 		v := Check(Generate(seed), Options{Seed: seed, Input: []byte("fuzzjump!")})
 		if v.Skipped {
 			t.Fatalf("seed %d skipped: %s", seed, v.SkipReason)
 		}
-		if v.Cells != 6 {
-			t.Fatalf("seed %d: %d cells, want 6", seed, v.Cells)
+		if v.Cells != wantCells {
+			t.Fatalf("seed %d: %d cells, want %d", seed, v.Cells, wantCells)
 		}
 		for _, vi := range v.Violations {
 			t.Errorf("seed %d: %s", seed, vi)

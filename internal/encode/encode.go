@@ -1,0 +1,201 @@
+// Package encode assigns byte offsets and exact encoded sizes to every
+// instruction of a program, for machines whose direct jumps come in
+// displacement-dependent forms (the x86's 2-byte short rel8 vs 5/6-byte
+// near rel32 encodings).
+//
+// The core is a branch-displacement fixpoint in the style of Dickson's
+// linear-time x86 jump-encoding algorithm: every variable-length jump
+// starts in its short form, and a monotone worklist promotes a jump to the
+// near form whenever its displacement — measured from the end of the
+// short-form instruction to the target block — falls outside the short
+// range. Sizes only ever grow, so displacements between any jump and its
+// target only ever grow in magnitude; a promotion can never be undone and
+// the iteration terminates at the least fixed point, which is also the
+// minimum-size feasible assignment (the classic Szymanski result; the
+// package's property tests check it against brute force).
+//
+// Machines without an Encoder degenerate to flat InstSize prefix sums, so
+// vm.NewLayout routes every machine through LayoutProgram and the encoded
+// addresses feed the instruction-cache simulations unchanged.
+//
+// The package also hosts the jump-table lowering for long switch-chains
+// (see lower.go) and is documented with a worked example in
+// docs/MACHINES.md.
+package encode
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// Form is the encoding form the fixpoint assigned to an instruction.
+type Form uint8
+
+// Forms: fixed-size instructions, and the two jump encodings.
+const (
+	// FormFixed marks instructions whose size never depends on layout.
+	FormFixed Form = iota
+	// FormShort marks a variable jump in its short (rel8-style) form.
+	FormShort
+	// FormNear marks a variable jump promoted to the near (rel32) form.
+	FormNear
+)
+
+func (f Form) String() string {
+	switch f {
+	case FormShort:
+		return "short"
+	case FormNear:
+		return "near"
+	}
+	return "fixed"
+}
+
+// Func is the encoded layout of one function: per-instruction offsets
+// (relative to the function start), exact byte sizes, and the form the
+// fixpoint chose, plus convergence statistics for the monotonicity checks.
+type Func struct {
+	// Name is the function name.
+	Name string
+	// Off[bi][ii] is the function-relative byte offset of instruction ii
+	// of block bi; Size its encoded size, Form its chosen form.
+	Off  [][]int64
+	Size [][]int64
+	Form [][]Form
+	// BlockOff[bi] is the function-relative offset of block bi's start.
+	BlockOff []int64
+	// Bytes is the total encoded size of the function.
+	Bytes int64
+	// Passes counts fixpoint iterations until convergence (always ≥ 1;
+	// every pass but the last promotes at least one jump, so Passes is
+	// bounded by the variable-jump count plus one).
+	Passes int
+	// Promotions counts short→near promotions over the whole run.
+	Promotions int
+	// Short and Near count the variable jumps by final form.
+	Short, Near int
+}
+
+// varJump is one fixpoint work item: a variable-length jump, its position,
+// and its form pair.
+type varJump struct {
+	bi, ii int
+	target int // block index of the jump target
+	form   machine.JumpForm
+}
+
+// LayoutFunc computes the encoded layout of one function on m. For
+// machines without an Encoder every instruction is fixed-size and the
+// result is a plain InstSize prefix sum in one pass.
+func LayoutFunc(f *cfg.Func, m *machine.Machine) *Func {
+	ef := &Func{
+		Name:     f.Name,
+		Off:      make([][]int64, len(f.Blocks)),
+		Size:     make([][]int64, len(f.Blocks)),
+		Form:     make([][]Form, len(f.Blocks)),
+		BlockOff: make([]int64, len(f.Blocks)),
+	}
+	blockIdx := make(map[rtl.Label]int, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		blockIdx[b.Label] = bi
+		ef.Off[bi] = make([]int64, len(b.Insts))
+		ef.Size[bi] = make([]int64, len(b.Insts))
+		ef.Form[bi] = make([]Form, len(b.Insts))
+	}
+
+	// Seed: fixed sizes from the machine model, variable jumps short.
+	var vars []varJump
+	for bi, b := range f.Blocks {
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			if m.Encoder != nil {
+				if jf, ok := m.Encoder.Form(in.Kind); ok {
+					if ti, ok := blockIdx[in.Target]; ok {
+						vars = append(vars, varJump{bi: bi, ii: ii, target: ti, form: jf})
+						ef.Size[bi][ii] = jf.ShortBytes
+						ef.Form[bi][ii] = FormShort
+						continue
+					}
+				}
+			}
+			ef.Size[bi][ii] = m.InstSize(in)
+		}
+	}
+
+	// Monotone fixpoint: recompute offsets, promote every still-short jump
+	// whose displacement no longer fits, repeat until stable. Promotions
+	// only grow sizes, displacements only grow in magnitude, so no
+	// promotion is ever revisited and the loop runs at most len(vars)+1
+	// passes.
+	for {
+		ef.Passes++
+		off := int64(0)
+		for bi := range f.Blocks {
+			ef.BlockOff[bi] = off
+			for ii := range ef.Size[bi] {
+				ef.Off[bi][ii] = off
+				off += ef.Size[bi][ii]
+			}
+		}
+		ef.Bytes = off
+		changed := false
+		for i := range vars {
+			v := &vars[i]
+			if ef.Form[v.bi][v.ii] != FormShort {
+				continue
+			}
+			disp := ef.BlockOff[v.target] - (ef.Off[v.bi][v.ii] + v.form.ShortBytes)
+			if !v.form.Fits(disp) {
+				ef.Form[v.bi][v.ii] = FormNear
+				ef.Size[v.bi][v.ii] = v.form.NearBytes
+				ef.Promotions++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range vars {
+		if ef.Form[vars[i].bi][vars[i].ii] == FormShort {
+			ef.Short++
+		} else {
+			ef.Near++
+		}
+	}
+	return ef
+}
+
+// Program is the encoded layout of a whole program: function layouts plus
+// program-relative base addresses (functions are aligned to the machine's
+// instruction alignment, matching the vm layout convention).
+type Program struct {
+	// Machine is the model the layout was computed for.
+	Machine *machine.Machine
+	// Funcs holds one layout per function, in program order.
+	Funcs []*Func
+	// FuncBase[fi] is the program-relative base address of function fi.
+	FuncBase []int64
+	// CodeBytes is the total code size in bytes.
+	CodeBytes int64
+}
+
+// LayoutProgram lays out every function of the program contiguously in
+// program order, running the displacement fixpoint per function (direct
+// jumps never cross functions; calls are fixed-size).
+func LayoutProgram(p *cfg.Program, m *machine.Machine) *Program {
+	ep := &Program{Machine: m}
+	addr := int64(0)
+	for _, f := range p.Funcs {
+		if rem := addr % m.Align; rem != 0 {
+			addr += m.Align - rem
+		}
+		ef := LayoutFunc(f, m)
+		ep.FuncBase = append(ep.FuncBase, addr)
+		ep.Funcs = append(ep.Funcs, ef)
+		addr += ef.Bytes
+	}
+	ep.CodeBytes = addr
+	return ep
+}

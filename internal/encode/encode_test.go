@@ -1,0 +1,241 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// buildSynthetic constructs a random small function out of 1-byte Nop
+// padding and direct jumps: the only instruction shapes the layout fixpoint
+// cares about. The verifier never sees these functions.
+func buildSynthetic(r *rand.Rand) *cfg.Func {
+	f := cfg.NewFunc("synth", 0)
+	nBlocks := 3 + r.Intn(6)
+	blocks := make([]*cfg.Block, nBlocks)
+	for i := range blocks {
+		blocks[i] = f.AppendBlock(f.NewLabel())
+	}
+	for _, b := range blocks {
+		for n := r.Intn(90); n > 0; n-- {
+			b.Insts = append(b.Insts, rtl.Inst{Kind: rtl.Nop})
+		}
+		target := blocks[r.Intn(nBlocks)].Label
+		switch r.Intn(3) {
+		case 0: // fallthrough
+		case 1:
+			b.Insts = append(b.Insts, rtl.Inst{Kind: rtl.Jmp, Target: target})
+		case 2:
+			b.Insts = append(b.Insts,
+				rtl.Inst{Kind: rtl.Cmp, Src: rtl.R(rtl.VRegBase), Src2: rtl.Imm(0)},
+				rtl.Inst{Kind: rtl.Br, BrRel: rtl.Eq, Target: target})
+		}
+	}
+	return f
+}
+
+// bruteForceMin enumerates every short/near assignment of the function's
+// variable jumps and returns the minimum total byte size over the feasible
+// ones (a short jump is feasible iff its displacement fits the short range).
+func bruteForceMin(t *testing.T, f *cfg.Func, m *machine.Machine) int64 {
+	t.Helper()
+	blockIdx := make(map[rtl.Label]int, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		blockIdx[b.Label] = bi
+	}
+	var vars []varJump
+	fixed := make([][]int64, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		fixed[bi] = make([]int64, len(b.Insts))
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			if jf, ok := m.Encoder.Form(in.Kind); ok {
+				if ti, ok := blockIdx[in.Target]; ok {
+					vars = append(vars, varJump{bi: bi, ii: ii, target: ti, form: jf})
+					continue
+				}
+			}
+			fixed[bi][ii] = m.InstSize(in)
+		}
+	}
+	if len(vars) > 14 {
+		t.Fatalf("synthetic function has %d variable jumps; brute force capped at 14", len(vars))
+	}
+	best := int64(-1)
+	for mask := 0; mask < 1<<len(vars); mask++ {
+		size := make([][]int64, len(fixed))
+		for bi := range fixed {
+			size[bi] = append([]int64(nil), fixed[bi]...)
+		}
+		for vi, v := range vars {
+			if mask&(1<<vi) != 0 {
+				size[v.bi][v.ii] = v.form.NearBytes
+			} else {
+				size[v.bi][v.ii] = v.form.ShortBytes
+			}
+		}
+		off := make([][]int64, len(size))
+		blockOff := make([]int64, len(size))
+		total := int64(0)
+		for bi := range size {
+			blockOff[bi] = total
+			off[bi] = make([]int64, len(size[bi]))
+			for ii, sz := range size[bi] {
+				off[bi][ii] = total
+				total += sz
+			}
+		}
+		feasible := true
+		for vi, v := range vars {
+			if mask&(1<<vi) != 0 {
+				continue
+			}
+			disp := blockOff[v.target] - (off[v.bi][v.ii] + v.form.ShortBytes)
+			if !v.form.Fits(disp) {
+				feasible = false
+				break
+			}
+		}
+		if feasible && (best < 0 || total < best) {
+			best = total
+		}
+	}
+	if best < 0 {
+		t.Fatal("no feasible assignment (all-near is always feasible; bug in brute force)")
+	}
+	return best
+}
+
+// TestFixpointOptimalBruteForce checks the Szymanski property on randomly
+// generated small functions: the fixpoint's total byte size equals the
+// minimum over every feasible short/near assignment.
+func TestFixpointOptimalBruteForce(t *testing.T) {
+	m := machine.X86
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		f := buildSynthetic(r)
+		ef := LayoutFunc(f, m)
+		want := bruteForceMin(t, f, m)
+		if ef.Bytes != want {
+			t.Errorf("seed %d: fixpoint %d bytes, brute-force optimum %d", seed, ef.Bytes, want)
+		}
+	}
+}
+
+// padBlock returns a block holding n one-byte Nops.
+func padBlock(f *cfg.Func, n int) *cfg.Block {
+	b := f.AppendBlock(f.NewLabel())
+	for ; n > 0; n-- {
+		b.Insts = append(b.Insts, rtl.Inst{Kind: rtl.Nop})
+	}
+	return b
+}
+
+// TestFixpointBoundary pins the exact rel8 boundary: a forward jump over
+// 127 padding bytes stays short (disp = +127), over 128 it must go near.
+func TestFixpointBoundary(t *testing.T) {
+	m := machine.X86
+	for _, tc := range []struct {
+		pad  int
+		form Form
+	}{
+		{126, FormShort}, {127, FormShort}, {128, FormNear},
+	} {
+		f := cfg.NewFunc("b", 0)
+		head := f.AppendBlock(f.NewLabel())
+		padBlock(f, tc.pad)
+		tail := f.AppendBlock(f.NewLabel())
+		tail.Insts = append(tail.Insts, rtl.Inst{Kind: rtl.Ret})
+		head.Insts = append(head.Insts, rtl.Inst{Kind: rtl.Jmp, Target: tail.Label})
+		ef := LayoutFunc(f, m)
+		if got := ef.Form[0][0]; got != tc.form {
+			t.Errorf("pad %d: jump form %s, want %s", tc.pad, got, tc.form)
+		}
+	}
+}
+
+// TestFixpointBackwardBoundary pins the backward rel8 boundary: the
+// displacement is measured from the end of the 2-byte short form, so a
+// backward jump reaching 126 padding bytes back (disp = -128) still fits
+// and one byte more does not.
+func TestFixpointBackwardBoundary(t *testing.T) {
+	m := machine.X86
+	for _, tc := range []struct {
+		pad  int
+		form Form
+	}{
+		{126, FormShort}, {127, FormNear},
+	} {
+		f := cfg.NewFunc("b", 0)
+		target := f.AppendBlock(f.NewLabel())
+		target.Insts = append(target.Insts, rtl.Inst{Kind: rtl.Nop})
+		padBlock(f, tc.pad-1)
+		jb := f.AppendBlock(f.NewLabel())
+		jb.Insts = append(jb.Insts, rtl.Inst{Kind: rtl.Jmp, Target: target.Label})
+		ef := LayoutFunc(f, m)
+		if got := ef.Form[2][0]; got != tc.form {
+			t.Errorf("pad %d: backward jump form %s, want %s", tc.pad, got, tc.form)
+		}
+	}
+}
+
+// TestCascadePromotion builds a genuine cascade: j1 fits short while j2 is
+// short, but j2 must go near on its own displacement, and the 3 bytes it
+// gains push j1 over the rel8 limit too. The fixpoint needs one pass per
+// promotion plus a final quiescent pass — exactly the vars+1 bound.
+func TestCascadePromotion(t *testing.T) {
+	m := machine.X86
+	f := cfg.NewFunc("c", 0)
+	j1 := f.AppendBlock(f.NewLabel())
+	padBlock(f, 118)
+	j2 := f.AppendBlock(f.NewLabel())
+	padBlock(f, 6)
+	t1 := f.AppendBlock(f.NewLabel())
+	t1.Insts = append(t1.Insts, rtl.Inst{Kind: rtl.Nop})
+	padBlock(f, 130)
+	t2 := f.AppendBlock(f.NewLabel())
+	t2.Insts = append(t2.Insts, rtl.Inst{Kind: rtl.Ret})
+	// All-short layout: j1@0, j2@120, t1@128, t2@259.
+	// j1 → t1: disp 126, fits. j2 → t2: disp 137, promote (pass 1).
+	// j2 near: t1 moves to 131, j1's disp becomes 129, promote (pass 2).
+	j1.Insts = append(j1.Insts, rtl.Inst{Kind: rtl.Jmp, Target: t1.Label})
+	j2.Insts = append(j2.Insts, rtl.Inst{Kind: rtl.Jmp, Target: t2.Label})
+	ef := LayoutFunc(f, m)
+	if ef.Promotions != 2 || ef.Near != 2 || ef.Short != 0 {
+		t.Errorf("promotions=%d near=%d short=%d, want 2/2/0", ef.Promotions, ef.Near, ef.Short)
+	}
+	if ef.Passes != 3 {
+		t.Errorf("fixpoint took %d passes, want 3 (promote, cascade, quiesce)", ef.Passes)
+	}
+	if ef.Form[0][0] != FormNear || ef.Form[2][0] != FormNear {
+		t.Errorf("forms %s/%s, want near/near", ef.Form[0][0], ef.Form[2][0])
+	}
+}
+
+// TestLayoutProgramEncoderless checks the degenerate path: machines without
+// an Encoder must lay out as plain InstSize prefix sums.
+func TestLayoutProgramEncoderless(t *testing.T) {
+	for _, m := range machine.All() {
+		if m.Encoder != nil {
+			continue
+		}
+		f := cfg.NewFunc("g", 0)
+		b := f.AppendBlock(f.NewLabel())
+		b.Insts = append(b.Insts,
+			rtl.Inst{Kind: rtl.Jmp, Target: b.Label},
+		)
+		ef := LayoutFunc(f, m)
+		if ef.Short != 0 || ef.Near != 0 {
+			t.Errorf("%s: encoder-less machine reported variable jumps", m.Name)
+		}
+		if ef.Passes != 1 {
+			t.Errorf("%s: encoder-less layout took %d passes, want 1", m.Name, ef.Passes)
+		}
+		if want := m.InstSize(&b.Insts[0]); ef.Bytes != want {
+			t.Errorf("%s: %d bytes, want flat InstSize sum %d", m.Name, ef.Bytes, want)
+		}
+	}
+}

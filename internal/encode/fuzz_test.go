@@ -1,0 +1,128 @@
+package encode_test
+
+import (
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/encode"
+	"repro/internal/machine"
+	"repro/internal/mcc"
+	"repro/internal/pipeline"
+)
+
+// TestFixpointFuzzedCFGs runs the layout fixpoint over 200 generated
+// programs at the highest optimization level and checks the invariants the
+// algorithm's termination and optimality arguments rest on: convergence
+// within vars+1 passes, offset/size consistency, every short jump in range,
+// and every near jump still out of short range at the final layout (sizes
+// only grow, so a jump that failed the short test once can never fit again
+// — if one did, a promotion was wrong).
+func TestFixpointFuzzedCFGs(t *testing.T) {
+	m := machine.X86
+	for seed := int64(0); seed < 200; seed++ {
+		src := difftest.Generate(seed)
+		prog, err := mcc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: pipeline.Jumps})
+		for _, f := range prog.Funcs {
+			ef := encode.LayoutFunc(f, m)
+			vars := ef.Short + ef.Near
+			if ef.Passes > vars+1 {
+				t.Errorf("seed %d %s: %d passes for %d variable jumps (non-monotone?)",
+					seed, f.Name, ef.Passes, vars)
+			}
+			if ef.Promotions != ef.Near {
+				t.Errorf("seed %d %s: %d promotions but %d near jumps (oscillation)",
+					seed, f.Name, ef.Promotions, ef.Near)
+			}
+			checkLayoutConsistent(t, seed, f.Name, ef, m)
+
+			// Determinism: a second run over the same function must agree
+			// byte for byte.
+			ef2 := encode.LayoutFunc(f, m)
+			if ef2.Bytes != ef.Bytes || ef2.Passes != ef.Passes || ef2.Near != ef.Near {
+				t.Errorf("seed %d %s: second layout differs (%d/%d bytes)",
+					seed, f.Name, ef.Bytes, ef2.Bytes)
+			}
+		}
+	}
+}
+
+// checkLayoutConsistent re-derives the prefix sums and the displacement
+// conditions from the final sizes and compares them against the layout.
+func checkLayoutConsistent(t *testing.T, seed int64, name string, ef *encode.Func, m *machine.Machine) {
+	t.Helper()
+	off := int64(0)
+	for bi := range ef.Off {
+		if ef.BlockOff[bi] != off {
+			t.Errorf("seed %d %s: block %d offset %d, want %d", seed, name, bi, ef.BlockOff[bi], off)
+			return
+		}
+		for ii := range ef.Off[bi] {
+			if ef.Off[bi][ii] != off {
+				t.Errorf("seed %d %s: inst %d/%d offset %d, want %d",
+					seed, name, bi, ii, ef.Off[bi][ii], off)
+				return
+			}
+			off += ef.Size[bi][ii]
+		}
+	}
+	if ef.Bytes != off {
+		t.Errorf("seed %d %s: total %d bytes, prefix sum %d", seed, name, ef.Bytes, off)
+	}
+}
+
+// TestFixpointShortJumpsFit walks every final-form jump of the fuzz corpus
+// and verifies the assigned form against the final displacements: short
+// jumps fit, near jumps would not have fit short.
+func TestFixpointShortJumpsFit(t *testing.T) {
+	m := machine.X86
+	for seed := int64(0); seed < 50; seed++ {
+		prog, err := mcc.Compile(difftest.Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pipeline.Optimize(prog, pipeline.Config{Machine: m, Level: pipeline.Jumps})
+		for _, f := range prog.Funcs {
+			ef := encode.LayoutFunc(f, m)
+			blockIdx := make(map[int32]int, len(f.Blocks))
+			for bi, b := range f.Blocks {
+				blockIdx[int32(b.Label)] = bi
+			}
+			for bi, b := range f.Blocks {
+				for ii := range b.Insts {
+					form := ef.Form[bi][ii]
+					if form == encode.FormFixed {
+						continue
+					}
+					jf, ok := m.Encoder.Form(b.Insts[ii].Kind)
+					if !ok {
+						t.Fatalf("seed %d %s: variable form on non-jump", seed, f.Name)
+					}
+					ti := blockIdx[int32(b.Insts[ii].Target)]
+					disp := ef.BlockOff[ti] - (ef.Off[bi][ii] + jf.ShortBytes)
+					switch form {
+					case encode.FormShort:
+						if !jf.Fits(disp) {
+							t.Errorf("seed %d %s: short jump at %d/%d has out-of-range disp %d",
+								seed, f.Name, bi, ii, disp)
+						}
+						if ef.Size[bi][ii] != jf.ShortBytes {
+							t.Errorf("seed %d %s: short jump sized %d", seed, f.Name, ef.Size[bi][ii])
+						}
+					case encode.FormNear:
+						if jf.Fits(disp) {
+							t.Errorf("seed %d %s: near jump at %d/%d would fit short (disp %d) — not minimal",
+								seed, f.Name, bi, ii, disp)
+						}
+						if ef.Size[bi][ii] != jf.NearBytes {
+							t.Errorf("seed %d %s: near jump sized %d", seed, f.Name, ef.Size[bi][ii])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package encode
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// Lowering thresholds, mirroring the front end's dense-switch heuristic
+// (internal/mcc): a table needs at least minTableCases tested keys, the
+// key span must stay within densityFactor times the case count (holes
+// dispatch to the default), and very wide tables are rejected outright.
+const (
+	minTableCases = 4
+	densityFactor = 3
+	maxTableSpan  = 512
+)
+
+// chainLink is one matched compare block: it tests the selector against
+// one constant and branches to that key's case label.
+type chainLink struct {
+	bi     int // block index
+	val    int64
+	target rtl.Label
+}
+
+// LowerJumpTables rewrites long equality compare chains — the shape sparse
+// switches and if-else-if ladders compile to — into a two-sided bounds
+// check plus an indirect jump through a dense table:
+//
+//	head: cmp sel, #lo;  br lt default
+//	      cmp sel, #hi;  br gt default
+//	      ijmp sel, lo, [case_lo .. case_hi]   (holes → default)
+//
+// It runs in the pipeline's finish stage for machines with an Encoder
+// (before register allocation, so the selector is still a virtual
+// register), and only fires when every interior chain block has the chain
+// as its single predecessor — a mid-chain entry tests a key suffix, which
+// a table cannot express. Interior blocks are removed; the case labels and
+// the default keep their blocks. Reports whether anything changed.
+func LowerJumpTables(f *cfg.Func, m *machine.Machine) bool {
+	if m.Encoder == nil {
+		return false
+	}
+	changed := false
+	// Re-derive predecessor counts after every rewrite: removing a chain
+	// changes the edges the next match depends on.
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		if lowerChainAt(f, bi) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// predCounts counts predecessors per block label (fallthrough included).
+func predCounts(f *cfg.Func) map[rtl.Label]int {
+	preds := make(map[rtl.Label]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		t := b.Term()
+		switch {
+		case t == nil:
+			if ft := f.FallThrough(b); ft != nil {
+				preds[ft.Label]++
+			}
+		case t.Kind == rtl.Jmp:
+			preds[t.Target]++
+		case t.Kind == rtl.Br:
+			preds[t.Target]++
+			if ft := f.FallThrough(b); ft != nil {
+				preds[ft.Label]++
+			}
+		case t.Kind == rtl.IJmp:
+			for _, l := range t.Table {
+				preds[l]++
+			}
+		}
+	}
+	return preds
+}
+
+// matchLink matches one compare-chain block — exactly [cmp sel,#k; br eq L]
+// with an optional trailing jmp — and returns the selector, key, case
+// target and the next block index in the chain (-1 when the block does not
+// match or the chain leaves the function's block order).
+func matchLink(f *cfg.Func, bi int) (sel rtl.Operand, val int64, target rtl.Label, next int, ok bool) {
+	b := f.Blocks[bi]
+	n := len(b.Insts)
+	if n != 2 && n != 3 {
+		return
+	}
+	cmp, br := &b.Insts[0], &b.Insts[1]
+	if cmp.Kind != rtl.Cmp || cmp.Src.Kind != rtl.OReg || cmp.Src2.Kind != rtl.OImm {
+		return
+	}
+	if br.Kind != rtl.Br || br.BrRel != rtl.Eq {
+		return
+	}
+	var nb *cfg.Block
+	if n == 3 {
+		if b.Insts[2].Kind != rtl.Jmp {
+			return
+		}
+		nb = f.BlockByLabel(b.Insts[2].Target)
+	} else {
+		nb = f.FallThrough(b)
+	}
+	if nb == nil {
+		return
+	}
+	return cmp.Src, cmp.Src2.Val, br.Target, nb.Index, true
+}
+
+// lowerChainAt matches and rewrites the compare chain starting at block
+// bi; reports whether it rewrote anything.
+func lowerChainAt(f *cfg.Func, bi int) bool {
+	sel, val, target, next, ok := matchLink(f, bi)
+	if !ok {
+		return false
+	}
+	preds := predCounts(f)
+	links := []chainLink{{bi: bi, val: val, target: target}}
+	seen := map[int64]bool{val: true}
+	defBlock := next
+	for {
+		s2, v2, t2, n2, ok := matchLink(f, defBlock)
+		if !ok || !s2.Equal(sel) || seen[v2] || preds[f.Blocks[defBlock].Label] != 1 {
+			break
+		}
+		links = append(links, chainLink{bi: defBlock, val: v2, target: t2})
+		seen[v2] = true
+		defBlock = n2
+	}
+	if len(links) < minTableCases {
+		return false
+	}
+	lo, hi := links[0].val, links[0].val
+	for _, l := range links {
+		if l.val < lo {
+			lo = l.val
+		}
+		if l.val > hi {
+			hi = l.val
+		}
+	}
+	span := hi - lo + 1
+	if span > densityFactor*int64(len(links)) || span > maxTableSpan {
+		return false
+	}
+	// No case label or the default may be an interior chain block: the
+	// rewrite deletes those blocks.
+	interior := make(map[rtl.Label]bool, len(links)-1)
+	for _, l := range links[1:] {
+		interior[f.Blocks[l.bi].Label] = true
+	}
+	def := f.Blocks[defBlock].Label
+	if interior[def] {
+		return false
+	}
+	for _, l := range links {
+		if interior[l.target] {
+			return false
+		}
+	}
+
+	table := make([]rtl.Label, span)
+	for i := range table {
+		table[i] = def
+	}
+	for _, l := range links {
+		table[l.val-lo] = l.target
+	}
+
+	// Rewrite the head in place, splice the bounds check and the table
+	// dispatch right after it (pure fallthrough between the three), and
+	// drop the interior links.
+	head := f.Blocks[bi]
+	head.Insts = []rtl.Inst{
+		{Kind: rtl.Cmp, Src: sel, Src2: rtl.Imm(lo)},
+		{Kind: rtl.Br, BrRel: rtl.Lt, Target: def},
+	}
+	bHi := &cfg.Block{Label: f.NewLabel(), Insts: []rtl.Inst{
+		{Kind: rtl.Cmp, Src: sel, Src2: rtl.Imm(hi)},
+		{Kind: rtl.Br, BrRel: rtl.Gt, Target: def},
+	}}
+	bTbl := &cfg.Block{Label: f.NewLabel(), Insts: []rtl.Inst{
+		{Kind: rtl.IJmp, Src: sel, Lo: lo, Table: table},
+	}}
+	f.InsertBlocksAfter(bi, bHi, bTbl)
+	f.RemoveBlocks(interior)
+	return true
+}

@@ -1,0 +1,165 @@
+package encode
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// buildChain constructs a compare chain testing sel against the given keys,
+// each dispatching to its own case block, falling through to a default
+// block. Layout: chain blocks, default, then the case blocks.
+func buildChain(keys []int64) (*cfg.Func, rtl.Operand) {
+	f := cfg.NewFunc("chain", 0)
+	sel := rtl.R(f.NewVReg())
+	caseLabels := make([]rtl.Label, len(keys))
+	for i := range keys {
+		caseLabels[i] = f.NewLabel()
+	}
+	defLabel := f.NewLabel()
+	for i, k := range keys {
+		b := f.AppendBlock(f.NewLabel())
+		b.Insts = []rtl.Inst{
+			{Kind: rtl.Cmp, Src: sel, Src2: rtl.Imm(k)},
+			{Kind: rtl.Br, BrRel: rtl.Eq, Target: caseLabels[i]},
+		}
+	}
+	db := f.AppendBlock(defLabel)
+	db.Insts = []rtl.Inst{{Kind: rtl.Ret}}
+	for i := range keys {
+		cb := f.AppendBlock(caseLabels[i])
+		cb.Insts = []rtl.Inst{
+			{Kind: rtl.Move, Dst: sel, Src: rtl.Imm(int64(i))},
+			{Kind: rtl.Jmp, Target: defLabel},
+		}
+	}
+	return f, sel
+}
+
+func TestLowerDenseChain(t *testing.T) {
+	keys := []int64{10, 11, 13, 14, 15}
+	f, sel := buildChain(keys)
+	if !LowerJumpTables(f, machine.X86) {
+		t.Fatal("dense 5-key chain not lowered")
+	}
+	// Head rewritten to the low-bound check.
+	head := f.Blocks[0]
+	if len(head.Insts) != 2 || head.Insts[0].Kind != rtl.Cmp || head.Insts[0].Src2.Val != 10 ||
+		head.Insts[1].Kind != rtl.Br || head.Insts[1].BrRel != rtl.Lt {
+		t.Fatalf("head is not the low-bound check: %v", head.Insts)
+	}
+	hi := f.Blocks[1]
+	if len(hi.Insts) != 2 || hi.Insts[0].Src2.Val != 15 || hi.Insts[1].BrRel != rtl.Gt {
+		t.Fatalf("second block is not the high-bound check: %v", hi.Insts)
+	}
+	tbl := f.Blocks[2]
+	ij := tbl.Insts[0]
+	if len(tbl.Insts) != 1 || ij.Kind != rtl.IJmp || !ij.Src.Equal(sel) || ij.Lo != 10 {
+		t.Fatalf("third block is not the table dispatch: %v", tbl.Insts)
+	}
+	if len(ij.Table) != 6 {
+		t.Fatalf("table spans %d entries, want 6", len(ij.Table))
+	}
+	// The hole at key 12 must dispatch to the default.
+	def := head.Insts[1].Target
+	if ij.Table[2] != def {
+		t.Errorf("hole entry dispatches to %v, want default %v", ij.Table[2], def)
+	}
+	// Interior chain blocks are gone: head + 2 new + default + 5 cases.
+	if len(f.Blocks) != 9 {
+		t.Errorf("%d blocks after lowering, want 9", len(f.Blocks))
+	}
+	// Indices must be fresh after the splice.
+	for i, b := range f.Blocks {
+		if b.Index != i {
+			t.Errorf("block %d carries stale index %d", i, b.Index)
+		}
+	}
+}
+
+func TestLowerRejectsShortChain(t *testing.T) {
+	f, _ := buildChain([]int64{1, 2, 3})
+	if LowerJumpTables(f, machine.X86) {
+		t.Error("3-key chain lowered; minimum is 4")
+	}
+}
+
+func TestLowerRejectsSparseChain(t *testing.T) {
+	f, _ := buildChain([]int64{0, 100, 200, 300})
+	if LowerJumpTables(f, machine.X86) {
+		t.Error("span-301 chain lowered past the density bound")
+	}
+}
+
+func TestLowerCapsTableSpan(t *testing.T) {
+	// Dense enough for the density factor (span 518 ≤ 3·200) but over
+	// maxTableSpan. The full chain must not become one oversized table; a
+	// narrower suffix may still be lowered (it is semantically a smaller
+	// switch), so the invariant is a bound on every emitted table.
+	keys := make([]int64, 0, 200)
+	for i := int64(0); i < 200; i++ {
+		keys = append(keys, i*520/200)
+	}
+	seen := map[int64]bool{}
+	uniq := keys[:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, k)
+		}
+	}
+	f, _ := buildChain(uniq)
+	LowerJumpTables(f, machine.X86)
+	if head := f.Blocks[0]; head.Insts[0].Kind != rtl.Cmp || head.Insts[0].Src2.Val != uniq[0] {
+		t.Errorf("head of an over-wide chain was rewritten: %v", head.Insts)
+	}
+	for _, b := range f.Blocks {
+		if tm := b.Term(); tm != nil && tm.Kind == rtl.IJmp && int64(len(tm.Table)) > maxTableSpan {
+			t.Errorf("emitted table spans %d entries, cap is %d", len(tm.Table), maxTableSpan)
+		}
+	}
+}
+
+func TestLowerRejectsMidChainEntry(t *testing.T) {
+	// A second predecessor into an interior chain block means that block
+	// tests a key suffix; a table cannot express that entry point.
+	f, _ := buildChain([]int64{1, 2, 3, 4})
+	interior := f.Blocks[2].Label
+	extra := f.AppendBlock(f.NewLabel())
+	extra.Insts = []rtl.Inst{{Kind: rtl.Jmp, Target: interior}}
+	if LowerJumpTables(f, machine.X86) {
+		t.Error("chain with a mid-chain entry lowered")
+	}
+}
+
+func TestLowerRejectsEncoderless(t *testing.T) {
+	f, _ := buildChain([]int64{1, 2, 3, 4})
+	if LowerJumpTables(f, machine.SPARC) {
+		t.Error("lowering fired on a machine without an encoder")
+	}
+}
+
+func TestLowerDuplicateKeyStopsChain(t *testing.T) {
+	// A repeated key ends the collected chain at the first occurrence: a
+	// single table must never hold two tests of the same key. Here every
+	// duplicate-free run is shorter than the 4-link minimum, so nothing
+	// may be lowered at all.
+	f, _ := buildChain([]int64{5, 6, 5, 7})
+	if LowerJumpTables(f, machine.X86) {
+		t.Error("chain with duplicate key lowered")
+	}
+}
+
+func TestLowerMixedSelectorsStopChain(t *testing.T) {
+	f, sel := buildChain([]int64{1, 2, 3, 4})
+	// Retarget the third link's compare to a different register: the chain
+	// must break there and the 2-link prefix is too short to lower.
+	other := rtl.R(f.NewVReg())
+	f.Blocks[2].Insts[0].Src = other
+	_ = sel
+	if LowerJumpTables(f, machine.X86) {
+		t.Error("chain over two different selectors lowered")
+	}
+}

@@ -1,14 +1,21 @@
-// Package machine describes the two simulated target machines of the paper's
-// evaluation: a Motorola 68020-like CISC and a Sun SPARC-like RISC.
+// Package machine describes the simulated target machines of the
+// evaluation: a Motorola 68020-like CISC, a Sun SPARC-like RISC, and an
+// x86-flavored CISC whose direct jumps have displacement-dependent sizes.
 //
-// A machine description controls three things:
+// A machine description controls four things:
 //
 //  1. which RTL operand shapes are legal (CISC memory operands vs RISC
 //     load/store discipline) — enforced by Legalize and consulted by the
 //     instruction-selection pass before it combines instructions;
 //  2. instruction byte sizes, which drive the instruction-cache experiments;
 //  3. whether transfers of control have delay slots (filled by a late pass,
-//     with no-ops where nothing fits).
+//     with no-ops where nothing fits);
+//  4. for machines with an Encoder, the short/near jump forms that the
+//     internal/encode layout fixpoint assigns from actual displacements.
+//
+// Tools that enumerate or look up machines go through the registry
+// (All, ByName) instead of hard-coding the model set, so adding a machine
+// is a one-file change. See docs/MACHINES.md.
 package machine
 
 import "repro/internal/rtl"
@@ -30,6 +37,49 @@ type Machine struct {
 	MaxImm int64
 	// Align is the instruction alignment in bytes.
 	Align int64
+	// Encoder, when non-nil, declares displacement-dependent encodings for
+	// the machine's direct jumps (Br, Jmp). InstSize then returns the
+	// conservative near form — without a layout there is no displacement —
+	// while internal/encode's layout fixpoint assigns each jump its exact
+	// short or near form from the paper-style start-short iteration.
+	Encoder *Encoder
+	// size, when non-nil, replaces the default LoadStore-keyed size models
+	// (SPARC fixed-width, 68020 extension words) for this machine.
+	size func(m *Machine, in *rtl.Inst) int64
+}
+
+// JumpForm describes one variable-length jump encoding: ShortBytes when
+// the displacement — measured from the end of the short-form instruction
+// to the target — fits [ShortMin, ShortMax], NearBytes otherwise.
+type JumpForm struct {
+	ShortBytes int64
+	NearBytes  int64
+	ShortMin   int64
+	ShortMax   int64
+}
+
+// Fits reports whether displacement d is encodable in the short form.
+func (jf JumpForm) Fits(d int64) bool { return d >= jf.ShortMin && d <= jf.ShortMax }
+
+// Encoder declares the displacement-dependent jump encodings of a machine,
+// in the style of the x86's rel8/rel32 branch forms.
+type Encoder struct {
+	// Cond is the conditional-branch (Br) form pair.
+	Cond JumpForm
+	// Uncond is the direct unconditional-jump (Jmp) form pair.
+	Uncond JumpForm
+}
+
+// Form returns the form pair for an instruction kind, or ok=false when the
+// kind is not a variable-length direct jump.
+func (e *Encoder) Form(k rtl.Kind) (JumpForm, bool) {
+	switch k {
+	case rtl.Br:
+		return e.Cond, true
+	case rtl.Jmp:
+		return e.Uncond, true
+	}
+	return JumpForm{}, false
 }
 
 // M68020 models the Motorola 68020: memory operands allowed in ALU
@@ -54,6 +104,28 @@ var SPARC = &Machine{
 	Align:      4,
 }
 
+// X86 models a 32-bit x86: CISC operand shapes like the 68020 (it shares
+// the legalizer's CISC rules), no delay slots, byte-aligned variable-length
+// instructions, and — the reason it exists — direct jumps whose size
+// depends on their displacement: 2-byte short (rel8) vs 5/6-byte near
+// (rel32) forms, assigned by internal/encode's layout fixpoint. The small
+// register file (ebx, ecx, edx, esi, edi; eax/ebp/esp are the dedicated
+// RV/FP/SP) stresses the allocator's spilling far harder than the other
+// two machines.
+var X86 = &Machine{
+	Name:    "x86",
+	NumRegs: 5,
+	MaxImm:  0,
+	Align:   1,
+	Encoder: &Encoder{
+		// Jcc rel8 = 2 bytes; 0F 8x rel32 = 6 bytes.
+		Cond: JumpForm{ShortBytes: 2, NearBytes: 6, ShortMin: -128, ShortMax: 127},
+		// JMP rel8 (EB) = 2 bytes; JMP rel32 (E9) = 5 bytes.
+		Uncond: JumpForm{ShortBytes: 2, NearBytes: 5, ShortMin: -128, ShortMax: 127},
+	},
+	size: x86InstSize,
+}
+
 // operandExt returns the 68020 extension-word bytes an operand costs.
 func operandExt(o rtl.Operand) int64 {
 	switch o.Kind {
@@ -75,11 +147,95 @@ func operandExt(o rtl.Operand) int64 {
 	return 0
 }
 
+// x86OperandExt returns the modrm/SIB/displacement/immediate bytes an
+// operand costs beyond the base opcode+modrm of the instruction, in the
+// same deterministic-approximation spirit as the 68020 model: register
+// operands are free (encoded in modrm), byte-sized immediates and
+// displacements use the sign-extended 8-bit forms, everything else pays
+// the full 32 bits.
+func x86OperandExt(o rtl.Operand) int64 {
+	byteOr4 := func(v int64) int64 {
+		if v >= -128 && v <= 127 {
+			return 1
+		}
+		return 4
+	}
+	switch o.Kind {
+	case rtl.OImm:
+		return byteOr4(o.Val)
+	case rtl.OLocal, rtl.OAddrLocal:
+		return byteOr4(o.Val) // disp8(ebp) or disp32(ebp)
+	case rtl.OGlobal, rtl.OAddrGlobal:
+		return 4 // absolute disp32
+	case rtl.OMem:
+		n := int64(0)
+		if o.Index != rtl.RegNone {
+			n++ // SIB byte
+		}
+		if o.Val != 0 {
+			n += byteOr4(o.Val)
+		}
+		return n
+	}
+	return 0
+}
+
+// x86InstSize is the x86-32 size model: a 2-byte opcode+modrm base plus
+// per-operand extension bytes, with the fixed special forms (1-byte nop
+// and push reg, 5-byte call rel32, leave+ret epilogue) spelled out. Br and
+// Jmp report the conservative near form from the Encoder table — InstSize
+// has no layout, so no displacement; internal/encode assigns the exact
+// short/near split.
+func x86InstSize(m *Machine, in *rtl.Inst) int64 {
+	switch in.Kind {
+	case rtl.Nop:
+		return 1 // 90
+	case rtl.Ret:
+		return 2 // leave; ret — counted as one instruction, like the 68020's unlk+rts
+	case rtl.Br:
+		return m.Encoder.Cond.NearBytes
+	case rtl.Jmp:
+		return m.Encoder.Uncond.NearBytes
+	case rtl.IJmp:
+		return 7 // jmp [table+reg*4]: FF /4 + SIB + disp32; the table lives in rodata
+	case rtl.Call:
+		return 5 // E8 rel32
+	case rtl.Arg:
+		if in.Src.Kind == rtl.OReg {
+			return 1 // push r32
+		}
+		return 1 + x86OperandExt(in.Src) // push imm/m32
+	case rtl.Move:
+		return 2 + x86OperandExt(in.Dst) + x86OperandExt(in.Src)
+	case rtl.Bin:
+		sz := int64(2) + x86OperandExt(in.Dst) + x86OperandExt(in.Src2)
+		if !in.Src.Equal(in.Dst) {
+			sz += x86OperandExt(in.Src) // pseudo 3-addr needs the extra move
+		}
+		return sz
+	case rtl.Un:
+		sz := int64(2) + x86OperandExt(in.Dst)
+		if !in.Src.Equal(in.Dst) {
+			sz += x86OperandExt(in.Src)
+		}
+		return sz
+	case rtl.Cmp:
+		return 2 + x86OperandExt(in.Src) + x86OperandExt(in.Src2)
+	}
+	return 2
+}
+
 // InstSize returns the byte size of an instruction on the machine. On the
 // SPARC every instruction is 4 bytes. On the 68020 the size is a
 // deterministic approximation of the real encoding: a 2-byte opcode word
-// plus extension words per operand (see DESIGN.md §6).
+// plus extension words per operand (see DESIGN.md §6). Machines with their
+// own size model (the x86) dispatch to it; their variable-length jumps
+// report the conservative near form here, with the exact short/near
+// assignment computed by internal/encode from real displacements.
 func (m *Machine) InstSize(in *rtl.Inst) int64 {
+	if m.size != nil {
+		return m.size(m, in)
+	}
 	if m.LoadStore {
 		return 4
 	}

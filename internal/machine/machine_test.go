@@ -126,7 +126,7 @@ func TestLegalizeProducesLegalCode(t *testing.T) {
 		{Kind: rtl.Arg, ArgIdx: 0, Src: rtl.Local(0)},
 		{Kind: rtl.Ret, Src: rtl.Local(0)},
 	}
-	for _, m := range []*Machine{M68020, SPARC} {
+	for _, m := range All() {
 		f := legalizeAll(m, shapes...)
 		for _, b := range f.Blocks {
 			for ii := range b.Insts {

@@ -1,0 +1,47 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// all is the machine registry in canonical table order (the paper lists
+// SPARC first in Table 5; the x86 extension comes last).
+var all = []*Machine{SPARC, M68020, X86}
+
+// All returns the registered machines in canonical table order. Tools that
+// sweep the machine axis (bench grids, the difftest oracle, fuzz
+// campaigns, the daemon) range over this instead of hard-coding a model
+// list, so a new machine reaches every experiment from one place.
+func All() []*Machine {
+	// A copy: callers sort and slice their machine lists.
+	ms := make([]*Machine, len(all))
+	copy(ms, all)
+	return ms
+}
+
+// Names returns the canonical machine names in registry order.
+func Names() []string {
+	names := make([]string, len(all))
+	for i, m := range all {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ByName resolves a machine name or alias (case-insensitive) to its model.
+// Every tool that accepts a machine on a flag or wire field resolves it
+// here, so the alias set stays uniform and a new machine cannot silently
+// fall into a boolean-keyed default.
+func ByName(name string) (*Machine, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "68020", "68k", "m68020", "m68k":
+		return M68020, nil
+	case "sparc":
+		return SPARC, nil
+	case "x86", "i386", "386", "ia32":
+		return X86, nil
+	}
+	return nil, fmt.Errorf("machine: unknown machine %q (want %s)",
+		name, strings.Join(Names(), ", "))
+}

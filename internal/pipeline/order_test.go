@@ -29,7 +29,7 @@ int main() {
 	printint(s);
 	return 0;
 }`
-	for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+	for _, m := range machine.All() {
 		for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
 			prog, err := mcc.Compile(src)
 			if err != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/encode"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -341,6 +342,13 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 	// Safety: anything an optimization left in a machine-illegal shape is
 	// re-expanded (idempotent for already-legal code).
 	pr.run("legalize", func() bool { machine.Legalize(f, m); return false })
+
+	// Machines with displacement-dependent encodings (the x86): rewrite
+	// long equality compare chains into jump tables before register
+	// allocation, while the selector is still a virtual register.
+	if m.Encoder != nil {
+		pr.run("lower-jump-tables", func() bool { return encode.LowerJumpTables(f, m) })
+	}
 
 	// Register allocation by colouring, then final cleanups.
 	pr.run("regalloc", func() bool { opt.AllocateRegisters(f, m); return false })

@@ -221,7 +221,7 @@ func levels() []pipeline.Level {
 }
 
 func machines() []*machine.Machine {
-	return []*machine.Machine{machine.M68020, machine.SPARC}
+	return machine.All()
 }
 
 // TestDifferential checks that every optimization level on every machine

@@ -44,7 +44,7 @@ func compileFor(t *testing.T, src string) *cfg.Program {
 // TestVerifyEachCleanPipeline is the baseline: a healthy pipeline over a
 // real program reports no violations on either machine at any level.
 func TestVerifyEachCleanPipeline(t *testing.T) {
-	for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+	for _, m := range machine.All() {
 		for _, lv := range []Level{Simple, Loops, Jumps} {
 			st := Optimize(compileFor(t, verifyEachSrc), Config{
 				Machine: m, Level: lv, VerifyEach: true,

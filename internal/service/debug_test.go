@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/machine"
 	"repro/internal/obs"
 )
 
@@ -166,8 +167,10 @@ func TestGridTraceAndDebugEvents(t *testing.T) {
 	if pass == 0 {
 		t.Fatal("grid trace has no per-pass spans")
 	}
-	if !machines["68020"] || !machines["SPARC"] {
-		t.Fatalf("cell stamping missing machines: %v", machines)
+	for _, m := range machine.All() {
+		if !machines[m.Name] {
+			t.Fatalf("cell stamping missing machine %s: %v", m.Name, machines)
+		}
 	}
 
 	// Flight-recorder tail, filtered to this job.

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/machine"
+	"repro/internal/pipeline"
 )
 
 const tinySrc = `int main() { int i; int n; n = 0; for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) n = n + i; } return n; }`
@@ -223,7 +226,8 @@ func TestGridJobLifecycle(t *testing.T) {
 	if err := json.Unmarshal(data, &view); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if view.ID == "" || view.Total != 12 {
+	wantTotal := 2 * len(machine.All()) * len(pipeline.AllLevels())
+	if view.ID == "" || view.Total != wantTotal {
 		t.Fatalf("job view: %+v", view)
 	}
 	if loc := resp.Header.Get("Location"); loc != "/jobs/"+view.ID {
@@ -247,8 +251,8 @@ func TestGridJobLifecycle(t *testing.T) {
 	if view.State != JobDone {
 		t.Fatalf("job failed: %s", view.Error)
 	}
-	if view.Done != 12 {
-		t.Fatalf("done = %d, want 12", view.Done)
+	if view.Done != wantTotal {
+		t.Fatalf("done = %d, want %d", view.Done, wantTotal)
 	}
 	res, err := json.Marshal(view.Result)
 	if err != nil {
@@ -258,8 +262,8 @@ func TestGridJobLifecycle(t *testing.T) {
 	if err := json.Unmarshal(res, &grid); err != nil {
 		t.Fatalf("unmarshal result: %v", err)
 	}
-	if len(grid.Cells) != 12 {
-		t.Fatalf("cells = %d, want 12", len(grid.Cells))
+	if len(grid.Cells) != wantTotal {
+		t.Fatalf("cells = %d, want %d", len(grid.Cells), wantTotal)
 	}
 	if !strings.Contains(grid.Tables, "Table 4") {
 		t.Fatal("rendered tables missing from result")
@@ -343,7 +347,7 @@ func TestConcurrentCompileStress(t *testing.T) {
 		`int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); } int main() { return f(12); }`,
 		`int main() { int i; int s; s = 0; for (i = 0; i < 64; i = i + 1) { if (i % 3 == 0) continue; s = s + i; } return s % 251; }`,
 	}
-	machines := []string{"68020", "sparc"}
+	machines := []string{"68020", "sparc", "x86"}
 	levels := []string{"simple", "loops", "jumps"}
 	const goroutines = 16
 	errc := make(chan error, goroutines)

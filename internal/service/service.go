@@ -323,15 +323,17 @@ func (s *Service) checkOpen() error {
 	return nil
 }
 
-// resolveMachine maps a wire name to a machine model.
+// resolveMachine maps a wire name to a machine model via the registry
+// ("" = the paper's 68020 default).
 func resolveMachine(name string) (*machine.Machine, error) {
-	switch name {
-	case "", "68020", "68k":
+	if name == "" {
 		return machine.M68020, nil
-	case "sparc", "SPARC":
-		return machine.SPARC, nil
 	}
-	return nil, badRequestf("unknown machine %q (want 68020 or sparc)", name)
+	m, err := machine.ByName(name)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return m, nil
 }
 
 // resolveLevel maps a wire name to a pipeline level ("" = jumps).
@@ -395,7 +397,8 @@ func (b *keyBuilder) options(o ReplicationOptions) {
 type CompileRequest struct {
 	// Source is the mini-C translation unit.
 	Source string `json:"source"`
-	// Machine is "68020" (default) or "sparc".
+	// Machine is any registered machine name or alias — "68020" (default),
+	// "sparc", "x86", ... (see machine.Names).
 	Machine string `json:"machine,omitempty"`
 	// Level is "simple", "loops" or "jumps" (default).
 	Level       string             `json:"level,omitempty"`
@@ -459,6 +462,10 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		return nil, err
 	}
 	s.met.reqCompile.Inc()
+	// Canonicalize the machine name before the cache key is computed:
+	// aliases ("68k", "i386") and the "" default must hit the same entry
+	// as the canonical spelling.
+	req.Machine = m.Name
 
 	job := newJob("compile", 1)
 	tr, err := s.beginJob(job)
@@ -551,7 +558,8 @@ type MeasureRequest struct {
 	Source string `json:"source,omitempty"`
 	// Input overrides the program's standard input.
 	Input *string `json:"input,omitempty"`
-	// Machine is "68020" (default) or "sparc".
+	// Machine is any registered machine name or alias — "68020" (default),
+	// "sparc", "x86", ... (see machine.Names).
 	Machine string `json:"machine,omitempty"`
 	// Level is "simple", "loops" or "jumps" (default).
 	Level       string             `json:"level,omitempty"`
@@ -642,6 +650,9 @@ func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResu
 		return nil, err
 	}
 	s.met.reqMeasure.Inc()
+	// Same alias canonicalization as Compile, for the same cache-key
+	// reason.
+	req.Machine = m.Name
 
 	job := newJob("measure", 1)
 	tr, err := s.beginJob(job)
@@ -823,7 +834,7 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 	}
 	s.met.reqGrid.Inc()
 
-	job := newJob("grid", len(progs)*6) // 2 machines x 3 levels per program
+	job := newJob("grid", len(progs)*len(machine.All())*len(pipeline.AllLevels()))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/machine"
+	"repro/internal/pipeline"
 )
 
 // TestDeterministicAcrossConcurrency compiles the same source on a wide
@@ -54,8 +57,8 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("job state after drain = %q (%d/%d, err %q), want done",
 			got.State, got.Done, got.Total, got.Error)
 	}
-	if got.Done != 6 {
-		t.Fatalf("done = %d, want 6", got.Done)
+	if want := len(machine.All()) * len(pipeline.AllLevels()); got.Done != want {
+		t.Fatalf("done = %d, want %d", got.Done, want)
 	}
 }
 

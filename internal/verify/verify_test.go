@@ -273,7 +273,7 @@ int main() {
 	while (i > 0) { i--; putchar(48 + g[i] % 10); }
 	return 0;
 }`
-	for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+	for _, m := range machine.All() {
 		for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
 			prog, err := mcc.Compile(src)
 			if err != nil {

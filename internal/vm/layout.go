@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfg"
+	"repro/internal/encode"
 	"repro/internal/machine"
 )
 
@@ -28,32 +29,25 @@ type Layout struct {
 }
 
 // NewLayout lays the program out contiguously, function by function in
-// program order, blocks in positional order.
+// program order, blocks in positional order. Sizes and offsets come from
+// internal/encode: machines with an Encoder get exact short/near jump
+// sizes from the branch-displacement fixpoint, machines without one get
+// the same flat InstSize sums as before.
 func NewLayout(p *cfg.Program, m *machine.Machine) *Layout {
-	l := &Layout{Machine: m}
-	addr := int64(0)
-	align := m.Align
-	for _, f := range p.Funcs {
-		if rem := addr % align; rem != 0 {
-			addr += align - rem
-		}
-		l.FuncBase = append(l.FuncBase, addr)
-		fa := make([][]int64, len(f.Blocks))
-		fs := make([][]int64, len(f.Blocks))
-		for bi, b := range f.Blocks {
-			fa[bi] = make([]int64, len(b.Insts))
-			fs[bi] = make([]int64, len(b.Insts))
-			for ii := range b.Insts {
-				sz := m.InstSize(&b.Insts[ii])
-				fa[bi][ii] = addr
-				fs[bi][ii] = sz
-				addr += sz
+	ep := encode.LayoutProgram(p, m)
+	l := &Layout{Machine: m, FuncBase: ep.FuncBase, CodeBytes: ep.CodeBytes}
+	for fi, ef := range ep.Funcs {
+		base := ep.FuncBase[fi]
+		fa := make([][]int64, len(ef.Off))
+		for bi := range ef.Off {
+			fa[bi] = make([]int64, len(ef.Off[bi]))
+			for ii, off := range ef.Off[bi] {
+				fa[bi][ii] = base + off
 			}
 		}
 		l.Addr = append(l.Addr, fa)
-		l.Size = append(l.Size, fs)
+		l.Size = append(l.Size, ef.Size)
 	}
-	l.CodeBytes = addr
 	return l
 }
 

@@ -19,7 +19,7 @@ int main() { return f(41); }`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []*machine.Machine{machine.M68020, machine.SPARC} {
+	for _, m := range machine.All() {
 		l := vm.NewLayout(prog, m)
 		if l.CodeBytes <= 0 {
 			t.Fatalf("%s: empty layout", m.Name)
