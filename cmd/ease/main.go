@@ -45,7 +45,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the per-cell progress line on stderr")
 	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass; violations (attributed to the offending pass) abort with exit 1")
 	grid := flag.Bool("grid", false, "measure the full Table-3 grid and print the paper's tables")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel measurement workers for -grid")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel measurement workers for -grid; for a single measurement, per-function optimizer workers (output is identical for every value)")
 	flag.Parse()
 
 	if *grid {
@@ -53,7 +53,7 @@ func main() {
 		return
 	}
 
-	req := ease.Request{SimulateCaches: *caches, Profile: *profile, VerifyEach: *verifyEach}
+	req := ease.Request{SimulateCaches: *caches, Profile: *profile, VerifyEach: *verifyEach, Jobs: *jobs}
 	switch {
 	case *progName != "":
 		p := bench.ProgramByName(*progName)

@@ -18,8 +18,21 @@ import (
 
 // BaselineSchema is the schema version written into BENCH_baseline.json;
 // bump it when the shape of Baseline changes incompatibly. Schema 2 added
-// the Encoded section (per machine×level suite code bytes and jump forms).
-const BaselineSchema = 2
+// the Encoded section (per machine×level suite code bytes and jump forms);
+// schema 3 added the Floors section (per-level throughput and allocation
+// acceptance bounds enforced by the CI perf gate) and made the suite's
+// allocation measurements mandatory.
+const BaselineSchema = 3
+
+// Floor-derivation factors: the committed floor admits throughput down to
+// FloorThroughputFactor of the measured value and allocation counts up to
+// FloorAllocFactor of it. The wide throughput band absorbs hardware and
+// load variance between the machine that measured the baseline and the CI
+// runner; allocation counts are near-deterministic, so their band is tight.
+const (
+	FloorThroughputFactor = 0.40
+	FloorAllocFactor      = 1.15
+)
 
 // DefaultStressStates is the standard size of the synthetic stress
 // function (difftest.GenerateStress) used by the committed baseline: large
@@ -54,6 +67,36 @@ type Baseline struct {
 	// deterministic (pure layout, no clocks), so CI can compare them
 	// exactly.
 	Encoded []EncodedResult `json:"encoded"`
+	// Floors holds the perf-gate acceptance bounds per pipeline level,
+	// derived from the committed suite measurements (DeriveFloors). CI
+	// re-measures the suite and fails the build when a level's throughput
+	// drops below MinRTLsPerSec or its allocation count rises above
+	// MaxAllocsPerOp (cmd/bench -gate).
+	Floors []Floor `json:"floors"`
+}
+
+// Floor is one level's perf-gate acceptance bound.
+type Floor struct {
+	// Level is the pipeline level name ("SIMPLE", "LOOPS", "JUMPS").
+	Level string `json:"level"`
+	// MinRTLsPerSec is the lowest acceptable suite compile throughput.
+	MinRTLsPerSec float64 `json:"min_rtls_per_sec"`
+	// MaxAllocsPerOp is the highest acceptable allocation count per suite
+	// compile.
+	MaxAllocsPerOp int64 `json:"max_allocs_per_op"`
+}
+
+// DeriveFloors computes the perf-gate bounds from measured suite results.
+func DeriveFloors(suite []SuiteResult) []Floor {
+	floors := make([]Floor, 0, len(suite))
+	for _, s := range suite {
+		floors = append(floors, Floor{
+			Level:          s.Level,
+			MinRTLsPerSec:  s.RTLsPerSec * FloorThroughputFactor,
+			MaxAllocsPerOp: int64(float64(s.AllocsPerOp) * FloorAllocFactor),
+		})
+	}
+	return floors
 }
 
 // EncodedResult reports the encoded layout of the whole Table-3 suite on
@@ -212,23 +255,10 @@ func RunBaseline(states int, progress io.Writer) (*Baseline, error) {
 			fmt.Fprintf(progress, format+"\n", args...)
 		}
 	}
-	suiteRTLs, err := SuiteRTLs()
-	if err != nil {
-		return nil, err
-	}
 	bl := &Baseline{Schema: BaselineSchema, Machine: machine.M68020.Name}
-	for _, lv := range pipeline.AllLevels() {
-		logf("suite compile at %s...", lv)
-		r := testing.Benchmark(CompileSuiteBench(machine.M68020, lv))
-		ns := r.NsPerOp()
-		bl.Suite = append(bl.Suite, SuiteResult{
-			Level:       lv.String(),
-			NsPerOp:     ns,
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			RTLs:        suiteRTLs,
-			RTLsPerSec:  float64(suiteRTLs) * 1e9 / float64(ns),
-		})
+	var err error
+	if bl.Suite, err = RunSuite(progress); err != nil {
+		return nil, err
 	}
 
 	stressProg, err := mcc.Compile(StressSource(states))
@@ -257,7 +287,35 @@ func RunBaseline(states int, progress io.Writer) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	bl.Floors = DeriveFloors(bl.Suite)
 	return bl, nil
+}
+
+// RunSuite measures only the Table-3 suite compile benchmarks (the part of
+// the baseline the perf gate compares): much faster than RunBaseline since
+// the stress compiles and the 9-cell encoded layout are skipped.
+func RunSuite(progress io.Writer) ([]SuiteResult, error) {
+	suiteRTLs, err := SuiteRTLs()
+	if err != nil {
+		return nil, err
+	}
+	var out []SuiteResult
+	for _, lv := range pipeline.AllLevels() {
+		if progress != nil {
+			fmt.Fprintf(progress, "suite compile at %s...\n", lv)
+		}
+		r := testing.Benchmark(CompileSuiteBench(machine.M68020, lv))
+		ns := r.NsPerOp()
+		out = append(out, SuiteResult{
+			Level:       lv.String(),
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			RTLs:        suiteRTLs,
+			RTLsPerSec:  float64(suiteRTLs) * 1e9 / float64(ns),
+		})
+	}
+	return out, nil
 }
 
 // WriteJSON writes the baseline as indented JSON.
@@ -286,8 +344,10 @@ func LoadBaseline(path string) (*Baseline, error) {
 }
 
 // Validate checks the baseline's structural invariants: known schema, one
-// suite entry per pipeline level, both engines in the stress comparison,
-// and positive measurements throughout.
+// suite entry per pipeline level with every measurement populated
+// (including the allocation columns the perf gate relies on), both engines
+// in the stress comparison, the full encoded grid, and self-consistent
+// floors — the committed measurements must satisfy their own bounds.
 func (bl *Baseline) Validate() error {
 	if bl.Schema != BaselineSchema {
 		return fmt.Errorf("schema %d, want %d", bl.Schema, BaselineSchema)
@@ -295,16 +355,38 @@ func (bl *Baseline) Validate() error {
 	if bl.Machine == "" {
 		return fmt.Errorf("missing machine name")
 	}
-	levels := map[string]bool{}
+	levels := map[string]SuiteResult{}
 	for _, s := range bl.Suite {
 		if s.NsPerOp <= 0 || s.RTLs <= 0 || s.RTLsPerSec <= 0 {
 			return fmt.Errorf("suite level %q: non-positive measurement", s.Level)
 		}
-		levels[s.Level] = true
+		if s.AllocsPerOp <= 0 || s.BytesPerOp <= 0 {
+			return fmt.Errorf("suite level %q: missing allocation measurements", s.Level)
+		}
+		levels[s.Level] = s
 	}
 	for _, lv := range pipeline.AllLevels() {
-		if !levels[lv.String()] {
+		if _, ok := levels[lv.String()]; !ok {
 			return fmt.Errorf("suite is missing level %s", lv)
+		}
+	}
+	floors := map[string]bool{}
+	for _, fl := range bl.Floors {
+		s, ok := levels[fl.Level]
+		if !ok {
+			return fmt.Errorf("floor for unknown level %q", fl.Level)
+		}
+		if fl.MinRTLsPerSec <= 0 || fl.MaxAllocsPerOp <= 0 {
+			return fmt.Errorf("floor %s: non-positive bound", fl.Level)
+		}
+		if s.RTLsPerSec < fl.MinRTLsPerSec || s.AllocsPerOp > fl.MaxAllocsPerOp {
+			return fmt.Errorf("floor %s: committed measurement violates its own bound", fl.Level)
+		}
+		floors[fl.Level] = true
+	}
+	for _, lv := range pipeline.AllLevels() {
+		if !floors[lv.String()] {
+			return fmt.Errorf("floors section is missing level %s", lv)
 		}
 	}
 	engines := map[string]bool{}

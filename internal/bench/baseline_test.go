@@ -28,6 +28,11 @@ func testBaseline() *Baseline {
 		},
 		StressSpeedup: 8,
 		Encoded:       testEncoded(),
+		Floors: []Floor{
+			{Level: "SIMPLE", MinRTLsPerSec: 4e9, MaxAllocsPerOp: 6},
+			{Level: "LOOPS", MinRTLsPerSec: 3.6e9, MaxAllocsPerOp: 6},
+			{Level: "JUMPS", MinRTLsPerSec: 3.2e9, MaxAllocsPerOp: 6},
+		},
 	}
 }
 
@@ -87,6 +92,14 @@ func TestBaselineValidateRejects(t *testing.T) {
 				b.Encoded[i].ShortJumps, b.Encoded[i].NearJumps = 0, 0
 			}
 		},
+		"zero allocs":        func(b *Baseline) { b.Suite[0].AllocsPerOp = 0 },
+		"zero bytes":         func(b *Baseline) { b.Suite[2].BytesPerOp = 0 },
+		"no floors":          func(b *Baseline) { b.Floors = nil },
+		"missing floor":      func(b *Baseline) { b.Floors = b.Floors[1:] },
+		"zero floor":         func(b *Baseline) { b.Floors[0].MinRTLsPerSec = 0 },
+		"unknown floor":      func(b *Baseline) { b.Floors[0].Level = "TURBO" },
+		"inconsistent floor": func(b *Baseline) { b.Floors[1].MinRTLsPerSec = 1e12 },
+		"alloc floor broken": func(b *Baseline) { b.Floors[2].MaxAllocsPerOp = 1 },
 	}
 	for name, mutate := range cases {
 		bl := testBaseline()

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// GateRow is one pipeline level's perf-gate verdict: the committed
+// baseline's measurement and floor next to the freshly measured values.
+type GateRow struct {
+	Level string
+	// BaseRTLsPerSec / BaseAllocsPerOp are the committed measurements.
+	BaseRTLsPerSec  float64
+	BaseAllocsPerOp int64
+	// MinRTLsPerSec / MaxAllocsPerOp are the committed floors, widened by
+	// the gate's tolerance band.
+	MinRTLsPerSec  float64
+	MaxAllocsPerOp int64
+	// GotRTLsPerSec / GotAllocsPerOp are the fresh measurements.
+	GotRTLsPerSec  float64
+	GotAllocsPerOp int64
+	// ThroughputOK / AllocsOK are the two verdicts; Pass is their
+	// conjunction.
+	ThroughputOK bool
+	AllocsOK     bool
+	Pass         bool
+}
+
+// Gate compares fresh suite measurements against the baseline's committed
+// floors. tol widens the band: throughput may drop to (1-tol) of the floor
+// and allocations rise to (1+tol) of the cap before a level fails. Returns
+// one row per committed floor and an error naming every failing level (nil
+// when all pass).
+func (bl *Baseline) Gate(fresh []SuiteResult, tol float64) ([]GateRow, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("bench: negative gate tolerance %v", tol)
+	}
+	byLevel := map[string]SuiteResult{}
+	for _, s := range fresh {
+		byLevel[s.Level] = s
+	}
+	base := map[string]SuiteResult{}
+	for _, s := range bl.Suite {
+		base[s.Level] = s
+	}
+	var rows []GateRow
+	var failures []string
+	for _, fl := range bl.Floors {
+		got, ok := byLevel[fl.Level]
+		if !ok {
+			return nil, fmt.Errorf("bench: fresh measurements miss level %s", fl.Level)
+		}
+		row := GateRow{
+			Level:           fl.Level,
+			BaseRTLsPerSec:  base[fl.Level].RTLsPerSec,
+			BaseAllocsPerOp: base[fl.Level].AllocsPerOp,
+			MinRTLsPerSec:   fl.MinRTLsPerSec * (1 - tol),
+			MaxAllocsPerOp:  int64(float64(fl.MaxAllocsPerOp) * (1 + tol)),
+			GotRTLsPerSec:   got.RTLsPerSec,
+			GotAllocsPerOp:  got.AllocsPerOp,
+		}
+		row.ThroughputOK = row.GotRTLsPerSec >= row.MinRTLsPerSec
+		row.AllocsOK = row.GotAllocsPerOp <= row.MaxAllocsPerOp
+		row.Pass = row.ThroughputOK && row.AllocsOK
+		if !row.Pass {
+			failures = append(failures, fl.Level)
+		}
+		rows = append(rows, row)
+	}
+	if len(failures) > 0 {
+		return rows, fmt.Errorf("bench: perf gate failed for %v", failures)
+	}
+	return rows, nil
+}
+
+// mark renders one verdict as the summary table's pass/fail cell.
+func mark(ok bool) string {
+	if ok {
+		return "✅"
+	}
+	return "❌"
+}
+
+// WriteGateSummary renders the gate rows as a GitHub-flavored Markdown
+// delta table (the perf-gate job appends it to $GITHUB_STEP_SUMMARY).
+func WriteGateSummary(w io.Writer, rows []GateRow, tol float64) error {
+	if _, err := fmt.Fprintf(w, "### Perf gate (tolerance %.0f%%)\n\n", 100*tol); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| Level | RTLs/sec (base) | RTLs/sec (now) | Δ | floor | allocs/op (base) | allocs/op (now) | Δ | cap | verdict |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|---:|:---:|"); err != nil {
+		return err
+	}
+	pct := func(base, got float64) string {
+		if base == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(got-base)/base)
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %.0f | %.0f | %s | ≥%.0f %s | %d | %d | %s | ≤%d %s | %s |\n",
+			r.Level,
+			r.BaseRTLsPerSec, r.GotRTLsPerSec, pct(r.BaseRTLsPerSec, r.GotRTLsPerSec),
+			r.MinRTLsPerSec, mark(r.ThroughputOK),
+			r.BaseAllocsPerOp, r.GotAllocsPerOp, pct(float64(r.BaseAllocsPerOp), float64(r.GotAllocsPerOp)),
+			r.MaxAllocsPerOp, mark(r.AllocsOK),
+			mark(r.Pass)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

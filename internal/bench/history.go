@@ -72,8 +72,15 @@ func LoadHistory(path string) ([]HistoryRecord, error) {
 		if rec.Baseline == nil {
 			return nil, fmt.Errorf("bench: %s line %d: record has no baseline", path, line)
 		}
-		if err := rec.Baseline.Validate(); err != nil {
-			return nil, fmt.Errorf("bench: %s line %d: %w", path, line, err)
+		// Only current-schema records are validated strictly: a history
+		// file accumulated across CI runs legitimately carries records from
+		// before a schema bump, and those stay readable as-is.
+		if rec.Baseline.Schema == BaselineSchema {
+			if err := rec.Baseline.Validate(); err != nil {
+				return nil, fmt.Errorf("bench: %s line %d: %w", path, line, err)
+			}
+		} else if rec.Baseline.Schema <= 0 || rec.Baseline.Schema > BaselineSchema {
+			return nil, fmt.Errorf("bench: %s line %d: unknown schema %d", path, line, rec.Baseline.Schema)
 		}
 		out = append(out, rec)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,37 @@ func fakeBaseline(ns int64) *Baseline {
 		})
 	}
 	bl.Encoded = testEncoded()
+	bl.Floors = DeriveFloors(bl.Suite)
 	return bl
+}
+
+// TestHistoryToleratesLegacySchema: a history file accumulated across CI
+// runs carries records from before a schema bump; loading must keep them
+// without forcing them through the current schema's validation.
+func TestHistoryToleratesLegacySchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	legacy := fakeBaseline(100)
+	legacy.Schema = BaselineSchema - 1
+	legacy.Floors = nil // schema 2 had no floors section
+	// Written raw: AppendHistory itself (correctly) refuses non-current
+	// schemas.
+	line, err := json.Marshal(HistoryRecord{Time: time.Unix(0, 0).UTC(), Baseline: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, fakeBaseline(200), time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Baseline.Schema != BaselineSchema-1 {
+		t.Fatalf("legacy record lost: %d records", len(recs))
+	}
 }
 
 func TestHistoryAppendAndLoad(t *testing.T) {

@@ -1,0 +1,74 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// buildChainLoop builds a function with enough structure to exercise the
+// analysis arenas: a chain of conditional-branch blocks closed into a loop.
+func buildChainLoop(n int) *Func {
+	f := NewFunc("chain", 0)
+	blocks := make([]*Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	for i, b := range blocks {
+		b.Insts = []rtl.Inst{
+			{Kind: rtl.Cmp, Src: rtl.R(rtl.VRegBase), Src2: rtl.Imm(int64(i))},
+			{Kind: rtl.Br, BrRel: rtl.Eq, Target: blocks[(i+3)%n].Label},
+		}
+	}
+	blocks[n-1].Insts = []rtl.Inst{{Kind: rtl.Ret}}
+	return f
+}
+
+// TestAllocsComputeEdges pins the steady-state allocation cost of the
+// flow-graph analysis: once the function's scratch arena is warm, a
+// ComputeEdges/Release cycle must not allocate at all.
+func TestAllocsComputeEdges(t *testing.T) {
+	f := buildChainLoop(64)
+	ComputeEdges(f).Release() // warm the arena
+	got := testing.AllocsPerRun(200, func() {
+		ComputeEdges(f).Release()
+	})
+	if got != 0 {
+		t.Errorf("warm ComputeEdges cycle allocates %.0f times, want 0", got)
+	}
+}
+
+// TestAllocsComputeDominators pins the warm dominator analysis the same
+// way: the int32 buffers come from the arena, so a full cycle costs
+// exactly one allocation — the *Dominators descriptor.
+func TestAllocsComputeDominators(t *testing.T) {
+	f := buildChainLoop(64)
+	e := ComputeEdges(f)
+	ComputeDominators(e).Release() // warm the arena
+	got := testing.AllocsPerRun(200, func() {
+		ComputeDominators(e).Release()
+	})
+	e.Release()
+	if got > 1 {
+		t.Errorf("warm ComputeDominators cycle allocates %.0f times, want at most the descriptor (1)", got)
+	}
+}
+
+// TestAllocsScratchBuffers pins the arena primitives themselves: borrowing
+// and returning a word or int buffer of a size the freelist has seen is
+// free.
+func TestAllocsScratchBuffers(t *testing.T) {
+	f := NewFunc("s", 0)
+	scr := f.Scratch()
+	scr.PutWords(scr.Words(128))
+	scr.PutInts(scr.Ints(128))
+	got := testing.AllocsPerRun(200, func() {
+		w := scr.Words(128)
+		i := scr.Ints(128)
+		scr.PutInts(i)
+		scr.PutWords(w)
+	})
+	if got != 0 {
+		t.Errorf("warm Words/Ints cycle allocates %.0f times, want 0", got)
+	}
+}

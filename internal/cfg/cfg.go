@@ -60,6 +60,9 @@ type Func struct {
 	Blocks       []*Block
 	// nextLabel is the next unused label number.
 	nextLabel rtl.Label
+	// scratch holds reusable analysis buffers (see Scratch). Lazily
+	// created, never cloned: a cloned function starts with a cold arena.
+	scratch *Scratch
 }
 
 // NewFunc returns an empty function.
@@ -73,6 +76,17 @@ func (f *Func) NewLabel() rtl.Label {
 	f.nextLabel++
 	return l
 }
+
+// LabelMark returns the current fresh-label high-water mark: the label the
+// next NewLabel call would return. Pair with ResetLabels to undo
+// speculative label allocation.
+func (f *Func) LabelMark() rtl.Label { return f.nextLabel }
+
+// ResetLabels rewinds the fresh-label counter to a mark previously obtained
+// from LabelMark. The caller must have removed every block labeled at or
+// above the mark; the replication engine uses this to roll back a
+// speculative splice without cloning the whole function.
+func (f *Func) ResetLabels(mark rtl.Label) { f.nextLabel = mark }
 
 // NewVReg returns a fresh virtual register.
 func (f *Func) NewVReg() rtl.Reg {
@@ -167,6 +181,15 @@ func (f *Func) Clone() *Func {
 	}
 	nf.Renumber()
 	return nf
+}
+
+// Restore replaces f's contents with those of snapshot (a Clone taken
+// earlier), keeping f's scratch arena so analysis buffers survive the
+// rollback.
+func (f *Func) Restore(snapshot *Func) {
+	scr := f.scratch
+	*f = *snapshot
+	f.scratch = scr
 }
 
 // String renders the function as labeled RTL listing.

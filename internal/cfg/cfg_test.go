@@ -204,7 +204,7 @@ func TestNestedLoops(t *testing.T) {
 	if outer == nil || outer.Header != b1 {
 		t.Fatal("innermost loop of outer latch should be the outer loop")
 	}
-	if len(inner.Blocks) >= len(outer.Blocks) {
+	if inner.NumBlocks() >= outer.NumBlocks() {
 		t.Error("inner loop should be smaller than outer")
 	}
 }

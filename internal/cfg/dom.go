@@ -1,6 +1,6 @@
 package cfg
 
-import "sort"
+import "math/bits"
 
 // Dominators holds the dominator tree of a function, computed with the
 // Cooper–Harvey–Kennedy algorithm ("A Simple, Fast Dominance Algorithm"):
@@ -9,58 +9,92 @@ import "sort"
 // replication sweeps recompute dominators for every jump they consider, so
 // this path dominates (sic) the differential fuzzer's and the optimizer's
 // profile — the earlier set-based formulation was quadratic in blocks and
-// made large replicated functions take seconds per sweep.
+// made large replicated functions take seconds per sweep. The tree's
+// storage is borrowed from the function's Scratch arena; Release returns
+// it for the next ComputeDominators to reuse.
 type Dominators struct {
 	E *Edges
 	// idom[i] is the immediate dominator's index, or -1 for the entry and
 	// unreachable blocks.
-	idom []int
+	idom []int32
 	// pre/post are Euler-tour interval numbers of each block in the
 	// dominator tree; a dominates b iff a's interval encloses b's.
 	// Unreachable blocks keep pre == 0 (no interval).
-	pre, post []int
+	pre, post []int32
+
+	f   *Func
+	buf []int32
+}
+
+// Release returns the tree's storage to the function's Scratch arena. Safe
+// to call more than once; the tree must not be queried afterwards.
+func (d *Dominators) Release() {
+	if d == nil || d.buf == nil {
+		return
+	}
+	d.f.Scratch().PutInts(d.buf)
+	d.buf = nil
+	d.idom, d.pre, d.post = nil, nil, nil
 }
 
 // ComputeDominators computes the dominator tree on the given edge snapshot.
+// Steady-state recomputation on a warm Scratch arena is allocation-free.
 func ComputeDominators(e *Edges) *Dominators {
-	n := len(e.F.Blocks)
-	d := &Dominators{E: e, idom: make([]int, n), pre: make([]int, n), post: make([]int, n)}
-	for i := range d.idom {
+	f := e.F
+	n := len(f.Blocks)
+	scr := f.Scratch()
+	keep := scr.Ints(3 * n)
+	d := &Dominators{E: e, f: f, buf: keep}
+	d.idom, d.pre, d.post = keep[:n:n], keep[n:2*n:2*n], keep[2*n:]
+	for i := 0; i < n; i++ {
 		d.idom[i] = -1
+		d.pre[i] = 0
+		d.post[i] = 0
 	}
 	if n == 0 {
 		return d
 	}
 
-	// Reverse postorder over reachable blocks.
-	post := make([]int, 0, n) // blocks in postorder
-	rpoNum := make([]int, n)  // block index -> postorder number, -1 = unreachable
-	visited := make([]bool, n)
-	for i := range rpoNum {
+	// Temporary arrays: rpo numbers, postorder list, dominator-tree child
+	// links, and a two-word DFS stack (block, successor cursor).
+	tmp := scr.Ints(6 * n)
+	rpoNum := tmp[:n:n] // block index -> postorder number; -1 unreachable, -2 on stack
+	postList := tmp[n : 2*n : 2*n]
+	childHead := tmp[2*n : 3*n : 3*n]
+	childNext := tmp[3*n : 4*n : 4*n]
+	stackB := tmp[4*n : 5*n : 5*n]
+	stackS := tmp[5*n:]
+	for i := 0; i < n; i++ {
 		rpoNum[i] = -1
 	}
-	type frame struct{ b, succ int }
-	stack := []frame{{0, 0}}
-	visited[0] = true
-	for len(stack) > 0 {
-		fr := &stack[len(stack)-1]
-		succs := e.Succs[fr.b]
-		if fr.succ < len(succs) {
-			s := succs[fr.succ].Index
-			fr.succ++
-			if !visited[s] {
-				visited[s] = true
-				stack = append(stack, frame{s, 0})
+
+	// Reverse postorder over reachable blocks.
+	nPost := 0
+	top := 0
+	stackB[top], stackS[top] = 0, 0
+	top++
+	rpoNum[0] = -2
+	for top > 0 {
+		b := stackB[top-1]
+		succs := e.Succs[b]
+		if int(stackS[top-1]) < len(succs) {
+			s := int32(succs[stackS[top-1]].Index)
+			stackS[top-1]++
+			if rpoNum[s] == -1 {
+				rpoNum[s] = -2
+				stackB[top], stackS[top] = s, 0
+				top++
 			}
 			continue
 		}
-		rpoNum[fr.b] = len(post)
-		post = append(post, fr.b)
-		stack = stack[:len(stack)-1]
+		rpoNum[b] = int32(nPost)
+		postList[nPost] = b
+		nPost++
+		top--
 	}
 
 	// CHK fixpoint. intersect walks the idom chains in postorder numbers.
-	intersect := func(a, b int) int {
+	intersect := func(a, b int32) int32 {
 		for a != b {
 			for rpoNum[a] < rpoNum[b] {
 				a = d.idom[a]
@@ -74,14 +108,14 @@ func ComputeDominators(e *Edges) *Dominators {
 	d.idom[0] = 0 // temporary self-loop for the fixpoint
 	for changed := true; changed; {
 		changed = false
-		for pi := len(post) - 1; pi >= 0; pi-- {
-			b := post[pi]
+		for pi := nPost - 1; pi >= 0; pi-- {
+			b := postList[pi]
 			if b == 0 {
 				continue
 			}
-			newIdom := -1
+			newIdom := int32(-1)
 			for _, p := range e.Preds[b] {
-				pidx := p.Index
+				pidx := int32(p.Index)
 				if rpoNum[pidx] < 0 || d.idom[pidx] < 0 {
 					continue // unreachable or not yet processed
 				}
@@ -99,13 +133,11 @@ func ComputeDominators(e *Edges) *Dominators {
 	}
 
 	// Euler intervals of the dominator tree for O(1) Dominates.
-	childHead := make([]int, n) // first child, -1 = none
-	childNext := make([]int, n) // next sibling
-	for i := range childHead {
+	for i := 0; i < n; i++ {
 		childHead[i], childNext[i] = -1, -1
 	}
 	// Children are linked in reverse block order, preserving determinism.
-	for i := n - 1; i >= 1; i-- {
+	for i := int32(n - 1); i >= 1; i-- {
 		if rpoNum[i] < 0 {
 			continue
 		}
@@ -113,27 +145,28 @@ func ComputeDominators(e *Edges) *Dominators {
 		childNext[i] = childHead[p]
 		childHead[p] = i
 	}
-	clock := 0
-	type eframe struct{ b, child int }
-	estack := []eframe{{0, childHead[0]}}
+	clock := int32(0)
+	top = 0
+	stackB[top], stackS[top] = 0, childHead[0]
+	top++
 	clock++
 	d.pre[0] = clock
-	for len(estack) > 0 {
-		fr := &estack[len(estack)-1]
-		if fr.child >= 0 {
-			c := fr.child
-			fr.child = childNext[c]
+	for top > 0 {
+		if c := stackS[top-1]; c >= 0 {
+			stackS[top-1] = childNext[c]
 			clock++
 			d.pre[c] = clock
-			estack = append(estack, eframe{c, childHead[c]})
+			stackB[top], stackS[top] = c, childHead[c]
+			top++
 			continue
 		}
 		clock++
-		d.post[fr.b] = clock
-		estack = estack[:len(estack)-1]
+		d.post[stackB[top-1]] = clock
+		top--
 	}
 
 	d.idom[0] = -1 // restore the exported convention
+	scr.PutInts(tmp)
 	return d
 }
 
@@ -154,32 +187,57 @@ func (d *Dominators) Dominates(a, b int) bool {
 }
 
 // IDom returns the immediate dominator index of block i, or -1.
-func (d *Dominators) IDom(i int) int { return d.idom[i] }
+func (d *Dominators) IDom(i int) int { return int(d.idom[i]) }
 
 // Loop is a natural loop: a header and the set of blocks (by index) forming
-// the loop body, derived from one or more back edges into the header.
+// the loop body, derived from one or more back edges into the header. The
+// member set is a bitset; query it with Contains, NumBlocks, ForEachBlock
+// or BlockIndices.
 type Loop struct {
 	Header *Block
-	// Blocks maps block index -> membership. Includes the header.
-	Blocks map[int]bool
 	// Latches are the sources of the back edges.
 	Latches []*Block
+
+	bits  []uint64
+	count int
 }
 
 // Contains reports whether the loop contains the block with the given index.
-func (l *Loop) Contains(idx int) bool { return l.Blocks[idx] }
+func (l *Loop) Contains(idx int) bool {
+	return idx >= 0 && idx>>6 < len(l.bits) && l.bits[idx>>6]&(1<<(uint(idx)&63)) != 0
+}
 
-// BlockIndices returns the loop's block indices in ascending order. Blocks
-// is a map, so ranging over it directly visits blocks in a different order
-// every run; any consumer whose result depends on visit order (hoisting,
-// candidate selection) must iterate through this instead to keep
-// compilation deterministic.
-func (l *Loop) BlockIndices() []int {
-	idxs := make([]int, 0, len(l.Blocks))
-	for bi := range l.Blocks {
-		idxs = append(idxs, bi)
+// NumBlocks returns the number of blocks in the loop (header included).
+func (l *Loop) NumBlocks() int { return l.count }
+
+// add inserts a block index, reporting whether it was new.
+func (l *Loop) add(idx int) bool {
+	w := idx >> 6
+	bit := uint64(1) << (uint(idx) & 63)
+	if l.bits[w]&bit != 0 {
+		return false
 	}
-	sort.Ints(idxs)
+	l.bits[w] |= bit
+	l.count++
+	return true
+}
+
+// ForEachBlock calls fn for every member block index in ascending order.
+func (l *Loop) ForEachBlock(fn func(idx int)) {
+	for wi, w := range l.bits {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// BlockIndices returns the loop's block indices in ascending order; any
+// consumer whose result depends on visit order (hoisting, candidate
+// selection) iterates through this to keep compilation deterministic.
+func (l *Loop) BlockIndices() []int {
+	idxs := make([]int, 0, l.count)
+	l.ForEachBlock(func(idx int) { idxs = append(idxs, idx) })
 	return idxs
 }
 
@@ -188,28 +246,30 @@ func (l *Loop) BlockIndices() []int {
 // reach t without passing through h. Loops sharing a header are merged, as is
 // conventional.
 func NaturalLoops(e *Edges, d *Dominators) []*Loop {
+	n := len(e.F.Blocks)
+	nw := (n + 63) / 64
 	byHeader := make(map[*Block]*Loop)
-	var order []*Block
+	var loops []*Loop
+	var stack []*Block
 	for _, b := range e.F.Blocks {
 		for _, s := range e.Succs[b.Index] {
 			if d.Dominates(s.Index, b.Index) {
 				l := byHeader[s]
 				if l == nil {
-					l = &Loop{Header: s, Blocks: map[int]bool{s.Index: true}}
+					l = &Loop{Header: s, bits: make([]uint64, nw)}
+					l.add(s.Index)
 					byHeader[s] = l
-					order = append(order, s)
+					loops = append(loops, l)
 				}
 				l.Latches = append(l.Latches, b)
 				// Collect the body by walking predecessors from the latch.
-				if !l.Blocks[b.Index] {
-					l.Blocks[b.Index] = true
-					stack := []*Block{b}
+				if l.add(b.Index) {
+					stack = append(stack[:0], b)
 					for len(stack) > 0 {
 						x := stack[len(stack)-1]
 						stack = stack[:len(stack)-1]
 						for _, p := range e.Preds[x.Index] {
-							if !l.Blocks[p.Index] {
-								l.Blocks[p.Index] = true
+							if l.add(p.Index) {
 								stack = append(stack, p)
 							}
 						}
@@ -217,10 +277,6 @@ func NaturalLoops(e *Edges, d *Dominators) []*Loop {
 				}
 			}
 		}
-	}
-	loops := make([]*Loop, 0, len(order))
-	for _, h := range order {
-		loops = append(loops, byHeader[h])
 	}
 	return loops
 }
@@ -230,7 +286,7 @@ func LoopHeaderOf(loops []*Loop, b *Block) *Loop {
 	var best *Loop
 	for _, l := range loops {
 		if l.Header == b {
-			if best == nil || len(l.Blocks) < len(best.Blocks) {
+			if best == nil || l.count < best.count {
 				best = l
 			}
 		}
@@ -244,7 +300,7 @@ func InnermostLoopContaining(loops []*Loop, idx int) *Loop {
 	var best *Loop
 	for _, l := range loops {
 		if l.Contains(idx) {
-			if best == nil || len(l.Blocks) < len(best.Blocks) {
+			if best == nil || l.count < best.count {
 				best = l
 			}
 		}
@@ -261,6 +317,8 @@ func IsReducible(f *Func) bool {
 	d := ComputeDominators(e)
 	n := len(f.Blocks)
 	if n == 0 {
+		d.Release()
+		e.Release()
 		return true
 	}
 	const (
@@ -268,7 +326,11 @@ func IsReducible(f *Func) bool {
 		gray  = 1
 		black = 2
 	)
-	color := make([]int, n)
+	scr := f.Scratch()
+	color := scr.Ints(n)
+	for i := range color {
+		color[i] = white
+	}
 	ok := true
 	var dfs func(i int)
 	dfs = func(i int) {
@@ -288,5 +350,8 @@ func IsReducible(f *Func) bool {
 		color[i] = black
 	}
 	dfs(0)
+	scr.PutInts(color)
+	d.Release()
+	e.Release()
 	return ok
 }

@@ -56,6 +56,10 @@ type Request struct {
 	// an error. The differential oracle sets this; interactive tools
 	// usually do not pay for it.
 	Validate bool
+	// Jobs bounds per-function parallelism inside the optimizer
+	// (pipeline.Config.Jobs): 0 = GOMAXPROCS, 1 = serial. Output is
+	// identical for every value.
+	Jobs int
 	// VerifyEach additionally runs the verifier after every pipeline pass,
 	// attributing the first violation to the pass that introduced it
 	// (pipeline.Config.VerifyEach). Violations do not abort: they are
@@ -157,6 +161,7 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		Replication: req.Replication,
 		Tracer:      req.Tracer,
 		VerifyEach:  req.VerifyEach,
+		Jobs:        req.Jobs,
 	})
 	optimizeElapsed := time.Since(start)
 	phaseSpan(req.Tracer, "optimize", start)

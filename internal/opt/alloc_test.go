@@ -1,0 +1,69 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// buildLiveChain builds a straight chain of blocks defining and using a few
+// virtual registers, closed by a backward branch so liveness iterates.
+func buildLiveChain(n int) *cfg.Func {
+	f := cfg.NewFunc("live", 0)
+	blocks := make([]*cfg.Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	for i, b := range blocks {
+		r := rtl.VRegBase + rtl.Reg(i%8)
+		b.Insts = []rtl.Inst{
+			{Kind: rtl.Move, Dst: rtl.R(r), Src: rtl.Imm(int64(i))},
+			{Kind: rtl.Bin, BOp: rtl.Add, Dst: rtl.R(r), Src: rtl.R(r), Src2: rtl.R(rtl.VRegBase + rtl.Reg((i+1)%8))},
+		}
+	}
+	f.NVRegs = 8
+	blocks[n-2].Insts = append(blocks[n-2].Insts,
+		rtl.Inst{Kind: rtl.Cmp, Src: rtl.R(rtl.VRegBase), Src2: rtl.Imm(0)},
+		rtl.Inst{Kind: rtl.Br, BrRel: rtl.Lt, Target: blocks[0].Label})
+	blocks[n-1].Insts = append(blocks[n-1].Insts, rtl.Inst{Kind: rtl.Ret})
+	return f
+}
+
+// TestAllocsComputeLiveness pins the steady-state cost of the dataflow
+// analysis: the In/Out/gen/kill bitsets share one arena-borrowed backing,
+// so a warm ComputeLiveness/Release cycle allocates only the fixed
+// descriptors (the Liveness struct and its two []RegSet headers), never
+// per-block or per-register memory.
+func TestAllocsComputeLiveness(t *testing.T) {
+	f := buildLiveChain(64)
+	e := cfg.ComputeEdges(f)
+	ComputeLiveness(f, e).Release() // warm the arena
+	got := testing.AllocsPerRun(200, func() {
+		ComputeLiveness(f, e).Release()
+	})
+	e.Release()
+	if got > 3 {
+		t.Errorf("warm ComputeLiveness cycle allocates %.0f times, want at most 3 fixed descriptors", got)
+	}
+}
+
+// TestLivenessAllocsIndependentOfSize is the sharper form of the pin: the
+// descriptor count must not grow with the function. A regression that
+// reintroduces per-block set allocation fails this immediately.
+func TestLivenessAllocsIndependentOfSize(t *testing.T) {
+	count := func(n int) float64 {
+		f := buildLiveChain(n)
+		e := cfg.ComputeEdges(f)
+		ComputeLiveness(f, e).Release()
+		got := testing.AllocsPerRun(100, func() {
+			ComputeLiveness(f, e).Release()
+		})
+		e.Release()
+		return got
+	}
+	small, large := count(16), count(256)
+	if large > small {
+		t.Errorf("liveness allocations grow with block count: %0.f at 16 blocks, %.0f at 256", small, large)
+	}
+}

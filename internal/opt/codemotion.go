@@ -94,34 +94,35 @@ func CodeMotion(f *cfg.Func) bool {
 		e := cfg.ComputeEdges(f)
 		d := cfg.ComputeDominators(e)
 		loops := cfg.NaturalLoops(e, d)
+		d.Release()
 		if len(loops) == 0 {
+			e.Release()
 			return changed
 		}
 		lv := ComputeLiveness(f, e)
 
 		hoisted := false
+		var liveOut RegSet
 		for _, l := range loops {
 			// Registers live out of the loop (live into any outside
 			// successor of a loop block): their in-loop defs must stay.
-			liveOut := regSet{}
-			for bi := range l.Blocks {
+			liveOut.Clear()
+			l.ForEachBlock(func(bi int) {
 				for _, s := range e.Succs[bi] {
 					if !l.Contains(s.Index) {
-						for r := range lv.In[s.Index] {
-							liveOut.add(r)
-						}
+						liveOut.UnionWith(lv.In[s.Index])
 					}
 				}
-			}
+			})
 			// Registers defined anywhere in the loop.
 			definedInLoop := map[rtl.Reg]int{}
-			for bi := range l.Blocks {
+			l.ForEachBlock(func(bi int) {
 				for ii := range f.Blocks[bi].Insts {
 					if r := f.Blocks[bi].Insts[ii].DefReg(); r != rtl.RegNone {
 						definedInLoop[r]++
 					}
 				}
-			}
+			})
 			var moves []rtl.Inst
 			// In index order: hoist order decides both the preheader's
 			// instruction sequence and (via definedInLoop deletions) which
@@ -142,8 +143,8 @@ func CodeMotion(f *cfg.Func) bool {
 					if !invariantCandidate(&in, l, definedInLoop) ||
 						in.Dst.Kind != rtl.OReg || !in.Dst.Reg.IsVirtual() ||
 						definedInLoop[in.Dst.Reg] != 1 ||
-						lv.In[l.Header.Index].has(in.Dst.Reg) ||
-						liveOut.has(in.Dst.Reg) {
+						lv.In[l.Header.Index].Has(in.Dst.Reg) ||
+						liveOut.Has(in.Dst.Reg) {
 						kept = append(kept, in)
 						continue
 					}
@@ -162,6 +163,8 @@ func CodeMotion(f *cfg.Func) bool {
 				break // graph changed; recompute everything
 			}
 		}
+		lv.Release()
+		e.Release()
 		if !hoisted {
 			return changed
 		}

@@ -1,47 +1,186 @@
 package opt
 
 import (
-	"fmt"
-
 	"repro/internal/cfg"
 	"repro/internal/machine"
 	"repro/internal/rtl"
 )
 
-// vnState is the value-numbering state within one basic block.
+// opK is the canonical, comparable key for an operand. It replaces the
+// fmt.Sprintf string keys the value numberer used to build for every
+// instruction: a plain struct compares in a handful of instructions and
+// allocates nothing. Fields that a kind does not use are left at their zero
+// value so equal operands always produce equal keys (OMem without an index
+// normalizes Index to RegNone / Scale to 0, which rtl.MemIdx guarantees
+// already).
+type opK struct {
+	Kind  rtl.OpKind
+	Reg   rtl.Reg
+	Val   int64
+	Sym   string
+	Index rtl.Reg
+	Scale int64
+}
+
+func opKey(o rtl.Operand) opK {
+	switch o.Kind {
+	case rtl.OReg:
+		return opK{Kind: rtl.OReg, Reg: o.Reg}
+	case rtl.OImm, rtl.OLocal, rtl.OAddrLocal:
+		return opK{Kind: o.Kind, Val: o.Val}
+	case rtl.OGlobal, rtl.OAddrGlobal:
+		return opK{Kind: o.Kind, Sym: o.Sym, Val: o.Val}
+	case rtl.OMem:
+		k := opK{Kind: rtl.OMem, Reg: o.Reg, Val: o.Val, Index: rtl.RegNone}
+		if o.Index != rtl.RegNone {
+			k.Index, k.Scale = o.Index, o.Scale
+		}
+		return k
+	}
+	return opK{Kind: o.Kind}
+}
+
+// usesReg reports whether the keyed operand reads register r.
+func (k opK) usesReg(r rtl.Reg) bool {
+	switch k.Kind {
+	case rtl.OReg:
+		return k.Reg == r
+	case rtl.OMem:
+		return k.Reg == r || k.Index != rtl.RegNone && k.Index == r
+	}
+	return false
+}
+
+// less is an arbitrary but deterministic total order on operand keys, used
+// only to pick the canonical operand order of commutative expressions.
+func (k opK) less(o opK) bool {
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.Reg != o.Reg {
+		return k.Reg < o.Reg
+	}
+	if k.Val != o.Val {
+		return k.Val < o.Val
+	}
+	if k.Sym != o.Sym {
+		return k.Sym < o.Sym
+	}
+	if k.Index != o.Index {
+		return k.Index < o.Index
+	}
+	return k.Scale < o.Scale
+}
+
+// exprK is the canonical key for a pure computation (kind exprBin/exprUn)
+// or a materialized constant or address (kind exprMat).
+type exprK struct {
+	kind uint8
+	op   int
+	a, b opK
+}
+
+const (
+	exprBin = iota + 1
+	exprUn
+	exprMat
+)
+
+// exprKey builds the canonical key for a pure computation; ok is false for
+// instructions that are not value-numberable expressions.
+func exprKey(in *rtl.Inst) (exprK, bool) {
+	switch in.Kind {
+	case rtl.Bin:
+		a, b := opKey(in.Src), opKey(in.Src2)
+		if in.BOp.Commutative() && b.less(a) {
+			a, b = b, a
+		}
+		return exprK{kind: exprBin, op: int(in.BOp), a: a, b: b}, true
+	case rtl.Un:
+		return exprK{kind: exprUn, op: int(in.UOp), a: opKey(in.Src)}, true
+	}
+	return exprK{}, false
+}
+
+// matKey keys a materialized constant or address (`r = #5`, `r = &sym`).
+func matKey(o rtl.Operand) exprK {
+	return exprK{kind: exprMat, a: opKey(o)}
+}
+
+// usesReg reports whether the keyed expression reads register r.
+func (k exprK) usesReg(r rtl.Reg) bool {
+	return k.a.usesReg(r) || k.kind == exprBin && k.b.usesReg(r)
+}
+
+// vnState is the value-numbering state within one basic block. The maps are
+// allocated lazily: most blocks never populate all four.
 type vnState struct {
 	m       *machine.Machine
 	constOf map[rtl.Reg]int64
 	copyOf  map[rtl.Reg]rtl.Reg
-	exprOf  map[string]rtl.Reg // expression key -> register holding it
-	memVal  map[string]rtl.Reg // memory operand key -> register holding its value
+	exprOf  map[exprK]rtl.Reg // expression key -> register holding it
+	memVal  map[opK]rtl.Reg   // memory operand key -> register holding its value
 }
 
 func newVNState(m *machine.Machine) *vnState {
-	return &vnState{
-		m:       m,
-		constOf: map[rtl.Reg]int64{},
-		copyOf:  map[rtl.Reg]rtl.Reg{},
-		exprOf:  map[string]rtl.Reg{},
-		memVal:  map[string]rtl.Reg{},
+	return &vnState{m: m}
+}
+
+func (s *vnState) setConst(r rtl.Reg, v int64) {
+	if s.constOf == nil {
+		s.constOf = map[rtl.Reg]int64{}
 	}
+	s.constOf[r] = v
+}
+
+func (s *vnState) setCopy(d, src rtl.Reg) {
+	if s.copyOf == nil {
+		s.copyOf = map[rtl.Reg]rtl.Reg{}
+	}
+	s.copyOf[d] = src
+}
+
+func (s *vnState) setExpr(k exprK, r rtl.Reg) {
+	if s.exprOf == nil {
+		s.exprOf = map[exprK]rtl.Reg{}
+	}
+	s.exprOf[k] = r
+}
+
+func (s *vnState) setMem(k opK, r rtl.Reg) {
+	if s.memVal == nil {
+		s.memVal = map[opK]rtl.Reg{}
+	}
+	s.memVal[k] = r
 }
 
 // clone copies the state for propagation into a single-predecessor
-// successor (extended-basic-block value numbering).
+// successor (extended-basic-block value numbering). Empty maps stay nil.
 func (s *vnState) clone() *vnState {
 	c := newVNState(s.m)
-	for k, v := range s.constOf {
-		c.constOf[k] = v
+	if len(s.constOf) > 0 {
+		c.constOf = make(map[rtl.Reg]int64, len(s.constOf))
+		for k, v := range s.constOf {
+			c.constOf[k] = v
+		}
 	}
-	for k, v := range s.copyOf {
-		c.copyOf[k] = v
+	if len(s.copyOf) > 0 {
+		c.copyOf = make(map[rtl.Reg]rtl.Reg, len(s.copyOf))
+		for k, v := range s.copyOf {
+			c.copyOf[k] = v
+		}
 	}
-	for k, v := range s.exprOf {
-		c.exprOf[k] = v
+	if len(s.exprOf) > 0 {
+		c.exprOf = make(map[exprK]rtl.Reg, len(s.exprOf))
+		for k, v := range s.exprOf {
+			c.exprOf[k] = v
+		}
 	}
-	for k, v := range s.memVal {
-		c.memVal[k] = v
+	if len(s.memVal) > 0 {
+		c.memVal = make(map[opK]rtl.Reg, len(s.memVal))
+		for k, v := range s.memVal {
+			c.memVal[k] = v
+		}
 	}
 	return c
 }
@@ -58,65 +197,6 @@ func (s *vnState) resolve(r rtl.Reg) rtl.Reg {
 	return r
 }
 
-// regKey is the canonical key fragment for a register; keyUsesReg searches
-// for exactly this fragment.
-func regKey(r rtl.Reg) string { return "r" + r.String() }
-
-func opKey(o rtl.Operand) string {
-	switch o.Kind {
-	case rtl.OReg:
-		return regKey(o.Reg)
-	case rtl.OImm:
-		return fmt.Sprintf("#%d", o.Val)
-	case rtl.OLocal:
-		return fmt.Sprintf("l%d", o.Val)
-	case rtl.OGlobal:
-		return fmt.Sprintf("g%s+%d", o.Sym, o.Val)
-	case rtl.OMem:
-		if o.Index == rtl.RegNone {
-			return fmt.Sprintf("m%s+%d", regKey(o.Reg), o.Val)
-		}
-		return fmt.Sprintf("m%s+%d+%s*%d", regKey(o.Reg), o.Val, regKey(o.Index), o.Scale)
-	case rtl.OAddrLocal:
-		return fmt.Sprintf("al%d", o.Val)
-	case rtl.OAddrGlobal:
-		return fmt.Sprintf("ag%s+%d", o.Sym, o.Val)
-	}
-	return "?"
-}
-
-// exprKey builds a canonical key for a pure computation.
-func exprKey(in *rtl.Inst) string {
-	switch in.Kind {
-	case rtl.Bin:
-		a, b := opKey(in.Src), opKey(in.Src2)
-		if in.BOp.Commutative() && b < a {
-			a, b = b, a
-		}
-		return fmt.Sprintf("b%d|%s|%s", in.BOp, a, b)
-	case rtl.Un:
-		return fmt.Sprintf("u%d|%s", in.UOp, opKey(in.Src))
-	}
-	return ""
-}
-
-// keyUsesReg reports whether an expression/memory key mentions register r.
-// Keys embed register numbers through regKey, so this is a containment
-// test on the canonical fragment.
-func keyUsesReg(key string, r rtl.Reg) bool {
-	frag := regKey(r)
-	for i := 0; i+len(frag) <= len(key); i++ {
-		if key[i:i+len(frag)] == frag {
-			// Avoid matching r1 inside r12: next byte must be a separator.
-			j := i + len(frag)
-			if j == len(key) || !(key[j] >= '0' && key[j] <= '9') {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // invalidateReg drops every piece of state that mentions r.
 func (s *vnState) invalidateReg(r rtl.Reg) {
 	delete(s.constOf, r)
@@ -127,12 +207,12 @@ func (s *vnState) invalidateReg(r rtl.Reg) {
 		}
 	}
 	for k, v := range s.exprOf {
-		if v == r || keyUsesReg(k, r) {
+		if v == r || k.usesReg(r) {
 			delete(s.exprOf, k)
 		}
 	}
 	for k, v := range s.memVal {
-		if v == r || keyUsesReg(k, r) {
+		if v == r || k.usesReg(r) {
 			delete(s.memVal, k)
 		}
 	}
@@ -140,7 +220,7 @@ func (s *vnState) invalidateReg(r rtl.Reg) {
 
 // invalidateMemory drops all memory-derived state (after stores and calls).
 func (s *vnState) invalidateMemory() {
-	s.memVal = map[string]rtl.Reg{}
+	clear(s.memVal)
 	// Expressions never read memory (only Move does), so exprOf survives.
 }
 
@@ -230,7 +310,7 @@ func CommonSubexpressions(f *cfg.Func, m *machine.Machine) bool {
 			}
 			// Reuse an available expression.
 			if (in.Kind == rtl.Bin || in.Kind == rtl.Un) && in.Dst.Kind == rtl.OReg {
-				if key := exprKey(in); key != "" {
+				if key, ok := exprKey(in); ok {
 					if r, ok := s.exprOf[key]; ok && r != in.Dst.Reg {
 						*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.R(r)}
 						changed = true
@@ -242,8 +322,7 @@ func CommonSubexpressions(f *cfg.Func, m *machine.Machine) bool {
 			// propagation then retires r' entirely.
 			if in.Kind == rtl.Move && in.Dst.Kind == rtl.OReg &&
 				(in.Src.Kind == rtl.OAddrLocal || in.Src.Kind == rtl.OAddrGlobal || in.Src.Kind == rtl.OImm) {
-				key := "mat|" + opKey(in.Src)
-				if r, ok := s.exprOf[key]; ok && r != in.Dst.Reg {
+				if r, ok := s.exprOf[matKey(in.Src)]; ok && r != in.Dst.Reg {
 					*in = rtl.Inst{Kind: rtl.Move, Dst: in.Dst, Src: rtl.R(r)}
 					changed = true
 				}
@@ -256,31 +335,31 @@ func CommonSubexpressions(f *cfg.Func, m *machine.Machine) bool {
 					s.invalidateReg(d)
 					switch in.Src.Kind {
 					case rtl.OImm:
-						s.constOf[d] = in.Src.Val
-						s.exprOf["mat|"+opKey(in.Src)] = d
+						s.setConst(d, in.Src.Val)
+						s.setExpr(matKey(in.Src), d)
 					case rtl.OAddrLocal, rtl.OAddrGlobal:
-						s.exprOf["mat|"+opKey(in.Src)] = d
+						s.setExpr(matKey(in.Src), d)
 					case rtl.OReg:
 						if in.Src.Reg != d {
-							s.copyOf[d] = s.resolve(in.Src.Reg)
+							s.setCopy(d, s.resolve(in.Src.Reg))
 						}
 					case rtl.OLocal, rtl.OGlobal, rtl.OMem:
-						s.memVal[opKey(in.Src)] = d
+						s.setMem(opKey(in.Src), d)
 					}
 				} else if in.Dst.IsMem() {
 					s.invalidateMemory()
 					if in.Src.Kind == rtl.OReg {
-						s.memVal[opKey(in.Dst)] = s.resolve(in.Src.Reg)
+						s.setMem(opKey(in.Dst), s.resolve(in.Src.Reg))
 					}
 				}
 			case rtl.Bin, rtl.Un:
 				if in.Dst.Kind == rtl.OReg {
 					d := in.Dst.Reg
-					key := exprKey(in)
-					usesSelf := keyUsesReg(key, d)
+					key, keyOK := exprKey(in)
+					usesSelf := keyOK && key.usesReg(d)
 					s.invalidateReg(d)
-					if key != "" && !usesSelf {
-						s.exprOf[key] = d
+					if keyOK && !usesSelf {
+						s.setExpr(key, d)
 					}
 				} else if in.Dst.IsMem() {
 					s.invalidateMemory()
@@ -294,5 +373,6 @@ func CommonSubexpressions(f *cfg.Func, m *machine.Machine) bool {
 		}
 		exit[b.Index] = s
 	}
+	e.Release()
 	return changed
 }

@@ -13,23 +13,31 @@ func DeadVariableElimination(f *cfg.Func) bool {
 	lv := ComputeLiveness(f, e)
 	changed := false
 	var scratch []rtl.Reg
+	var live RegSet
+	var keepBuf []bool
 	for _, b := range f.Blocks {
-		live := lv.Out[b.Index].clone()
+		live.CopyFrom(lv.Out[b.Index])
 		// Walk backwards, deleting dead pure definitions.
-		keep := make([]bool, len(b.Insts))
+		if cap(keepBuf) < len(b.Insts) {
+			keepBuf = make([]bool, len(b.Insts))
+		}
+		keep := keepBuf[:len(b.Insts)]
+		for ii := range keep {
+			keep[ii] = false
+		}
 		for ii := len(b.Insts) - 1; ii >= 0; ii-- {
 			in := &b.Insts[ii]
 			d := instDef(in)
 			dead := false
 			switch in.Kind {
 			case rtl.Move, rtl.Bin, rtl.Un:
-				dead = in.Dst.Kind == rtl.OReg && !live.has(in.Dst.Reg)
+				dead = in.Dst.Kind == rtl.OReg && !live.Has(in.Dst.Reg)
 				// Self-moves are dead regardless of liveness.
 				if in.Kind == rtl.Move && in.Dst.Equal(in.Src) {
 					dead = true
 				}
 			case rtl.Cmp:
-				dead = !live.has(ccReg)
+				dead = !live.Has(ccReg)
 			}
 			if dead {
 				changed = true
@@ -37,11 +45,11 @@ func DeadVariableElimination(f *cfg.Func) bool {
 			}
 			keep[ii] = true
 			if d != rtl.RegNone {
-				delete(live, d)
+				live.Remove(d)
 			}
 			scratch = instUses(in, scratch[:0])
 			for _, r := range scratch {
-				live.add(r)
+				live.Add(r)
 			}
 		}
 		if changed {
@@ -54,5 +62,7 @@ func DeadVariableElimination(f *cfg.Func) bool {
 			b.Insts = out
 		}
 	}
+	lv.Release()
+	e.Release()
 	return changed
 }

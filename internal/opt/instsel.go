@@ -21,6 +21,8 @@ func InstructionSelection(f *cfg.Func, m *machine.Machine) bool {
 			changed = true
 		}
 	}
+	lv.Release()
+	e.Release()
 	return changed
 }
 
@@ -151,7 +153,7 @@ func substituteReg(in *rtl.Inst, r rtl.Reg, x rtl.Operand) bool {
 
 // combineBlock performs one round of peephole combining in b; it returns
 // true if it changed anything (callers loop to a fixed point).
-func combineBlock(b *cfg.Block, m *machine.Machine, liveOut regSet) bool {
+func combineBlock(b *cfg.Block, m *machine.Machine, liveOut RegSet) bool {
 	insts := b.Insts
 	for i := 0; i < len(insts); i++ {
 		in := &insts[i]
@@ -163,7 +165,7 @@ func combineBlock(b *cfg.Block, m *machine.Machine, liveOut regSet) bool {
 				continue
 			}
 			useIdx, uses, redefined := scanUses(insts, i+1, r)
-			if uses == 1 && (redefined || !liveOut.has(r)) &&
+			if uses == 1 && (redefined || !liveOut.Has(r)) &&
 				operandDepsStable(insts, i, useIdx, in.Src) {
 				cand := insts[useIdx]
 				if instDef(&cand) == r && regReads(&cand, r) {
@@ -187,7 +189,7 @@ func combineBlock(b *cfg.Block, m *machine.Machine, liveOut regSet) bool {
 			if nx.Kind == rtl.Move && nx.Dst.IsMem() && nx.Src.Kind == rtl.OReg && nx.Src.Reg == r &&
 				!nx.Dst.UsesReg(r) {
 				_, uses, redefined := scanUses(insts, i+2, r)
-				if uses == 0 && (redefined || !liveOut.has(r)) {
+				if uses == 0 && (redefined || !liveOut.Has(r)) {
 					cand := *in
 					cand.Dst = nx.Dst
 					if m.LegalInst(&cand) {

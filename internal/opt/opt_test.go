@@ -627,11 +627,11 @@ func TestLivenessAcrossLoop(t *testing.T) {
 	e := cfg.ComputeEdges(f)
 	lv := ComputeLiveness(f, e)
 	// n (v1) is live into the header from the entry.
-	if !lv.In[1].has(v(1)) {
+	if !lv.In[1].Has(v(1)) {
 		t.Errorf("n not live into header: %v", lv.In[1])
 	}
 	// x (v4) is not live into the entry.
-	if lv.In[0].has(v(4)) {
+	if lv.In[0].Has(v(4)) {
 		t.Error("x live-in at entry")
 	}
 }

@@ -10,6 +10,21 @@ import (
 	"repro/internal/rtl"
 )
 
+// regSet is a small map-based mutable register set, used for the
+// allocator's sparse bookkeeping (interference adjacency, spill temps,
+// Briggs neighbour counting). The dense liveness sets are RegSet bitsets.
+type regSet map[rtl.Reg]struct{}
+
+func (s regSet) add(r rtl.Reg) bool {
+	if _, ok := s[r]; ok {
+		return false
+	}
+	s[r] = struct{}{}
+	return true
+}
+
+func (s regSet) has(r rtl.Reg) bool { _, ok := s[r]; return ok }
+
 // PromoteLocals is the paper's "register assignment" phase: scalar locals
 // and parameters whose address is never taken are assigned to (virtual)
 // registers, turning frame traffic into register traffic. Parameters gain a
@@ -330,6 +345,7 @@ func buildInterference(f *cfg.Func) *interference {
 	// stay in registers and cold values get spilled first.
 	d := cfg.ComputeDominators(e)
 	loops := cfg.NaturalLoops(e, d)
+	d.Release()
 	depthWeight := make([]int, len(f.Blocks))
 	for i := range depthWeight {
 		w := 1
@@ -359,8 +375,9 @@ func buildInterference(f *cfg.Func) *interference {
 		g.adj[b].add(a)
 	}
 	var scratch []rtl.Reg
+	var live RegSet
 	for _, b := range f.Blocks {
-		live := lv.Out[b.Index].clone()
+		live.CopyFrom(lv.Out[b.Index])
 		for ii := len(b.Insts) - 1; ii >= 0; ii-- {
 			in := &b.Insts[ii]
 			d := instDef(in)
@@ -370,20 +387,18 @@ func buildInterference(f *cfg.Func) *interference {
 				if in.Kind == rtl.Move && in.Src.Kind == rtl.OReg {
 					copySrc = in.Src.Reg
 				}
-				for l := range live {
+				live.ForEach(func(l rtl.Reg) {
 					if l != copySrc {
-						// det:allow maporder — addEdge inserts into unordered
-						// adjacency sets; insertion order cannot escape.
 						addEdge(d, l)
 					}
-				}
+				})
 			}
 			if d != rtl.RegNone {
-				delete(live, d)
+				live.Remove(d)
 			}
 			scratch = instUses(in, scratch[:0])
 			for _, r := range scratch {
-				live.add(r)
+				live.Add(r)
 				if r.IsVirtual() {
 					ensure(r)
 					g.useCount[r] += depthWeight[b.Index]
@@ -391,6 +406,8 @@ func buildInterference(f *cfg.Func) *interference {
 			}
 		}
 	}
+	lv.Release()
+	e.Release()
 	return g
 }
 

@@ -21,6 +21,7 @@ func StrengthReduction(f *cfg.Func) bool {
 		e := cfg.ComputeEdges(f)
 		d := cfg.ComputeDominators(e)
 		loops := cfg.NaturalLoops(e, d)
+		d.Release()
 		reduced := false
 		for _, l := range loops {
 			if reduceLoop(f, e, l) {
@@ -29,6 +30,7 @@ func StrengthReduction(f *cfg.Func) bool {
 				break // block indices moved; recompute analyses
 			}
 		}
+		e.Release()
 		if !reduced {
 			break
 		}

@@ -8,7 +8,10 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cfg"
@@ -85,8 +88,17 @@ type Config struct {
 	// check recomputes edges, liveness and dominators.
 	VerifyEach bool
 	// OnViolation, when non-nil, receives every verify-each violation as
-	// it is found (the same data that accumulates in Stats.Verify).
+	// it is found (the same data that accumulates in Stats.Verify). With
+	// Jobs > 1 the calls are deferred and delivered in function order once
+	// every function finishes, so the sequence stays deterministic.
 	OnViolation func(verify.Violation)
+	// Jobs bounds how many functions Optimize works on concurrently inside
+	// one translation unit: 0 means GOMAXPROCS, 1 forces the serial path.
+	// The output is identical for every value — functions share no mutable
+	// state, per-function trace events are buffered and replayed in
+	// function order (the same func-major order the serial path emits),
+	// and statistics merge in function order.
+	Jobs int
 
 	// corruptAfter, when non-nil, mutates the function after the named
 	// pass runs and before its verify-each check — the fault-injection
@@ -99,6 +111,13 @@ func (c Config) maxIterations() int {
 		return 30
 	}
 	return c.MaxIterations
+}
+
+func (c Config) jobs() int {
+	if c.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Jobs
 }
 
 // Stats summarizes what the pipeline did.
@@ -128,21 +147,107 @@ type Stats struct {
 }
 
 // Optimize runs the full Figure-3 pipeline over every function of the
-// program and returns static statistics of the final code.
+// program and returns static statistics of the final code. Functions are
+// independent, so with Config.Jobs != 1 they are optimized concurrently;
+// the result — code, statistics, trace-event order, violation order — is
+// byte-identical to the serial run.
 func Optimize(p *cfg.Program, c Config) Stats {
 	var st Stats
-	for _, f := range p.Funcs {
-		st0 := optimizeFunc(f, c)
-		st.SlotsFilled += st0.SlotsFilled
-		st.SlotsNops += st0.SlotsNops
-		if st0.Iterations > st.Iterations {
-			st.Iterations = st0.Iterations
+	if jobs := c.jobs(); jobs > 1 && len(p.Funcs) > 1 {
+		optimizeParallel(p, c, jobs, &st)
+	} else {
+		for _, f := range p.Funcs {
+			mergeFuncStats(&st, optimizeFunc(f, c))
 		}
-		st.Replication.Merge(st0.Replication)
-		st.Verify = append(st.Verify, st0.Verify...)
 	}
 	count(p, &st)
 	return st
+}
+
+// mergeFuncStats folds one function's statistics into the unit's. Called
+// in function order on both the serial and the parallel path.
+func mergeFuncStats(st *Stats, st0 Stats) {
+	st.SlotsFilled += st0.SlotsFilled
+	st.SlotsNops += st0.SlotsNops
+	if st0.Iterations > st.Iterations {
+		st.Iterations = st0.Iterations
+	}
+	st.Replication.Merge(st0.Replication)
+	st.Verify = append(st.Verify, st0.Verify...)
+}
+
+// bufTracer accumulates one function's trace events so the parallel driver
+// can replay them to the real tracer in function order — reproducing the
+// func-major event order of the serial path.
+type bufTracer struct{ events []*obs.Event }
+
+func (t *bufTracer) Emit(ev *obs.Event) { t.events = append(t.events, ev) }
+
+// optimizeParallel fans the functions out over a bounded worker pool.
+// Determinism: workers share nothing (each function carries its own
+// scratch arena, and the concurrency tests audit the package-level state);
+// anything order-sensitive — tracer events, OnViolation callbacks, stats
+// merging — is buffered per function and delivered in function order after
+// the pool drains.
+func optimizeParallel(p *cfg.Program, c Config, jobs int, st *Stats) {
+	n := len(p.Funcs)
+	if jobs > n {
+		jobs = n
+	}
+	results := make([]Stats, n)
+	// One buffer array per distinct sink. When Replication.Tracer is nil it
+	// inherits the (buffered) pipeline tracer inside replicatePass, so the
+	// decision log interleaves with the pass spans exactly as on the serial
+	// path.
+	var pbufs, rbufs []bufTracer
+	if c.Tracer != nil {
+		pbufs = make([]bufTracer, n)
+	}
+	if c.Replication.Tracer != nil {
+		rbufs = make([]bufTracer, n)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				cf := c
+				cf.OnViolation = nil // delivered post-merge, in func order
+				if pbufs != nil {
+					cf.Tracer = &pbufs[i]
+				}
+				if rbufs != nil {
+					cf.Replication.Tracer = &rbufs[i]
+				}
+				results[i] = optimizeFunc(p.Funcs[i], cf)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		if pbufs != nil {
+			for _, e := range pbufs[i].events {
+				c.Tracer.Emit(e)
+			}
+		}
+		if rbufs != nil {
+			for _, e := range rbufs[i].events {
+				c.Replication.Tracer.Emit(e)
+			}
+		}
+		if c.OnViolation != nil {
+			for _, v := range results[i].Verify {
+				c.OnViolation(v)
+			}
+		}
+		mergeFuncStats(st, results[i])
+	}
 }
 
 // replicatePass runs the configured replication algorithm.

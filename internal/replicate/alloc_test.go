@@ -1,0 +1,69 @@
+package replicate
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/rtl"
+)
+
+// buildBranchy builds a synthetic function of n conditional-branch blocks
+// with scattered targets — enough edges for the snapshot pin below.
+func buildBranchy(n int) *cfg.Func {
+	f := cfg.NewFunc("branchy", 0)
+	blocks := make([]*cfg.Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	for i, b := range blocks {
+		b.Insts = []rtl.Inst{
+			{Kind: rtl.Cmp, Src: rtl.R(rtl.VRegBase), Src2: rtl.Imm(int64(i))},
+			{Kind: rtl.Br, BrRel: rtl.Eq, Target: blocks[(i+7)%n].Label},
+		}
+	}
+	blocks[n-1].Insts = []rtl.Inst{{Kind: rtl.Ret}}
+	return f
+}
+
+// TestAllocsSnapshotGraph pins the sweep's step-1 snapshot cost: the
+// adjacency rows are views into two shared backing arrays, so the
+// allocation count is a small constant independent of the block count —
+// not one slice per block.
+func TestAllocsSnapshotGraph(t *testing.T) {
+	count := func(n int) float64 {
+		f := buildBranchy(n)
+		e := cfg.ComputeEdges(f)
+		got := testing.AllocsPerRun(50, func() {
+			snapshotGraph(f, e)
+		})
+		e.Release()
+		return got
+	}
+	small, large := count(16), count(256)
+	if large > small {
+		t.Errorf("snapshotGraph allocations grow with block count: %.0f at 16 blocks, %.0f at 256", small, large)
+	}
+	if small > 8 {
+		t.Errorf("snapshotGraph allocates %.0f times, want a small constant (<=8)", small)
+	}
+}
+
+// TestAllocsRollbackNoClone pins the undo-log rollback by budget: the
+// whole JUMPS run on the Table-1 fixture must stay within an allocation
+// count far below what a single clone-per-attempt rollback scheme costs on
+// the same input, so reintroducing f.Clone() into attemptReplication trips
+// the bound immediately.
+func TestAllocsRollbackNoClone(t *testing.T) {
+	base, err := cfg.ParseFunc(table1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		g := base.Clone()
+		JUMPS(g, Options{})
+	})
+	t.Logf("JUMPS on Table-1 fixture: %.0f allocs per run (incl. the fixture clone)", got)
+	if got > 350 {
+		t.Errorf("JUMPS on the Table-1 fixture allocates %.0f times per run, want <=350 (undo-log rollback)", got)
+	}
+}

@@ -92,7 +92,10 @@ type graphSnapshot struct {
 	preds [][]int
 }
 
-// snapshotGraph captures f's blocks and edges.
+// snapshotGraph captures f's blocks and edges. The adjacency rows are
+// views into two shared backing arrays (one per direction), sized by a
+// counting pass, so a snapshot costs a fixed handful of allocations rather
+// than one per block.
 func snapshotGraph(f *cfg.Func, e *cfg.Edges) *graphSnapshot {
 	n := len(f.Blocks)
 	s := &graphSnapshot{
@@ -100,20 +103,43 @@ func snapshotGraph(f *cfg.Func, e *cfg.Edges) *graphSnapshot {
 		succs: make([][]int, n),
 		preds: make([][]int, n),
 	}
+	keep := func(i, j int) bool {
+		if j == i {
+			return false // no self-reflexive transitions
+		}
+		if t := f.Blocks[i].Term(); t != nil && t.Kind == rtl.IJmp {
+			return false // paths may not traverse indirect jumps
+		}
+		return true
+	}
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	total := 0
 	for i, b := range f.Blocks {
 		s.cost[i] = len(b.Insts)
-	}
-	for i, b := range f.Blocks {
-		if t := b.Term(); t != nil && t.Kind == rtl.IJmp {
-			continue // paths may not traverse indirect jumps
-		}
 		for _, sb := range e.Succs[i] {
-			j := sb.Index
-			if j == i {
-				continue // no self-reflexive transitions
+			if keep(i, sb.Index) {
+				outDeg[i]++
+				inDeg[sb.Index]++
+				total++
 			}
-			s.succs[i] = append(s.succs[i], j)
-			s.preds[j] = append(s.preds[j], i)
+		}
+	}
+	sBack := make([]int, total)
+	pBack := make([]int, total)
+	so, po := 0, 0
+	for i := 0; i < n; i++ {
+		s.succs[i] = sBack[so : so : so+outDeg[i]]
+		so += outDeg[i]
+		s.preds[i] = pBack[po : po : po+inDeg[i]]
+		po += inDeg[i]
+	}
+	for i := range f.Blocks {
+		for _, sb := range e.Succs[i] {
+			if j := sb.Index; keep(i, j) {
+				s.succs[i] = append(s.succs[i], j)
+				s.preds[j] = append(s.preds[j], i)
+			}
 		}
 	}
 	return s

@@ -223,9 +223,12 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 			continue
 		}
 		// Flow analyses are cheap and must be current for steps 3, 5, 6.
+		// The loops (independent bitsets) outlive the release of both.
 		e := cfg.ComputeEdges(f)
 		d := cfg.ComputeDominators(e)
 		loops := cfg.NaturalLoops(e, d)
+		d.Release()
+		e.Release()
 
 		cands := candidates(f, m, rowOf, labelOf, loops, opts, b, tgt)
 		meta := candidateMeta(cands)
@@ -495,39 +498,60 @@ func finishCandidate(f *cfg.Func, loops []*cfg.Loop, opts Options, b *cfg.Block,
 // attemptReplication performs steps 4–6 for one candidate: splice the
 // copies in place of the jump, adjust control flow, redirect in-loop
 // branches, and verify reducibility, rolling everything back on failure.
+// Rollback is an undo log, not a whole-function clone: the splice only
+// truncates b's jump (the backing array keeps the instruction), inserts
+// fresh blocks after b, retargets branches of uncopied in-loop blocks, and
+// advances the label counter — all four are reversed exactly.
 func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, opts Options) bool {
 	b := f.Blocks[bIdx]
-	snapshot := f.Clone()
+	labelMark := f.LabelMark()
+	savedInsts := len(b.Insts)
 	// Step 5 needs the membership of the loop the jump lives in, captured
 	// by label before splicing invalidates indices.
 	var loopLabels map[rtl.Label]bool
 	if l := cfg.InnermostLoopContaining(loops, b.Index); l != nil {
 		loopLabels = map[rtl.Label]bool{}
-		for bi := range l.Blocks {
+		l.ForEachBlock(func(bi int) {
 			loopLabels[f.Blocks[bi].Label] = true
-		}
+		})
 	}
 
-	firstCopy := splice(f, b, c)
+	firstCopy, inserted := splice(f, b, c)
 
 	// Step 5: preserve loop structure around partially copied loops.
+	var retargets []retarget
 	if loopLabels != nil {
-		redirectLoopBranches(f, loopLabels, firstCopy)
+		retargets = redirectLoopBranches(f, loopLabels, firstCopy)
 	}
 
 	if !cfg.IsReducible(f) && !opts.ForceKeepIrreducible {
-		*f = *snapshot
+		for _, r := range retargets {
+			r.inst.Target = r.old
+		}
+		f.Blocks = append(f.Blocks[:bIdx+1], f.Blocks[bIdx+1+inserted:]...)
+		f.Renumber()
+		b.Insts = b.Insts[:savedInsts]
+		f.ResetLabels(labelMark)
 		return false
 	}
 	return true
+}
+
+// retarget records one branch rewrite of redirectLoopBranches so the undo
+// log can reverse it. The instruction pointer stays valid because nothing
+// appends to the owning block's Insts between rewrite and rollback.
+type retarget struct {
+	inst *rtl.Inst
+	old  rtl.Label
 }
 
 // splice replaces b's terminating jump with copies of the candidate blocks
 // (step 4): fresh labels, intra-replica retargeting with forward
 // preference, branch reversal where the replica's layout requires it, and
 // elimination of jumps that became fall-throughs. It returns the mapping
-// from each original block label to the label of its first copy.
-func splice(f *cfg.Func, b *cfg.Block, c candidate) map[rtl.Label]rtl.Label {
+// from each original block label to the label of its first copy, and the
+// number of blocks inserted after b (for the rollback undo log).
+func splice(f *cfg.Func, b *cfg.Block, c candidate) (map[rtl.Label]rtl.Label, int) {
 	n := len(c.seq)
 	copies := make([]*cfg.Block, n)
 	// copyOf[label] lists replica indices holding copies of that label.
@@ -643,14 +667,16 @@ func splice(f *cfg.Func, b *cfg.Block, c candidate) map[rtl.Label]rtl.Label {
 		final = append(final, aux[i]...)
 	}
 	f.InsertBlocksAfter(b.Index, final...)
-	return first
+	return first, len(final)
 }
 
 // redirectLoopBranches implements step 5: when the replication was
 // initiated from inside a natural loop and copied part of that loop, the
 // conditional branches of uncopied loop blocks that target copied blocks
 // are redirected to the copies, preventing partially overlapping loops.
-func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy map[rtl.Label]rtl.Label) {
+// It returns the rewrites it made so a rollback can reverse them.
+func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy map[rtl.Label]rtl.Label) []retarget {
+	var undo []retarget
 	for _, x := range f.Blocks {
 		if !loopLabels[x.Label] {
 			continue
@@ -663,7 +689,9 @@ func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy 
 			continue
 		}
 		if nc, ok := firstCopy[t.Target]; ok {
+			undo = append(undo, retarget{inst: t, old: t.Target})
 			t.Target = nc
 		}
 	}
+	return undo
 }

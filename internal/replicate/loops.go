@@ -58,6 +58,8 @@ func rotateOne(f *cfg.Func, opts Options, res *Result) bool {
 	e := cfg.ComputeEdges(f)
 	d := cfg.ComputeDominators(e)
 	loops := cfg.NaturalLoops(e, d)
+	d.Release()
+	defer e.Release()
 	for _, p := range f.Blocks {
 		t := p.Term()
 		if t == nil || t.Kind != rtl.Jmp || p.Index+1 >= len(f.Blocks) {
@@ -126,7 +128,7 @@ func rotateOne(f *cfg.Func, opts Options, res *Result) bool {
 		snapshot := f.Clone()
 		p.Insts = append(p.Insts[:len(p.Insts)-1], rep...)
 		if !cfg.IsReducible(f) {
-			*f = *snapshot
+			f.Restore(snapshot)
 			res.Rollbacks++
 			cand[0].RolledBack = true
 			emitDecision(opts, f, jumpBlock, jumpTarget, cand, obs.OutRolledBack)

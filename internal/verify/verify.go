@@ -283,13 +283,16 @@ func checkNoVirtual(f *cfg.Func, add addFunc, full func() bool) {
 // defines it — the classic symptom of a coloring bug assigning two
 // interfering ranges the same register.
 func checkDeadRegs(f *cfg.Func, add addFunc, full func() bool) {
-	lv := opt.ComputeLiveness(f, cfg.ComputeEdges(f))
+	e := cfg.ComputeEdges(f)
+	lv := opt.ComputeLiveness(f, e)
 	var bad []rtl.Reg
-	for r := range lv.In[0] {
+	lv.In[0].ForEach(func(r rtl.Reg) {
 		if r.IsVirtual() || (r >= rtl.FirstAlloc && r < rtl.VRegBase) {
 			bad = append(bad, r)
 		}
-	}
+	})
+	lv.Release()
+	e.Release()
 	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
 	entry := f.Entry().Label.String()
 	for _, r := range bad {
