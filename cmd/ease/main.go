@@ -35,7 +35,7 @@ func main() {
 	inFile := flag.String("in", "", "input file (default: the program's canned input for -prog)")
 	machName := flag.String("machine", "68020",
 		"target machine: "+strings.Join(machine.Names(), ", "))
-	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
+	levelName := flag.String("level", "jumps", "optimization level: simple, loops, jumps or dups")
 	caches := flag.Bool("caches", false, "simulate the Table-6 instruction caches")
 	showOutput := flag.Bool("output", false, "print the program's output")
 	fetchTraceFile := flag.String("fetchtrace", "", "write the instruction-fetch trace (one `addr size` pair per line) to this file, for cmd/cachesim")

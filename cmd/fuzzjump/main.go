@@ -11,6 +11,7 @@
 //	fuzzjump -machines sparc -levels jumps     # restrict the matrix
 //	fuzzjump -corpus out/ -report f.jsonl      # persist failures
 //	fuzzjump -inject rollback                  # oracle self-test
+//	fuzzjump -inject undo                      # undo-log self-test
 //	fuzzjump -engine matrix -budget 60         # reference path engine, bigger programs
 //
 // Exit status: 0 if the campaign found nothing, 1 if any seed produced a
@@ -40,7 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "first seed of the campaign")
 	machines := flag.String("machines", strings.Join(machine.Names(), ","),
 		"comma-separated target machines")
-	levels := flag.String("levels", "simple,loops,jumps", "comma-separated optimization levels")
+	levels := flag.String("levels", "simple,loops,jumps,dups", "comma-separated optimization levels")
 	workers := flag.Int("j", 4, "parallel workers")
 	corpus := flag.String("corpus", "", "directory to write failing programs to (<seed>.c, <seed>.min.c)")
 	report := flag.String("report", "", "write one JSONL finding per violation to this file")
@@ -50,7 +51,7 @@ func main() {
 	engineName := flag.String("engine", "", "step-1 path engine: oracle (default) or matrix")
 	residual := flag.Bool("residual", false, "enable the opt-in residual-replicable-jump check")
 	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass, attributing violations to the offending pass")
-	inject := flag.String("inject", "", "fault injection for self-testing the oracle: 'rollback' disables the reducibility rollback")
+	inject := flag.String("inject", "", "fault injection for self-testing: 'rollback' disables the reducibility rollback (the oracle must catch it), 'undo' force-rolls-back every duplication (the undo log must restore byte-identically, so the oracle must stay green)")
 	quiet := flag.Bool("q", false, "suppress per-interval progress output")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -72,8 +73,10 @@ func main() {
 	case "":
 	case "rollback":
 		rep.ForceKeepIrreducible = true
+	case "undo":
+		rep.ForceRollback = true
 	default:
-		fatal(2, fmt.Errorf("unknown -inject mode %q (want 'rollback')", *inject))
+		fatal(2, fmt.Errorf("unknown -inject mode %q (want 'rollback' or 'undo')", *inject))
 	}
 	engine, err := replicate.ParseEngine(*engineName)
 	if err != nil {

@@ -31,7 +31,7 @@ import (
 func main() {
 	machName := flag.String("machine", "68020",
 		"target machine: "+strings.Join(machine.Names(), ", "))
-	levelName := flag.String("level", "jumps", "optimization level: simple, loops or jumps")
+	levelName := flag.String("level", "jumps", "optimization level: simple, loops, jumps or dups")
 	dumpNaive := flag.Bool("dump-naive", false, "print the unoptimized RTLs and exit")
 	emitAsm := flag.Bool("S", false, "emit target assembly syntax instead of RTLs")
 	emitListing := flag.Bool("listing", false, "emit an encoded assembly listing (byte offsets and sizes from internal/encode)")

@@ -21,8 +21,10 @@ import (
 // the Encoded section (per machine×level suite code bytes and jump forms);
 // schema 3 added the Floors section (per-level throughput and allocation
 // acceptance bounds enforced by the CI perf gate) and made the suite's
-// allocation measurements mandatory.
-const BaselineSchema = 3
+// allocation measurements mandatory; schema 4 added the DUPS level — the
+// suite, encoded and floors sections grew from three levels to four (12
+// encoded cells), so older files fail the per-level completeness checks.
+const BaselineSchema = 4
 
 // Floor-derivation factors: the committed floor admits throughput down to
 // FloorThroughputFactor of the measured value and allocation counts up to
@@ -77,7 +79,8 @@ type Baseline struct {
 
 // Floor is one level's perf-gate acceptance bound.
 type Floor struct {
-	// Level is the pipeline level name ("SIMPLE", "LOOPS", "JUMPS").
+	// Level is the pipeline level name ("SIMPLE", "LOOPS", "JUMPS",
+	// "DUPS").
 	Level string `json:"level"`
 	// MinRTLsPerSec is the lowest acceptable suite compile throughput.
 	MinRTLsPerSec float64 `json:"min_rtls_per_sec"`
@@ -115,7 +118,8 @@ type EncodedResult struct {
 
 // SuiteResult reports compiling the whole Table-3 suite at one level.
 type SuiteResult struct {
-	// Level is the pipeline level name ("SIMPLE", "LOOPS", "JUMPS").
+	// Level is the pipeline level name ("SIMPLE", "LOOPS", "JUMPS",
+	// "DUPS").
 	Level string `json:"level"`
 	// NsPerOp is the wall time per suite compile (all 14 programs).
 	NsPerOp int64 `json:"ns_per_op"`
@@ -293,7 +297,7 @@ func RunBaseline(states int, progress io.Writer) (*Baseline, error) {
 
 // RunSuite measures only the Table-3 suite compile benchmarks (the part of
 // the baseline the perf gate compares): much faster than RunBaseline since
-// the stress compiles and the 9-cell encoded layout are skipped.
+// the stress compiles and the 12-cell encoded layout are skipped.
 func RunSuite(progress io.Writer) ([]SuiteResult, error) {
 	suiteRTLs, err := SuiteRTLs()
 	if err != nil {

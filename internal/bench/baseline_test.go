@@ -21,6 +21,7 @@ func testBaseline() *Baseline {
 			{Level: "SIMPLE", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 1e10},
 			{Level: "LOOPS", NsPerOp: 110, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 9e9},
 			{Level: "JUMPS", NsPerOp: 120, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 8e9},
+			{Level: "DUPS", NsPerOp: 125, AllocsPerOp: 5, BytesPerOp: 50, RTLs: 1000, RTLsPerSec: 7e9},
 		},
 		Stress: []StressResult{
 			{Engine: "oracle", States: 300, RTLs: 4000, NsPerOp: 1000, RTLsPerSec: 4e9},
@@ -32,6 +33,7 @@ func testBaseline() *Baseline {
 			{Level: "SIMPLE", MinRTLsPerSec: 4e9, MaxAllocsPerOp: 6},
 			{Level: "LOOPS", MinRTLsPerSec: 3.6e9, MaxAllocsPerOp: 6},
 			{Level: "JUMPS", MinRTLsPerSec: 3.2e9, MaxAllocsPerOp: 6},
+			{Level: "DUPS", MinRTLsPerSec: 2.8e9, MaxAllocsPerOp: 6},
 		},
 	}
 }
@@ -69,7 +71,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.StressSpeedup != bl.StressSpeedup || len(got.Suite) != 3 || len(got.Stress) != 2 {
+	if got.StressSpeedup != bl.StressSpeedup || len(got.Suite) != 4 || len(got.Stress) != 2 {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
 }

@@ -21,8 +21,8 @@ func TestGatePasses(t *testing.T) {
 	if err != nil {
 		t.Fatalf("identical measurements failed the gate: %v", err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
 	}
 	for _, r := range rows {
 		if !r.Pass || !r.ThroughputOK || !r.AllocsOK {
@@ -46,8 +46,8 @@ func TestGateCatchesThroughputRegression(t *testing.T) {
 		t.Errorf("wrong verdict split: %+v", rows[1])
 	}
 	// The other levels still pass.
-	if !rows[0].Pass || !rows[2].Pass {
-		t.Errorf("unrelated levels failed: %+v %+v", rows[0], rows[2])
+	if !rows[0].Pass || !rows[2].Pass || !rows[3].Pass {
+		t.Errorf("unrelated levels failed: %+v %+v %+v", rows[0], rows[2], rows[3])
 	}
 }
 
@@ -76,7 +76,7 @@ func TestGateToleranceBand(t *testing.T) {
 
 func TestGateMissingLevel(t *testing.T) {
 	bl, fresh := gateFixture()
-	if _, err := bl.Gate(fresh[:2], 0); err == nil {
+	if _, err := bl.Gate(fresh[:3], 0); err == nil {
 		t.Fatal("gate accepted measurements missing a level")
 	}
 }
@@ -90,7 +90,7 @@ func TestWriteGateSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"### Perf gate", "| Level |", "| SIMPLE |", "| LOOPS |", "| JUMPS |", "✅", "❌", "5%"} {
+	for _, want := range []string{"### Perf gate", "| Level |", "| SIMPLE |", "| LOOPS |", "| JUMPS |", "| DUPS |", "✅", "❌", "5%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary misses %q:\n%s", want, out)
 		}

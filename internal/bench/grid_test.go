@@ -75,10 +75,10 @@ func TestRunGridProgressSerialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 programs × 3 machines × 3 levels.
+	// 2 programs × 3 machines × 4 levels.
 	lines := bytes.Split(bytes.TrimRight(progress.Bytes(), "\n"), []byte("\n"))
-	if len(lines) != 18 {
-		t.Fatalf("progress lines = %d, want 18", len(lines))
+	if len(lines) != 24 {
+		t.Fatalf("progress lines = %d, want 24", len(lines))
 	}
 	for _, ln := range lines {
 		if !bytes.HasPrefix(ln, []byte("measured ")) {
@@ -102,9 +102,9 @@ func TestRunGridOnCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One program across the full 3-machine × 3-level grid.
-	if n != 9 {
-		t.Fatalf("OnCell calls = %d, want 9", n)
+	// One program across the full 3-machine × 4-level grid.
+	if n != 12 {
+		t.Fatalf("OnCell calls = %d, want 12", n)
 	}
 }
 

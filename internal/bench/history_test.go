@@ -14,7 +14,7 @@ import (
 // fakeBaseline builds a structurally valid baseline without measuring.
 func fakeBaseline(ns int64) *Baseline {
 	bl := &Baseline{Schema: BaselineSchema, Machine: "68020", StressSpeedup: 3.5}
-	for _, lv := range []string{"SIMPLE", "LOOPS", "JUMPS"} {
+	for _, lv := range []string{"SIMPLE", "LOOPS", "JUMPS", "DUPS"} {
 		bl.Suite = append(bl.Suite, SuiteResult{
 			Level: lv, NsPerOp: ns, AllocsPerOp: 1, BytesPerOp: 1,
 			RTLs: 1000, RTLsPerSec: float64(1000) * 1e9 / float64(ns),

@@ -72,8 +72,13 @@ func (r *Results) Get(prog, mach string, lv pipeline.Level) *Cell {
 	return &r.Cells[i]
 }
 
-// Levels in table order.
-var levels = []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps}
+// Levels in table order: the full pipeline enum, so new levels (DUPS)
+// appear as extra columns without touching the renderers.
+var levels = pipeline.AllLevels()
+
+// optLevels is every level above SIMPLE — the columns reported as percent
+// change from the SIMPLE baseline.
+func optLevels() []pipeline.Level { return levels[1:] }
 
 // Machines in table order: the whole registry, which lists SPARC first to
 // match the paper's Table 5 and appends the machines the paper did not
@@ -118,13 +123,47 @@ func meanStd(xs []float64) (mean, std float64) {
 // Table4 renders the paper's Table 4: percent of instructions that are
 // unconditional jumps, static and dynamic, per machine and level.
 func (r *Results) Table4(w io.Writer) {
+	nl := len(levels)
 	fmt.Fprintln(w, "Table 4: Percent of Instructions that are Unconditional Jumps")
-	fmt.Fprintf(w, "%-10s %-16s %8s %8s %8s   %8s %8s %8s\n",
-		"", "", "static", "", "", "dynamic", "", "")
-	fmt.Fprintf(w, "%-10s %-16s %8s %8s %8s   %8s %8s %8s\n",
-		"machine", "", "SIMPLE", "LOOPS", "JUMPS", "SIMPLE", "LOOPS", "JUMPS")
+	head := func(first string) {
+		fmt.Fprintf(w, "%-10s %-16s", first, "")
+		for li := 0; li < 2*nl; li++ {
+			name := ""
+			if li == 0 {
+				name = "static"
+			} else if li == nl {
+				name = "dynamic"
+			}
+			if li == nl {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, " %8s", name)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %-16s", "machine", "")
+		for li := 0; li < 2*nl; li++ {
+			if li == nl {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, " %8s", levels[li%nl].String())
+		}
+		fmt.Fprintln(w)
+	}
+	head("")
+	row := func(name, label string, vals [2][]float64) {
+		fmt.Fprintf(w, "%-10s %-16s", name, label)
+		for si := 0; si < 2; si++ {
+			if si == 1 {
+				fmt.Fprint(w, "  ")
+			}
+			for li := 0; li < nl; li++ {
+				fmt.Fprintf(w, " %7.2f%%", vals[si][li])
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	for _, m := range machines {
-		var rows [2][3][]float64 // [static/dynamic][level]samples
+		rows := [2][]([]float64){make([][]float64, nl), make([][]float64, nl)}
 		for _, p := range Programs() {
 			for li, lv := range levels {
 				c := r.Get(p.Name, m.Name, lv)
@@ -135,16 +174,16 @@ func (r *Results) Table4(w io.Writer) {
 				rows[1][li] = append(rows[1][li], 100*c.Run.DynamicJumpFraction())
 			}
 		}
-		var mean, std [2][3]float64
+		var mean, std [2][]float64
 		for si := 0; si < 2; si++ {
-			for li := 0; li < 3; li++ {
+			mean[si] = make([]float64, nl)
+			std[si] = make([]float64, nl)
+			for li := 0; li < nl; li++ {
 				mean[si][li], std[si][li] = meanStd(rows[si][li])
 			}
 		}
-		fmt.Fprintf(w, "%-10s %-16s %7.2f%% %7.2f%% %7.2f%%   %7.2f%% %7.2f%% %7.2f%%\n",
-			m.Name, "average", mean[0][0], mean[0][1], mean[0][2], mean[1][0], mean[1][1], mean[1][2])
-		fmt.Fprintf(w, "%-10s %-16s %7.2f%% %7.2f%% %7.2f%%   %7.2f%% %7.2f%% %7.2f%%\n",
-			"", "std. deviation", std[0][0], std[0][1], std[0][2], std[1][0], std[1][1], std[1][2])
+		row(m.Name, "average", mean)
+		row("", "std. deviation", std)
 	}
 }
 
@@ -155,43 +194,68 @@ var programOrder = []string{
 }
 
 // Table5 renders the paper's Table 5: static and dynamic instruction
-// counts, with LOOPS and JUMPS as percent change from SIMPLE.
+// counts, with every level above SIMPLE as percent change from SIMPLE.
 func (r *Results) Table5(w io.Writer) {
 	fmt.Fprintln(w, "Table 5: Number of Static and Dynamic Instructions")
+	opt := optLevels()
 	for _, m := range machines {
 		fmt.Fprintf(w, "\n%s\n", m.Name)
-		fmt.Fprintf(w, "%-12s %10s %9s %9s   %14s %9s %9s\n",
-			"program", "static", "LOOPS", "JUMPS", "dynamic", "LOOPS", "JUMPS")
-		var statL, statJ, dynL, dynJ []float64
+		fmt.Fprintf(w, "%-12s %10s", "program", "static")
+		for _, lv := range opt {
+			fmt.Fprintf(w, " %9s", lv.String())
+		}
+		fmt.Fprintf(w, "   %14s", "dynamic")
+		for _, lv := range opt {
+			fmt.Fprintf(w, " %9s", lv.String())
+		}
+		fmt.Fprintln(w)
+		stat := make([][]float64, len(opt))
+		dyn := make([][]float64, len(opt))
 		var statS, dynS []float64
 		for _, name := range programOrder {
 			cs := r.Get(name, m.Name, pipeline.Simple)
-			cl := r.Get(name, m.Name, pipeline.Loops)
-			cj := r.Get(name, m.Name, pipeline.Jumps)
-			if cs == nil || cl == nil || cj == nil {
+			if cs == nil {
 				continue
 			}
-			sl := ease.PercentChange(int64(cs.Run.Static.StaticInsts), int64(cl.Run.Static.StaticInsts))
-			sj := ease.PercentChange(int64(cs.Run.Static.StaticInsts), int64(cj.Run.Static.StaticInsts))
-			dl := ease.PercentChange(cs.Run.Dynamic.Exec, cl.Run.Dynamic.Exec)
-			dj := ease.PercentChange(cs.Run.Dynamic.Exec, cj.Run.Dynamic.Exec)
-			fmt.Fprintf(w, "%-12s %10d %+8.2f%% %+8.2f%%   %14d %+8.2f%% %+8.2f%%\n",
-				name, cs.Run.Static.StaticInsts, sl, sj, cs.Run.Dynamic.Exec, dl, dj)
-			statL = append(statL, sl)
-			statJ = append(statJ, sj)
-			dynL = append(dynL, dl)
-			dynJ = append(dynJ, dj)
+			cells := make([]*Cell, len(opt))
+			missing := false
+			for i, lv := range opt {
+				if cells[i] = r.Get(name, m.Name, lv); cells[i] == nil {
+					missing = true
+				}
+			}
+			if missing {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s %10d", name, cs.Run.Static.StaticInsts)
+			for i, c := range cells {
+				d := ease.PercentChange(int64(cs.Run.Static.StaticInsts), int64(c.Run.Static.StaticInsts))
+				stat[i] = append(stat[i], d)
+				fmt.Fprintf(w, " %+8.2f%%", d)
+			}
+			fmt.Fprintf(w, "   %14d", cs.Run.Dynamic.Exec)
+			for i, c := range cells {
+				d := ease.PercentChange(cs.Run.Dynamic.Exec, c.Run.Dynamic.Exec)
+				dyn[i] = append(dyn[i], d)
+				fmt.Fprintf(w, " %+8.2f%%", d)
+			}
+			fmt.Fprintln(w)
 			statS = append(statS, float64(cs.Run.Static.StaticInsts))
 			dynS = append(dynS, float64(cs.Run.Dynamic.Exec))
 		}
 		ms, _ := meanStd(statS)
 		md, _ := meanStd(dynS)
-		ml, _ := meanStd(statL)
-		mj, _ := meanStd(statJ)
-		mdl, _ := meanStd(dynL)
-		mdj, _ := meanStd(dynJ)
-		fmt.Fprintf(w, "%-12s %10.0f %+8.2f%% %+8.2f%%   %14.0f %+8.2f%% %+8.2f%%\n",
-			"average", ms, ml, mj, md, mdl, mdj)
+		fmt.Fprintf(w, "%-12s %10.0f", "average", ms)
+		for i := range opt {
+			m, _ := meanStd(stat[i])
+			fmt.Fprintf(w, " %+8.2f%%", m)
+		}
+		fmt.Fprintf(w, "   %14.0f", md)
+		for i := range opt {
+			m, _ := meanStd(dyn[i])
+			fmt.Fprintf(w, " %+8.2f%%", m)
+		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -212,7 +276,7 @@ func bankIndex(sizes []int64, sizeBytes int64, ctx bool) int {
 
 // Table6 renders the paper's Table 6: change in miss ratio (percentage
 // points) and instruction fetch cost (percent) for direct-mapped caches of
-// 1/2/4/8 KB, context switches on/off, LOOPS and JUMPS vs SIMPLE.
+// 1/2/4/8 KB, context switches on/off, every level above SIMPLE vs SIMPLE.
 func (r *Results) Table6(w io.Writer) {
 	fmt.Fprintln(w, "Table 6: Percent Change in Miss Ratio and Instruction Fetch Cost")
 	fmt.Fprintln(w, "         for Direct-Mapped Caches (vs SIMPLE)")
@@ -226,7 +290,9 @@ func (r *Results) Table6(w io.Writer) {
 	header := func(metric string) {
 		fmt.Fprintf(w, "\n%s\n%-10s %-4s", metric, "machine", "ctx")
 		for _, sz := range sizes {
-			fmt.Fprintf(w, "  %8s-LOOPS %8s-JUMPS", szName(sz), szName(sz))
+			for _, lv := range optLevels() {
+				fmt.Fprintf(w, "  %9s", szName(sz)+"-"+lv.String())
+			}
 		}
 		fmt.Fprintln(w)
 	}
@@ -240,7 +306,7 @@ func (r *Results) Table6(w io.Writer) {
 			fmt.Fprintf(w, "%-10s %-4s", m.Name, ctxs)
 			for _, sz := range sizes {
 				bi := bankIndex(sizes, sz, ctx)
-				for _, lv := range []pipeline.Level{pipeline.Loops, pipeline.Jumps} {
+				for _, lv := range optLevels() {
 					var deltas []float64
 					for _, p := range Programs() {
 						cs := r.Get(p.Name, m.Name, pipeline.Simple)
@@ -252,7 +318,7 @@ func (r *Results) Table6(w io.Writer) {
 							100*(cx.Run.Caches[bi].MissRatio()-cs.Run.Caches[bi].MissRatio()))
 					}
 					mean, _ := meanStd(deltas)
-					fmt.Fprintf(w, "  %+14.2f%%", mean)
+					fmt.Fprintf(w, "  %+9.2f%%", mean)
 				}
 			}
 			fmt.Fprintln(w)
@@ -268,7 +334,7 @@ func (r *Results) Table6(w io.Writer) {
 			fmt.Fprintf(w, "%-10s %-4s", m.Name, ctxs)
 			for _, sz := range sizes {
 				bi := bankIndex(sizes, sz, ctx)
-				for _, lv := range []pipeline.Level{pipeline.Loops, pipeline.Jumps} {
+				for _, lv := range optLevels() {
 					var deltas []float64
 					for _, p := range Programs() {
 						cs := r.Get(p.Name, m.Name, pipeline.Simple)
@@ -279,7 +345,7 @@ func (r *Results) Table6(w io.Writer) {
 						deltas = append(deltas, ease.PercentChange(cs.Run.Caches[bi].Cost, cx.Run.Caches[bi].Cost))
 					}
 					mean, _ := meanStd(deltas)
-					fmt.Fprintf(w, "  %+14.2f%%", mean)
+					fmt.Fprintf(w, "  %+9.2f%%", mean)
 				}
 			}
 			fmt.Fprintln(w)
@@ -326,35 +392,81 @@ func (r *Results) BranchDistance(w io.Writer) {
 }
 
 // CodeSize renders the encoded-code-size table: per machine, the encoded
-// byte footprint of every program at SIMPLE and the percent change at LOOPS
-// and JUMPS. For machines with displacement-dependent jump encodings (the
-// x86) the bytes come from internal/encode's fixpoint — short forms where
-// they fit — so replication's size cost shows up in real bytes, not RTL
-// counts.
+// byte footprint of every program at SIMPLE and the percent change at
+// every level above it. For machines with displacement-dependent jump
+// encodings (the x86) the bytes come from internal/encode's fixpoint —
+// short forms where they fit — so replication's size cost shows up in
+// real bytes, not RTL counts.
 func (r *Results) CodeSize(w io.Writer) {
-	fmt.Fprintln(w, "Encoded Code Size (bytes; LOOPS/JUMPS as change vs SIMPLE)")
+	opt := optLevels()
+	fmt.Fprintln(w, "Encoded Code Size (bytes; change vs SIMPLE)")
 	for _, m := range machines {
-		fmt.Fprintf(w, "\n%s\n%-12s %10s %9s %9s\n", m.Name, "program", "SIMPLE", "LOOPS", "JUMPS")
+		fmt.Fprintf(w, "\n%s\n%-12s %10s", m.Name, "program", "SIMPLE")
+		for _, lv := range opt {
+			fmt.Fprintf(w, " %9s", lv.String())
+		}
+		fmt.Fprintln(w)
 		var base []float64
-		var dl, dj []float64
+		deltas := make([][]float64, len(opt))
 		for _, name := range programOrder {
 			cs := r.Get(name, m.Name, pipeline.Simple)
-			cl := r.Get(name, m.Name, pipeline.Loops)
-			cj := r.Get(name, m.Name, pipeline.Jumps)
-			if cs == nil || cl == nil || cj == nil {
+			if cs == nil {
 				continue
 			}
-			l := ease.PercentChange(cs.Run.CodeBytes, cl.Run.CodeBytes)
-			j := ease.PercentChange(cs.Run.CodeBytes, cj.Run.CodeBytes)
-			fmt.Fprintf(w, "%-12s %10d %+8.2f%% %+8.2f%%\n", name, cs.Run.CodeBytes, l, j)
+			cells := make([]*Cell, len(opt))
+			missing := false
+			for i, lv := range opt {
+				if cells[i] = r.Get(name, m.Name, lv); cells[i] == nil {
+					missing = true
+				}
+			}
+			if missing {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s %10d", name, cs.Run.CodeBytes)
+			for i, c := range cells {
+				d := ease.PercentChange(cs.Run.CodeBytes, c.Run.CodeBytes)
+				deltas[i] = append(deltas[i], d)
+				fmt.Fprintf(w, " %+8.2f%%", d)
+			}
+			fmt.Fprintln(w)
 			base = append(base, float64(cs.Run.CodeBytes))
-			dl = append(dl, l)
-			dj = append(dj, j)
 		}
 		mb, _ := meanStd(base)
-		ml, _ := meanStd(dl)
-		mj, _ := meanStd(dj)
-		fmt.Fprintf(w, "%-12s %10.0f %+8.2f%% %+8.2f%%\n", "average", mb, ml, mj)
+		fmt.Fprintf(w, "%-12s %10.0f", "average", mb)
+		for i := range opt {
+			m, _ := meanStd(deltas[i])
+			fmt.Fprintf(w, " %+8.2f%%", m)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CondBranches renders the DUPS-level claim: dynamic conditional branches
+// executed at JUMPS and at DUPS, with the change. Conditional elimination
+// must never increase the count (the difftest oracle enforces ≤ per
+// program); this table shows how much it removes on the Table-3 suite.
+func (r *Results) CondBranches(w io.Writer) {
+	fmt.Fprintln(w, "Dynamic Conditional Branches (JUMPS vs DUPS)")
+	for _, m := range machines {
+		fmt.Fprintf(w, "\n%s\n%-12s %14s %14s %10s\n",
+			m.Name, "program", "JUMPS", "DUPS", "delta")
+		var totJ, totD int64
+		for _, name := range programOrder {
+			cj := r.Get(name, m.Name, pipeline.Jumps)
+			cd := r.Get(name, m.Name, pipeline.Dups)
+			if cj == nil || cd == nil {
+				continue
+			}
+			j := cj.Run.Dynamic.CondBranches
+			d := cd.Run.Dynamic.CondBranches
+			fmt.Fprintf(w, "%-12s %14d %14d %+9.2f%%\n",
+				name, j, d, ease.PercentChange(j, d))
+			totJ += j
+			totD += d
+		}
+		fmt.Fprintf(w, "%-12s %14d %14d %+9.2f%%\n",
+			"total", totJ, totD, ease.PercentChange(totJ, totD))
 	}
 }
 
@@ -388,6 +500,8 @@ func (r *Results) WriteAll(w io.Writer, withCaches bool) {
 		fmt.Fprintln(w, strings.Repeat("-", 72))
 	}
 	r.CodeSize(w)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	r.CondBranches(w)
 	fmt.Fprintln(w, strings.Repeat("-", 72))
 	r.BranchDistance(w)
 }

@@ -25,6 +25,19 @@ type Edges struct {
 	released bool
 }
 
+// termWithSlot returns the block's control-transfer instruction, tolerating
+// the one trailing delay-slot instruction FillDelaySlots leaves after it.
+// Mid-pipeline the CTI is always last (cfg.Validate pins it there), so this
+// matches Term until slot filling; afterwards a block ending "Jmp; nop"
+// must not read as a fall-through — post-slot analyses (the verifier's
+// liveness) would otherwise walk an edge the machine never takes.
+func termWithSlot(b *Block) *rtl.Inst {
+	if n := len(b.Insts); n >= 2 && !b.Insts[n-1].IsCTI() && b.Insts[n-2].IsCTI() {
+		return &b.Insts[n-2]
+	}
+	return b.Term()
+}
+
 // ComputeEdges builds the successor and predecessor lists for f's current
 // layout. The result reuses buffers previously returned to the function's
 // Scratch via Release; steady-state recomputation is allocation-free.
@@ -100,7 +113,7 @@ func (e *Edges) build(f *Func) {
 	for i, b := range f.Blocks {
 		e.offs[i] = int32(len(succIdx))
 		start := len(succIdx)
-		t := b.Term()
+		t := termWithSlot(b)
 		switch {
 		case t == nil:
 			if i+1 < n {

@@ -43,6 +43,10 @@ const (
 	// VDynamic: the EASE dynamic counters regressed — the JUMPS build
 	// executed more unconditional jumps than the SIMPLE build.
 	VDynamic = "dynamic-jumps-regression"
+	// VDynamicCond: the DUPS build executed more conditional branches than
+	// the JUMPS build — conditional elimination made the program branch
+	// more, which the fold profitability model must never allow.
+	VDynamicCond = "dynamic-cond-branches-regression"
 )
 
 // Violation is one oracle finding for one measurement cell.
@@ -53,6 +57,7 @@ type Violation struct {
 	Detail  string `json:"detail"`
 }
 
+// String renders the violation as "machine/level: kind: detail".
 func (v Violation) String() string {
 	return fmt.Sprintf("%s/%s: %s: %s", v.Machine, v.Level, v.Kind, v.Detail)
 }
@@ -70,12 +75,13 @@ type Verdict struct {
 // Failed reports whether any violation was found.
 func (v *Verdict) Failed() bool { return len(v.Violations) > 0 }
 
-// Options configures one oracle check. The zero value checks both paper
-// machines at all three levels with default budgets and all invariants on.
+// Options configures one oracle check. The zero value checks the whole
+// machine registry at all four levels with default budgets and all
+// invariants on.
 type Options struct {
 	// Machines to compile for (nil = the whole machine registry).
 	Machines []*machine.Machine
-	// Levels to compile at (nil = {SIMPLE, LOOPS, JUMPS}).
+	// Levels to compile at (nil = pipeline.AllLevels()).
 	Levels []pipeline.Level
 	// Replication tunes — or, for the oracle's own self-test, deliberately
 	// breaks — the replication algorithm in every cell.
@@ -135,8 +141,8 @@ func (o Options) maxSteps() int64 {
 // allocation) dominate a cell's wall time. The cap was 6000 when step 1
 // was the all-pairs Floyd–Warshall matrix; the on-demand path oracle
 // removed that bottleneck (see internal/replicate/oracle.go), so the
-// ceiling now doubles to 12000 while a full six-cell check stays in the
-// low seconds.
+// ceiling now doubles to 12000 while a full grid check stays in the low
+// seconds.
 func (o Options) replication() replicate.Options {
 	r := o.Replication
 	if r.MaxFuncRTLs == 0 {
@@ -150,8 +156,9 @@ func (o Options) replication() replicate.Options {
 // code, trap behaviour — against the unoptimized reference interpretation.
 // It also asserts the structural invariants of the optimized code: the CFG
 // validates, every flow graph stays reducible, the JUMPS build executes no
-// more unconditional jumps than SIMPLE, and — opt-in via CheckResidual —
-// a JUMPS build leaves no replicable unconditional jump behind.
+// more unconditional jumps than SIMPLE, the DUPS build executes no more
+// conditional branches than JUMPS, and — opt-in via CheckResidual — a
+// JUMPS build leaves no replicable unconditional jump behind.
 //
 // Inputs that do not compile, or whose reference interpretation already
 // traps, yield a skipped verdict: for arbitrary fuzzer-mutated sources
@@ -175,8 +182,9 @@ func Check(src string, o Options) *Verdict {
 	}
 
 	type cellCounts struct {
-		ok    bool
-		jumps int64 // direct unconditional jumps (Jmp, not IJmp)
+		ok       bool
+		jumps    int64 // direct unconditional jumps (Jmp, not IJmp)
+		branches int64 // conditional branches (Br)
 	}
 	perMachine := map[string]map[pipeline.Level]cellCounts{}
 
@@ -242,7 +250,8 @@ func Check(src string, o Options) *Verdict {
 				// across levels would flag that legitimate trade as a
 				// violation. Replication's Table-4 claim is about the
 				// direct jumps it eliminates.
-				jumps: run.Counts.UncondJumps - run.Counts.IndirectJumps,
+				jumps:    run.Counts.UncondJumps - run.Counts.IndirectJumps,
+				branches: run.Counts.CondBranches,
 			}
 			if v.Skipped {
 				// Reference trapped but the optimized build did not: for
@@ -261,9 +270,13 @@ func Check(src string, o Options) *Verdict {
 		}
 	}
 
-	// EASE dynamic-count invariant: replication must never make a program
+	// EASE dynamic-count invariants: replication must never make a program
 	// execute more direct unconditional jumps than the SIMPLE build on the
-	// same machine (the paper's Table-4 claim, which rollback preserves).
+	// same machine (the paper's Table-4 claim, which rollback preserves),
+	// and conditional elimination must never make it execute more
+	// conditional branches than the JUMPS build (≤, not <: a fold only
+	// fires where the analysis decides an edge, and many programs offer
+	// none).
 	if !o.SkipDynamic {
 		for _, m := range o.machines() {
 			cells := perMachine[m.Name]
@@ -271,6 +284,11 @@ func Check(src string, o Options) *Verdict {
 			if s.ok && j.ok && j.jumps > s.jumps {
 				v.addNamed(o, m.Name, "JUMPS", VDynamic,
 					fmt.Sprintf("JUMPS executed %d direct unconditional jumps, SIMPLE only %d", j.jumps, s.jumps))
+			}
+			d := cells[pipeline.Dups]
+			if j.ok && d.ok && d.branches > j.branches {
+				v.addNamed(o, m.Name, "DUPS", VDynamicCond,
+					fmt.Sprintf("DUPS executed %d conditional branches, JUMPS only %d", d.branches, j.branches))
 			}
 		}
 	}

@@ -67,6 +67,10 @@ const (
 	// KindRotation: the conventional LOOPS-level loop-condition rotation
 	// (a reversed copy of a pure termination test).
 	KindRotation = "rotation"
+	// KindFold: the DUPS-level conditional elimination — a test block
+	// duplicated onto an incoming edge with its branch folded to the
+	// decided transfer.
+	KindFold = "fold"
 )
 
 // Candidate describes one replication sequence considered for a jump.

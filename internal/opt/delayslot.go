@@ -90,6 +90,13 @@ func FillDelaySlots(f *cfg.Func, m *machine.Machine) (filled, nops int) {
 		}
 		b.Insts = out
 	}
+	// Target-filling a branch that was its target's only entry leaves the
+	// one-instruction head stranded (every other predecessor entered at the
+	// top; here there were none). No pass runs after this one, so reclaim
+	// stranded heads now — ComputeEdges understands the post-slot layout.
+	if filled > 0 {
+		cfg.RemoveUnreachable(f)
+	}
 	return filled, nops
 }
 

@@ -3,7 +3,8 @@
 //
 //	SIMPLE — the standard optimizations only,
 //	LOOPS  — plus conventional loop-condition replication,
-//	JUMPS  — plus generalized code replication.
+//	JUMPS  — plus generalized code replication,
+//	DUPS   — plus conditional elimination by code duplication.
 package pipeline
 
 import (
@@ -32,8 +33,14 @@ const (
 	Simple Level = iota
 	Loops
 	Jumps
+	// Dups extends Jumps with conditional elimination by code duplication:
+	// conditional branches whose outcome is decided on an incoming path are
+	// removed by duplicating the test block on that path with the branch
+	// folded to the decided transfer.
+	Dups
 )
 
+// String returns the level's canonical upper-case spelling (e.g. "JUMPS").
 func (l Level) String() string {
 	switch l {
 	case Simple:
@@ -42,14 +49,16 @@ func (l Level) String() string {
 		return "LOOPS"
 	case Jumps:
 		return "JUMPS"
+	case Dups:
+		return "DUPS"
 	}
 	return fmt.Sprintf("level(%d)", uint8(l))
 }
 
-// AllLevels lists the paper's three optimization levels in ascending
-// order; tools that sweep every level (tables, the difftest oracle) range
-// over this instead of hard-coding the enum.
-func AllLevels() []Level { return []Level{Simple, Loops, Jumps} }
+// AllLevels lists the four optimization levels in ascending order (the
+// paper's three plus DUPS); tools that sweep every level (tables, the
+// difftest oracle) range over this instead of hard-coding the enum.
+func AllLevels() []Level { return []Level{Simple, Loops, Jumps, Dups} }
 
 // ParseLevel converts a string (any case) to a Level.
 func ParseLevel(s string) (Level, error) {
@@ -60,15 +69,18 @@ func ParseLevel(s string) (Level, error) {
 		return Loops, nil
 	case "jumps":
 		return Jumps, nil
+	case "dups":
+		return Dups, nil
 	}
-	return Simple, fmt.Errorf("pipeline: unknown level %q (want simple, loops or jumps)", s)
+	return Simple, fmt.Errorf("pipeline: unknown level %q (want simple, loops, jumps or dups)", s)
 }
 
 // Config selects the machine, level and replication options.
 type Config struct {
 	Machine *machine.Machine
 	Level   Level
-	// Replication tunes the JUMPS algorithm (ignored for other levels).
+	// Replication tunes the replication passes (LOOPS, JUMPS and DUPS;
+	// ignored at SIMPLE).
 	Replication replicate.Options
 	// MaxIterations caps the do-while loop of Figure 3 (0 = default 30).
 	MaxIterations int
@@ -261,6 +273,8 @@ func replicatePass(f *cfg.Func, c Config) replicate.Result {
 		return replicate.LOOPS(f, opts)
 	case Jumps:
 		return replicate.JUMPS(f, opts)
+	case Dups:
+		return replicate.DUPS(f, opts)
 	}
 	return replicate.Result{}
 }
@@ -422,11 +436,12 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 		changed = pr.run("fold-branches", func() bool { return opt.FoldBranches(f) }) || changed
 		changed = pr.run("delete-jumps-to-next", func() bool { return cfg.DeleteJumpsToNext(f) }) || changed
 		if replicating {
-			before := staticJumpCount(f)
+			before := progressMetric(f, c.Level)
+			foldsBefore := st.Replication.BranchesFolded
 			repChanged := pr.run("replicate", replicateHere)
 			pr.run("dead-code", func() bool { return opt.DeadCodeElimination(f) })
-			after := staticJumpCount(f)
-			if after < before {
+			after := progressMetric(f, c.Level)
+			if after < before || st.Replication.BranchesFolded > foldsBefore {
 				changed = true
 			} else if repChanged {
 				// Replication churned without net progress: stop invoking
@@ -502,6 +517,16 @@ func staticJumpCount(f *cfg.Func) int {
 		}
 	}
 	return n
+}
+
+// progressMetric is the static count replication must keep lowering for
+// the Figure-3 loop to keep invoking it: the unconditional-jump count
+// (§5.2). DUPS uses the same metric so its jump-replication phase walks
+// the identical trajectory the JUMPS level would — a fold's progress is
+// dynamic, invisible to any static count, so the loop in optimizeFunc
+// credits it from the BranchesFolded delta instead.
+func progressMetric(f *cfg.Func, l Level) int {
+	return staticJumpCount(f)
 }
 
 // count fills the static instruction statistics.

@@ -46,7 +46,7 @@ func traceFixture(t *testing.T, lv pipeline.Level) []byte {
 // with `go test ./internal/pipeline -run TraceGolden -update` after an
 // intentional schema change.
 func TestTraceGolden(t *testing.T) {
-	for _, lv := range []pipeline.Level{pipeline.Simple, pipeline.Loops, pipeline.Jumps} {
+	for _, lv := range pipeline.AllLevels() {
 		got := traceFixture(t, lv)
 		golden := filepath.Join("testdata", "midloop_"+lv.String()+".trace.jsonl")
 		if *update {

@@ -1,0 +1,507 @@
+package replicate
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/obs"
+	"repro/internal/rtl"
+)
+
+// DUPS is the fourth optimization level's replication pass: conditional
+// elimination through code duplication (after Breitner; see PAPERS.md)
+// layered over the generalized JUMPS replication. A conditional branch
+// whose outcome is already decided when control arrives along one incoming
+// edge — because the compared values are constants on that path, or because
+// a dominating test on the same comparison implies the result — is
+// eliminated on that edge by duplicating the test block with the branch
+// folded to the decided transfer.
+//
+// The two legs are staged, not interleaved: conditional elimination waits
+// until jump replication has nothing left to do. While JUMPS still makes
+// progress DUPS is JUMPS, so the function walks the identical pass
+// trajectory it would at the JUMPS level — folding earlier perturbs the
+// replicator's candidate choices and can cost more downstream branch
+// eliminations than the folds save (fuzz seed 60 caught exactly that).
+// Only at that fixpoint does a fold fire, a strict improvement on the
+// JUMPS-final flow graph; the unconditional jump it leaves in the copy is
+// replicated away by the trailing JUMPS sweep, exactly as the paper's
+// replication kills the jumps ordinary code generation leaves behind.
+func DUPS(f *cfg.Func, opts Options) Result {
+	res := JUMPS(f, opts)
+	if res.Changed {
+		return res
+	}
+	res.Merge(condElim(f, opts))
+	if res.Changed {
+		res.Merge(JUMPS(f, opts))
+	}
+	return res
+}
+
+// condElim repeatedly folds decided conditional branches until a sweep
+// finds nothing foldable or the growth budget is exhausted. Every applied
+// fold consumes the decided edge it acted on, and failed (rolled-back)
+// edges are blacklisted for the invocation, so each sweep makes strict
+// progress on the ProfitFolds metric or terminates the pass.
+func condElim(f *cfg.Func, opts Options) Result {
+	var res Result
+	blacklist := map[jumpKey]bool{}
+	g := newBudget(f, opts, ProfitFolds)
+	for !g.exhausted(f) {
+		if foldSweep(f, opts, g, blacklist, &res) == 0 {
+			break
+		}
+		res.Changed = true
+	}
+	return res
+}
+
+// edgeKind classifies how control flows from a predecessor into the test
+// block under consideration.
+type edgeKind uint8
+
+// The incoming-edge shapes conditional elimination understands.
+const (
+	// edgeJump: the predecessor ends in an unconditional jump to the test
+	// block. Folding dissolves the jump too — the copy is spliced in as
+	// the predecessor's fall-through, removing one dynamic unconditional
+	// jump and one dynamic conditional branch per traversal.
+	edgeJump edgeKind = iota
+	// edgeBrTaken: the predecessor's conditional branch targets the test
+	// block; the taken edge is retargeted onto the folded copy.
+	edgeBrTaken
+	// edgeFall: control falls through into the test block (from a
+	// terminator-less block or a branch's fall-through); the folded copy
+	// is spliced between the two blocks.
+	edgeFall
+)
+
+// dupEdge is one incoming edge of a conditional test block.
+type dupEdge struct {
+	t    *cfg.Block
+	kind edgeKind
+}
+
+// edgesOf enumerates p's outgoing edges in the shapes conditional
+// elimination can rewire (indirect jumps are excluded: a jump-table entry
+// is not an edge the engine retargets).
+func edgesOf(f *cfg.Func, p *cfg.Block) []dupEdge {
+	var out []dupEdge
+	t := p.Term()
+	next := func() *cfg.Block {
+		if p.Index+1 < len(f.Blocks) {
+			return f.Blocks[p.Index+1]
+		}
+		return nil
+	}
+	switch {
+	case t == nil:
+		if nb := next(); nb != nil {
+			out = append(out, dupEdge{t: nb, kind: edgeFall})
+		}
+	case t.Kind == rtl.Jmp:
+		if tb := f.BlockByLabel(t.Target); tb != nil {
+			out = append(out, dupEdge{t: tb, kind: edgeJump})
+		}
+	case t.Kind == rtl.Br:
+		if tb := f.BlockByLabel(t.Target); tb != nil {
+			out = append(out, dupEdge{t: tb, kind: edgeBrTaken})
+		}
+		if nb := next(); nb != nil {
+			out = append(out, dupEdge{t: nb, kind: edgeFall})
+		}
+	}
+	return out
+}
+
+// foldable reports whether t is a test block a fold could act on: it ends
+// in a conditional branch fed by a comparison of its own, has a layout
+// fall-through for the untaken direction, and is not degenerate (a branch
+// to its own fall-through decides nothing).
+func foldable(f *cfg.Func, t *cfg.Block) bool {
+	tt := t.Term()
+	if tt == nil || tt.Kind != rtl.Br {
+		return false
+	}
+	if t.Index+1 >= len(f.Blocks) || tt.Target == f.Blocks[t.Index+1].Label {
+		return false
+	}
+	return lastCmpBefore(t) >= 0
+}
+
+// foldSweep walks the blocks once, folding every decided incoming edge of
+// every test block it can. Returns the number of folds applied.
+func foldSweep(f *cfg.Func, opts Options, g *budget, blacklist map[jumpKey]bool, res *Result) int {
+	made := 0
+	for pi := 0; pi < len(f.Blocks); pi++ {
+		if g.exhausted(f) {
+			break
+		}
+		p := f.Blocks[pi]
+		for _, e := range edgesOf(f, p) {
+			t := e.t
+			if t == p || !foldable(f, t) {
+				continue
+			}
+			key := jumpKey{p.Label, t.Label}
+			if blacklist[key] {
+				continue
+			}
+			if opts.MaxSeqRTLs > 0 && len(t.Insts) > opts.MaxSeqRTLs {
+				continue
+			}
+			// A branch-taken edge parks its copy at the end of the layout,
+			// which requires the last block not to fall off the end.
+			if e.kind == edgeBrTaken {
+				if lt := f.Blocks[len(f.Blocks)-1].Term(); lt == nil || lt.Kind == rtl.Br {
+					continue
+				}
+			}
+			decided, taken := decideEdge(p, t, e.kind)
+			if !decided {
+				continue
+			}
+			meta := []obs.Candidate{{Kind: obs.KindFold, RTLs: len(t.Insts), Blocks: 1}}
+			if !applyFold(f, opts, p, t, e.kind, taken) {
+				blacklist[key] = true
+				res.Rollbacks++
+				meta[0].RolledBack = true
+				emitDecision(opts, f, key.block, key.target, meta, obs.OutRolledBack)
+				continue
+			}
+			meta[0].Applied = true
+			res.BranchesFolded++
+			res.RTLsCopied += len(t.Insts)
+			emitDecision(opts, f, key.block, key.target, meta, obs.OutApplied)
+			made++
+			g.spent(f)
+			// The fold rewired p and shifted the layout; stale edge data
+			// for p is discarded and the walk resumes on the next block
+			// (later sweeps revisit whatever remains).
+			break
+		}
+	}
+	return made
+}
+
+// applyFold duplicates t as a copy whose conditional branch is replaced by
+// the decided transfer, and rewires the edge from p onto the copy — all
+// under the engine's reducibility guard, so a fold that would break the
+// flow graph's reducibility (for example by giving a natural loop a second
+// entry) is rolled back byte-identically.
+func applyFold(f *cfg.Func, opts Options, p, t *cfg.Block, kind edgeKind, taken bool) bool {
+	dest := t.Term().Target
+	if !taken {
+		dest = f.Blocks[t.Index+1].Label
+	}
+	return applyGuarded(f, opts, func(u *undoLog) {
+		nb := t.Clone()
+		nb.Label = f.NewLabel()
+		// The comparison (and everything before it) is kept — values and
+		// the condition code are computed exactly as in the original — and
+		// only the branch is folded to the decided transfer.
+		nb.Insts[len(nb.Insts)-1] = rtl.Inst{Kind: rtl.Jmp, Target: dest}
+		switch kind {
+		case edgeJump:
+			u.truncated(p, len(p.Insts))
+			p.Insts = p.Insts[:len(p.Insts)-1]
+			f.InsertBlocksAfter(p.Index, nb)
+			u.insertedBlocks(p.Index, 1)
+		case edgeFall:
+			f.InsertBlocksAfter(p.Index, nb)
+			u.insertedBlocks(p.Index, 1)
+		case edgeBrTaken:
+			at := len(f.Blocks) - 1
+			f.InsertBlocksAfter(at, nb)
+			u.insertedBlocks(at, 1)
+			pt := p.Term()
+			u.retargeted(pt, pt.Target)
+			pt.Target = nb.Label
+		}
+	})
+}
+
+// lastCmpBefore returns the index of the last comparison before t's
+// terminator (the one its conditional branch tests), or -1 when the block
+// computes no condition of its own (the condition code then flows in from
+// a predecessor — out of scope for a per-edge fold).
+func lastCmpBefore(t *cfg.Block) int {
+	for i := len(t.Insts) - 2; i >= 0; i-- {
+		if t.Insts[i].Kind == rtl.Cmp {
+			return i
+		}
+	}
+	return -1
+}
+
+// relFact is relational knowledge carried along an edge: "x rel y held when
+// control left the predecessor's test".
+type relFact struct {
+	x, y rtl.Operand
+	rel  rtl.Rel
+	ok   bool
+}
+
+// decideEdge reports whether t's conditional branch outcome is known when
+// control enters t along the given edge from p, and if so which way the
+// branch goes. Two routes decide it: the compared values are constants on
+// the path through p (per-path constant propagation over registers and
+// unaliased frame slots), or p's own terminating test compared the same
+// operands and the edge direction implies the result (sign-set
+// implication between the two relations).
+func decideEdge(p, t *cfg.Block, kind edgeKind) (decided, taken bool) {
+	ci := lastCmpBefore(t)
+	if ci < 0 {
+		return false, false
+	}
+	tCmp := &t.Insts[ci]
+	q := t.Term().BrRel
+
+	env := newConstEnv()
+	for i := range p.Insts {
+		env.step(&p.Insts[i])
+	}
+
+	// Relational knowledge from p's own test, valid only on conditional
+	// edges and only while neither compared operand can have changed
+	// between the two comparisons.
+	var fact relFact
+	if pt := p.Term(); pt != nil && pt.Kind == rtl.Br && kind != edgeJump {
+		if pi := lastCmpBefore(p); pi >= 0 {
+			pc := &p.Insts[pi]
+			if comparableOperand(pc.Src) && comparableOperand(pc.Src2) &&
+				operandsStable(pc.Src, pc.Src2, p.Insts[pi+1:]) {
+				rel := pt.BrRel
+				if kind == edgeFall {
+					rel = rel.Negate()
+				}
+				fact = relFact{x: pc.Src, y: pc.Src2, rel: rel, ok: true}
+			}
+		}
+	}
+	if fact.ok && !operandsStable(fact.x, fact.y, t.Insts[:ci]) {
+		fact.ok = false
+	}
+	for i := 0; i < ci; i++ {
+		env.step(&t.Insts[i])
+	}
+
+	// Constant route: both compared values are known on this path.
+	if x, okx := env.value(tCmp.Src); okx {
+		if y, oky := env.value(tCmp.Src2); oky {
+			return true, q.Holds(x, y)
+		}
+	}
+
+	// Dominating-test route: p compared the same operands (directly or
+	// swapped) and the known relation implies or excludes t's.
+	if fact.ok {
+		var qr rtl.Rel
+		matched := false
+		switch {
+		case tCmp.Src.Equal(fact.x) && tCmp.Src2.Equal(fact.y):
+			qr, matched = q, true
+		case tCmp.Src.Equal(fact.y) && tCmp.Src2.Equal(fact.x):
+			qr, matched = q.Swap(), true
+		}
+		if matched {
+			ks, qs := relSigns(fact.rel), relSigns(qr)
+			switch {
+			case ks&^qs == 0:
+				return true, true
+			case ks&qs == 0:
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
+
+// relSigns encodes a relation as the set of comparison outcomes
+// ({<, ==, >}) that satisfy it. Implication between two relations on the
+// same operand pair reduces to set algebra: known ⊆ query means the query
+// must hold; known ∩ query = ∅ means it cannot.
+func relSigns(r rtl.Rel) uint8 {
+	const lt, eq, gt = 1, 2, 4
+	switch r {
+	case rtl.Eq:
+		return eq
+	case rtl.Ne:
+		return lt | gt
+	case rtl.Lt:
+		return lt
+	case rtl.Le:
+		return lt | eq
+	case rtl.Gt:
+		return gt
+	case rtl.Ge:
+		return gt | eq
+	}
+	return lt | eq | gt
+}
+
+// comparableOperand reports whether relational knowledge about the operand
+// can be carried across blocks: registers, immediates and frame slots
+// qualify; anything reached through memory indirection does not.
+func comparableOperand(o rtl.Operand) bool {
+	switch o.Kind {
+	case rtl.OReg, rtl.OImm, rtl.OLocal:
+		return true
+	}
+	return false
+}
+
+// operandsStable reports whether executing insts cannot change the values
+// the two operands denote: no instruction defines a register either reads,
+// and no store or call can alias a frame slot either reads.
+func operandsStable(x, y rtl.Operand, insts []rtl.Inst) bool {
+	usesReg := func(r rtl.Reg) bool {
+		return (x.Kind == rtl.OReg && x.Reg == r) || (y.Kind == rtl.OReg && y.Reg == r)
+	}
+	usesLocal := func(off int64, any bool) bool {
+		if x.Kind == rtl.OLocal && (any || x.Val == off) {
+			return true
+		}
+		return y.Kind == rtl.OLocal && (any || y.Val == off)
+	}
+	for i := range insts {
+		in := &insts[i]
+		if d := in.DefReg(); d != rtl.RegNone && usesReg(d) {
+			return false
+		}
+		switch in.Kind {
+		case rtl.Move, rtl.Bin, rtl.Un:
+			switch in.Dst.Kind {
+			case rtl.OLocal:
+				if usesLocal(in.Dst.Val, false) {
+					return false
+				}
+			case rtl.OMem, rtl.OGlobal:
+				// A store through a pointer may alias any addressable
+				// frame slot.
+				if usesLocal(0, true) {
+					return false
+				}
+			}
+		case rtl.Call:
+			// The callee may write any addressable frame slot through a
+			// pointer (registers are per-frame and survive).
+			if usesLocal(0, true) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// constEnv is the per-path constant environment of decideEdge: known
+// constant values of registers and unaliased frame slots. It starts empty
+// (everything unknown) at the predecessor's entry, which is sound — the
+// analysis only ever narrows an "unknown" to a proven constant observed on
+// the simulated path itself.
+type constEnv struct {
+	regs   map[rtl.Reg]int64
+	locals map[int64]int64
+}
+
+func newConstEnv() *constEnv {
+	return &constEnv{regs: map[rtl.Reg]int64{}, locals: map[int64]int64{}}
+}
+
+// value resolves an operand to a known constant.
+func (e *constEnv) value(o rtl.Operand) (int64, bool) {
+	switch o.Kind {
+	case rtl.OImm:
+		return o.Val, true
+	case rtl.OReg:
+		v, ok := e.regs[o.Reg]
+		return v, ok
+	case rtl.OLocal:
+		v, ok := e.locals[o.Val]
+		return v, ok
+	}
+	return 0, false
+}
+
+// assign records a known (or unknown) value for a destination operand;
+// stores through memory conservatively clear every tracked frame slot
+// (pointer writes may alias any addressable local).
+func (e *constEnv) assign(o rtl.Operand, v int64, known bool) {
+	switch o.Kind {
+	case rtl.OReg:
+		if known {
+			e.regs[o.Reg] = v
+		} else {
+			delete(e.regs, o.Reg)
+		}
+	case rtl.OLocal:
+		if known {
+			e.locals[o.Val] = v
+		} else {
+			delete(e.locals, o.Val)
+		}
+	case rtl.OMem, rtl.OGlobal:
+		clear(e.locals)
+	}
+}
+
+// step simulates one instruction's effect on the environment.
+func (e *constEnv) step(in *rtl.Inst) {
+	switch in.Kind {
+	case rtl.Move:
+		v, ok := e.value(in.Src)
+		e.assign(in.Dst, v, ok)
+	case rtl.Bin:
+		x, okx := e.value(in.Src)
+		y, oky := e.value(in.Src2)
+		if okx && oky {
+			e.assign(in.Dst, in.BOp.Eval(x, y), true)
+		} else {
+			e.assign(in.Dst, 0, false)
+		}
+	case rtl.Un:
+		x, ok := e.value(in.Src)
+		if ok {
+			e.assign(in.Dst, in.UOp.Eval(x), true)
+		} else {
+			e.assign(in.Dst, 0, false)
+		}
+	case rtl.Call:
+		// The callee runs in its own frame (registers are per-frame) but
+		// may write any addressable local or global through a pointer.
+		clear(e.locals)
+		if in.Dst.Kind != rtl.ONone {
+			e.assign(in.Dst, 0, false)
+		}
+	}
+	// Cmp, Br, Jmp, IJmp, Arg, Ret, Nop: no tracked effect.
+}
+
+// countDecidedEdges is the ProfitFolds metric: the number of incoming
+// edges on which a foldable test block's branch outcome is already known.
+func countDecidedEdges(f *cfg.Func) int {
+	n := 0
+	for _, p := range f.Blocks {
+		for _, e := range edgesOf(f, p) {
+			if e.t == p || !foldable(f, e.t) {
+				continue
+			}
+			if d, _ := decideEdge(p, e.t, e.kind); d {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// countBranches returns the static number of conditional branches.
+func countBranches(f *cfg.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for ii := range b.Insts {
+			if b.Insts[ii].Kind == rtl.Br {
+				n++
+			}
+		}
+	}
+	return n
+}

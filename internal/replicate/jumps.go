@@ -78,6 +78,11 @@ type Options struct {
 	// irreducible, instead of rolling it back. Never set it outside tests —
 	// it deliberately breaks the algorithm's central safety property.
 	ForceKeepIrreducible bool
+	// ForceRollback is the complementary fault injection: when set, every
+	// guarded duplication is rolled back as if the reducibility check had
+	// failed, exercising the undo log's byte-identical restore on every
+	// attempt. Never set it outside tests.
+	ForceRollback bool
 }
 
 // Result reports what one replication invocation (JUMPS or LOOPS) did to a
@@ -96,6 +101,9 @@ type Result struct {
 	// RTLsCopied is the total size of all applied replication sequences —
 	// the function's code growth due to replication before cleanup passes.
 	RTLsCopied int
+	// BranchesFolded counts conditional branches eliminated on a duplicated
+	// edge by the DUPS level's conditional-elimination pass.
+	BranchesFolded int
 }
 
 // Merge accumulates o into r (used by the pipeline to aggregate over
@@ -106,6 +114,7 @@ func (r *Result) Merge(o Result) {
 	r.JumpsDeleted += o.JumpsDeleted
 	r.Rollbacks += o.Rollbacks
 	r.RTLsCopied += o.RTLsCopied
+	r.BranchesFolded += o.BranchesFolded
 }
 
 func (o Options) maxFuncRTLs() int {
@@ -121,12 +130,6 @@ func (o Options) maxReplications() int {
 	}
 	return o.MaxReplications
 }
-
-// maxFutile bounds consecutive replications that fail to lower the
-// function's unconditional-jump count; the paper notes that interactions
-// must be "treated conservatively to avoid the potential of replication ad
-// infinitum".
-const maxFutile = 16
 
 // jumpKey identifies one unconditional jump for the per-invocation
 // blacklist of failed replications.
@@ -156,14 +159,9 @@ func countJumps(f *cfg.Func) int {
 func JUMPS(f *cfg.Func, opts Options) Result {
 	var res Result
 	blacklist := map[jumpKey]bool{}
-	reps := 0
-	best := countJumps(f)
-	futile := 0
-	for reps < opts.maxReplications() && futile < maxFutile {
-		if f.NumRTLs() > opts.maxFuncRTLs() {
-			break
-		}
-		made := sweep(f, opts, blacklist, &reps, &best, &futile, &res)
+	g := newBudget(f, opts, ProfitJumps)
+	for !g.exhausted(f) {
+		made := sweep(f, opts, blacklist, g, &res)
 		if made == 0 {
 			break
 		}
@@ -176,7 +174,7 @@ func JUMPS(f *cfg.Func, opts Options) Result {
 // blocks replacing jumps (steps 2–6), reusing the engine for every lookup
 // exactly as the paper describes for its matrix. Returns the number of
 // replications made.
-func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, futile *int, res *Result) int {
+func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, g *budget, res *Result) int {
 	e := cfg.ComputeEdges(f)
 	m := newPathFinder(f, e, opts.Engine)
 	// Label-space view of the engine: rows were assigned in block order at
@@ -190,10 +188,7 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 	made := 0
 
 	for bi := 0; bi < len(f.Blocks); bi++ {
-		if *reps >= opts.maxReplications() || *futile >= maxFutile {
-			break
-		}
-		if f.NumRTLs() > opts.maxFuncRTLs() {
+		if g.exhausted(f) {
 			break
 		}
 		b := f.Blocks[bi]
@@ -256,13 +251,7 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, reps, best, fu
 		res.RTLsCopied += cands[applied].rtls
 		emitDecision(opts, f, key.block, key.target, meta, obs.OutApplied)
 		made++
-		*reps++
-		if now := countJumps(f); now < *best {
-			*best = now
-			*futile = 0
-		} else {
-			*futile++
-		}
+		g.spent(f)
 	}
 	return made
 }
@@ -497,15 +486,10 @@ func finishCandidate(f *cfg.Func, loops []*cfg.Loop, opts Options, b *cfg.Block,
 
 // attemptReplication performs steps 4–6 for one candidate: splice the
 // copies in place of the jump, adjust control flow, redirect in-loop
-// branches, and verify reducibility, rolling everything back on failure.
-// Rollback is an undo log, not a whole-function clone: the splice only
-// truncates b's jump (the backing array keeps the instruction), inserts
-// fresh blocks after b, retargets branches of uncopied in-loop blocks, and
-// advances the label counter — all four are reversed exactly.
+// branches, and verify reducibility via the engine's guard, rolling
+// everything back through the undo log on failure (see dup.go).
 func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, opts Options) bool {
 	b := f.Blocks[bIdx]
-	labelMark := f.LabelMark()
-	savedInsts := len(b.Insts)
 	// Step 5 needs the membership of the loop the jump lives in, captured
 	// by label before splicing invalidates indices.
 	var loopLabels map[rtl.Label]bool
@@ -515,34 +499,17 @@ func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, o
 			loopLabels[f.Blocks[bi].Label] = true
 		})
 	}
-
-	firstCopy, inserted := splice(f, b, c)
-
-	// Step 5: preserve loop structure around partially copied loops.
-	var retargets []retarget
-	if loopLabels != nil {
-		retargets = redirectLoopBranches(f, loopLabels, firstCopy)
-	}
-
-	if !cfg.IsReducible(f) && !opts.ForceKeepIrreducible {
-		for _, r := range retargets {
-			r.inst.Target = r.old
+	return applyGuarded(f, opts, func(u *undoLog) {
+		u.truncated(b, len(b.Insts))
+		firstCopy, inserted := splice(f, b, c)
+		u.insertedBlocks(bIdx, inserted)
+		// Step 5: preserve loop structure around partially copied loops.
+		if loopLabels != nil {
+			for _, r := range redirectLoopBranches(f, loopLabels, firstCopy) {
+				u.retargeted(r.inst, r.old)
+			}
 		}
-		f.Blocks = append(f.Blocks[:bIdx+1], f.Blocks[bIdx+1+inserted:]...)
-		f.Renumber()
-		b.Insts = b.Insts[:savedInsts]
-		f.ResetLabels(labelMark)
-		return false
-	}
-	return true
-}
-
-// retarget records one branch rewrite of redirectLoopBranches so the undo
-// log can reverse it. The instruction pointer stays valid because nothing
-// appends to the owning block's Insts between rewrite and rollback.
-type retarget struct {
-	inst *rtl.Inst
-	old  rtl.Label
+	})
 }
 
 // splice replaces b's terminating jump with copies of the candidate blocks

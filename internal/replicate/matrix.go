@@ -1,8 +1,6 @@
-// Package replicate implements the paper's contribution: the JUMPS
-// algorithm, which removes unconditional jumps by replicating the shortest
-// sequence of basic blocks reachable from the jump target, and the LOOPS
-// algorithm, the conventional loop-condition replication it is compared
-// against.
+// The all-pairs shortest-path engine behind the paper's step 1: picking,
+// for each unconditional jump, the cheapest replication sequence reachable
+// from its target. See dup.go for the package documentation.
 package replicate
 
 import "math"

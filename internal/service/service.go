@@ -400,7 +400,7 @@ type CompileRequest struct {
 	// Machine is any registered machine name or alias — "68020" (default),
 	// "sparc", "x86", ... (see machine.Names).
 	Machine string `json:"machine,omitempty"`
-	// Level is "simple", "loops" or "jumps" (default).
+	// Level is "simple", "loops", "jumps" (default) or "dups".
 	Level       string             `json:"level,omitempty"`
 	Replication ReplicationOptions `json:"replication,omitempty"`
 	// VerifyEach runs the semantic IR verifier after every pipeline pass;
@@ -561,7 +561,7 @@ type MeasureRequest struct {
 	// Machine is any registered machine name or alias — "68020" (default),
 	// "sparc", "x86", ... (see machine.Names).
 	Machine string `json:"machine,omitempty"`
-	// Level is "simple", "loops" or "jumps" (default).
+	// Level is "simple", "loops", "jumps" (default) or "dups".
 	Level       string             `json:"level,omitempty"`
 	Replication ReplicationOptions `json:"replication,omitempty"`
 	// Caches enables the Table-6 cache bank.

@@ -180,7 +180,11 @@ func Func(f *cfg.Func, o Options) []Violation {
 	if full() {
 		return vs
 	}
-	if !cfg.IsReducible(f) {
+	// Reducibility is the mid-pipeline invariant replication relies on.
+	// Delay-slot target-filling may retarget a loop's backedge into the
+	// tail of a split header, legitimately giving the loop a second entry,
+	// so the rule retires once slots are filled.
+	if !o.DelaySlots && !cfg.IsReducible(f) {
 		add(RuleIrreducible, "", "flow graph is irreducible")
 	}
 	return vs
