@@ -44,16 +44,17 @@ func main() {
 	profile := flag.Bool("profile", false, "print the hottest blocks to stderr")
 	quiet := flag.Bool("q", false, "suppress the per-cell progress line on stderr")
 	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass; violations (attributed to the offending pass) abort with exit 1")
+	tvFlag := flag.Bool("tv", false, "validate every applied duplication with the translation validator; rejected certificates abort with exit 1")
 	grid := flag.Bool("grid", false, "measure the full Table-3 grid and print the paper's tables")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel measurement workers for -grid; for a single measurement, per-function optimizer workers (output is identical for every value)")
 	flag.Parse()
 
 	if *grid {
-		runGrid(*caches, *jobs, *quiet, *verifyEach)
+		runGrid(*caches, *jobs, *quiet, *verifyEach, *tvFlag)
 		return
 	}
 
-	req := ease.Request{SimulateCaches: *caches, Profile: *profile, VerifyEach: *verifyEach, Jobs: *jobs}
+	req := ease.Request{SimulateCaches: *caches, Profile: *profile, VerifyEach: *verifyEach, TV: *tvFlag, Jobs: *jobs}
 	switch {
 	case *progName != "":
 		p := bench.ProgramByName(*progName)
@@ -203,7 +204,7 @@ func main() {
 // bytes are identical for every -j: cells land at preassigned grid
 // positions, and the per-cell progress lines on stderr are serialized by
 // bench.RunGrid (only their order varies with -j > 1).
-func runGrid(caches bool, jobs int, quiet bool, verifyEach bool) {
+func runGrid(caches bool, jobs int, quiet bool, verifyEach, tv bool) {
 	pool := service.NewPool(jobs, 0)
 	var progress *os.File
 	if !quiet {
@@ -215,6 +216,7 @@ func runGrid(caches bool, jobs int, quiet bool, verifyEach bool) {
 		Progress:   progress,
 		Pool:       pool,
 		VerifyEach: verifyEach,
+		TV:         tv,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ease:", err)

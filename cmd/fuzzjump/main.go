@@ -19,6 +19,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +32,18 @@ import (
 
 	"repro/internal/difftest"
 	"repro/internal/machine"
-	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/replicate"
 )
+
+// finding is one line of the -report JSONL stream: the oracle's typed
+// violation plus the seed that produced it. Encoding the difftest.Violation
+// directly keeps the report's kind field in lockstep with the
+// difftest.Kind enum — there is no re-stringified copy to drift.
+type finding struct {
+	Seed int64 `json:"seed"`
+	difftest.Violation
+}
 
 func main() {
 	duration := flag.Duration("duration", 0, "run until this much time has passed (0 = use -count)")
@@ -51,6 +61,7 @@ func main() {
 	engineName := flag.String("engine", "", "step-1 path engine: oracle (default) or matrix")
 	residual := flag.Bool("residual", false, "enable the opt-in residual-replicable-jump check")
 	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass, attributing violations to the offending pass")
+	tvFlag := flag.Bool("tv", false, "validate every applied duplication with the translation validator; rejections surface as tv-rejection verdicts")
 	inject := flag.String("inject", "", "fault injection for self-testing: 'rollback' disables the reducibility rollback (the oracle must catch it), 'undo' force-rolls-back every duplication (the undo log must restore byte-identically, so the oracle must stay green)")
 	quiet := flag.Bool("q", false, "suppress per-interval progress output")
 	flag.Parse()
@@ -89,20 +100,28 @@ func main() {
 			fatal(2, err)
 		}
 	}
-	var tracer obs.Tracer
+	// The findings report encodes the oracle's typed violations directly
+	// (one finding per line); writes happen under the result mutex below.
+	// The flush is explicit, not deferred: the failure path below leaves
+	// through os.Exit(1), which would skip a deferred Flush and truncate
+	// the report exactly when it has findings in it.
+	var reportEnc *json.Encoder
+	reportClose := func() {}
 	if *report != "" {
 		rf, err := os.Create(*report)
 		if err != nil {
 			fatal(2, err)
 		}
-		defer rf.Close()
-		jw := obs.NewJSONLWriter(rf)
-		defer func() {
-			if err := jw.Err(); err != nil {
+		rw := bufio.NewWriter(rf)
+		reportEnc = json.NewEncoder(rw)
+		reportClose = func() {
+			if err := rw.Flush(); err != nil {
 				fmt.Fprintln(os.Stderr, "fuzzjump: report:", err)
 			}
-		}()
-		tracer = jw
+			if err := rf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuzzjump: report:", err)
+			}
+		}
 	}
 
 	opts := difftest.Options{
@@ -111,9 +130,9 @@ func main() {
 		Replication:   rep,
 		MaxSteps:      *maxSteps,
 		Input:         []byte("fuzzjump"),
-		Tracer:        tracer,
 		CheckResidual: *residual,
 		VerifyEach:    *verifyEach,
+		TV:            *tvFlag,
 	}
 
 	// The seed feed: a monotone counter, drained by the workers until the
@@ -147,6 +166,11 @@ func main() {
 		failures++
 		for _, vi := range v.Violations {
 			fmt.Fprintf(os.Stderr, "fuzzjump: seed %d: %s\n", s, vi)
+			if reportEnc != nil {
+				if err := reportEnc.Encode(finding{Seed: s, Violation: vi}); err != nil {
+					fmt.Fprintln(os.Stderr, "fuzzjump: report:", err)
+				}
+			}
 		}
 		if *corpus != "" {
 			name := filepath.Join(*corpus, fmt.Sprintf("%d.c", s))
@@ -154,12 +178,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, "fuzzjump:", err)
 			}
 			if *minimize {
-				// The shrink predicate re-runs the oracle many times; keep
-				// those interior checks out of the findings report.
-				po := opts
-				po.Tracer = nil
+				// The shrink predicate re-runs the oracle many times; its
+				// interior verdicts never reach the findings report because
+				// only `handle` writes to it.
 				min := difftest.Minimize(src, func(c string) bool {
-					return difftest.Check(c, po).Failed()
+					return difftest.Check(c, opts).Failed()
 				}, difftest.MinOptions{MaxAttempts: 200})
 				name := filepath.Join(*corpus, fmt.Sprintf("%d.min.c", s))
 				if err := os.WriteFile(name, []byte(min), 0o644); err != nil {
@@ -211,6 +234,7 @@ func main() {
 
 	fmt.Printf("fuzzjump: %d seeds checked in %s, %d failing\n",
 		checked, time.Since(start).Round(time.Millisecond), failures)
+	reportClose()
 	if failures > 0 {
 		os.Exit(1)
 	}

@@ -45,6 +45,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a human-readable pass/replication narrative to stderr")
 	profile := flag.Bool("profile", false, "with -run: print the hottest blocks to stderr")
 	verifyEach := flag.Bool("verify-each", false, "run the semantic IR verifier after every pipeline pass; violations (attributed to the offending pass) abort with exit 1")
+	tvFlag := flag.Bool("tv", false, "validate every applied duplication with the translation validator; rejected certificates abort with exit 1")
 	jobs := flag.Int("j", 0, "optimize up to this many functions concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -129,6 +130,7 @@ func main() {
 		Replication: replicate.Options{MaxSeqRTLs: *maxSeq},
 		Tracer:      tracer,
 		VerifyEach:  *verifyEach,
+		TV:          *tvFlag,
 		Jobs:        *jobs,
 	})
 	if len(st.Verify) > 0 {

@@ -1,10 +1,11 @@
 // Command mcclint runs the repository's determinism lint suite
-// (internal/lint) over the optimizer packages: the compiler's output must
+// (internal/lint) over every internal package: the compiler's output must
 // be a pure function of its inputs, so map iteration order may not escape
-// uncanonicalized (maporder) and the wall clock and math/rand are off
-// limits (nodeterminism).
+// uncanonicalized (maporder), the wall clock and math/rand are off limits
+// (nodeterminism), and persisted formatting may not depend on pointer
+// values or map order (printdet).
 //
-//	mcclint ./...              # lint the deterministic packages (CI gate)
+//	mcclint ./...              # lint all internal packages (CI gate)
 //	mcclint internal/opt       # lint one package, policy ignored
 //	mcclint -list              # show the analyzers
 //
@@ -16,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/lint"
 )
@@ -68,8 +68,8 @@ func main() {
 
 // targetDirs resolves the command's arguments to package directories.
 // The "./..." pattern (and no arguments at all) means "apply the policy":
-// exactly the deterministic packages are checked. Naming a directory
-// checks it regardless of policy.
+// every package under internal/ is checked. Naming a directory checks it
+// regardless of policy.
 func targetDirs(loader *lint.Loader, args []string) ([]string, error) {
 	if len(args) == 0 {
 		args = []string{"./..."}
@@ -77,10 +77,11 @@ func targetDirs(loader *lint.Loader, args []string) ([]string, error) {
 	var dirs []string
 	for _, arg := range args {
 		if arg == "./..." || arg == "..." {
-			for _, path := range lint.DeterministicPackages {
-				rel := path[len("repro"):]
-				dirs = append(dirs, filepath.Join(loader.Root, filepath.FromSlash(rel)))
+			policy, err := lint.DeterministicDirs(loader.Root)
+			if err != nil {
+				return nil, fmt.Errorf("mcclint: %w", err)
 			}
+			dirs = append(dirs, policy...)
 			continue
 		}
 		st, err := os.Stat(arg)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"testing"
 
 	"repro/internal/cfg"
@@ -401,7 +402,12 @@ func (bl *Baseline) Validate() error {
 		engines[s.Engine] = true
 	}
 	if !engines[replicate.EngineOracle.String()] || !engines[replicate.EngineMatrix.String()] {
-		return fmt.Errorf("stress comparison must cover both engines, got %v", engines)
+		got := make([]string, 0, len(engines))
+		for e := range engines {
+			got = append(got, e)
+		}
+		sort.Strings(got)
+		return fmt.Errorf("stress comparison must cover both engines, got %v", got)
 	}
 	if bl.StressSpeedup <= 0 {
 		return fmt.Errorf("non-positive stress speedup")

@@ -36,6 +36,10 @@ type GridConfig struct {
 	// every pipeline pass in every cell; the first violation fails the
 	// grid run with the offending pass named in the error.
 	VerifyEach bool
+	// TV runs the translation validator over every cell's duplication
+	// engine (ease.Request.TV): a rejected certificate fails the grid run
+	// the same way a VerifyEach violation does.
+	TV bool
 	// Progress, when non-nil, receives one line per completed cell.
 	// Writes are serialized, so any io.Writer is safe.
 	Progress io.Writer
@@ -129,7 +133,7 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			tr = cellStamp{machine: m.Name, level: lv.String(), next: tr}
 			tr.Emit(&obs.Event{
 				Type: obs.EvPhase, Name: "queue-wait", Func: sp.prog.Name,
-				TimeNS: time.Now().Add(-wait).UnixNano(), DurNS: int64(wait),
+				TimeNS: time.Now().Add(-wait).UnixNano(), DurNS: int64(wait), // det:allow nodeterminism — queue-wait telemetry
 			})
 		}
 		run, err := ease.Measure(ease.Request{
@@ -142,6 +146,7 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			SimulateCaches: cfg.Caches,
 			CacheSizes:     cfg.CacheSizes,
 			VerifyEach:     cfg.VerifyEach,
+			TV:             cfg.TV,
 			Tracer:         tr,
 		})
 		if err != nil {
@@ -186,13 +191,13 @@ func RunGrid(ctx context.Context, cfg GridConfig) (*Results, error) {
 			}
 			i := i
 			wg.Add(1)
-			submitted := time.Now()
+			submitted := time.Now() // det:allow nodeterminism — queue-wait telemetry
 			err := cfg.Pool.Submit(ctx, func(ctx context.Context) {
 				defer wg.Done()
 				if ctx.Err() != nil {
 					return
 				}
-				runCell(i, time.Since(submitted))
+				runCell(i, time.Since(submitted)) // det:allow nodeterminism — queue-wait telemetry
 			})
 			if err != nil {
 				wg.Done()

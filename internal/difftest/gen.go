@@ -59,7 +59,7 @@ func Generate(seed int64) string { return GenerateWith(seed, GenOptions{}) }
 // GenerateWith is Generate with explicit options.
 func GenerateWith(seed int64, o GenOptions) string {
 	g := &gen{
-		r:         rand.New(rand.NewSource(seed)),
+		r:         rand.New(rand.NewSource(seed)), // det:allow nodeterminism — seeded PRNG, deterministic per seed
 		o:         o,
 		protected: map[string]bool{},
 	}
@@ -69,7 +69,7 @@ func GenerateWith(seed int64, o GenOptions) string {
 // gen holds the generator state for one program. Determinism note: the
 // generator must never iterate over a map — maps are membership sets only.
 type gen struct {
-	r *rand.Rand
+	r *rand.Rand // det:allow nodeterminism — seeded PRNG, deterministic per seed
 	o GenOptions
 	b strings.Builder
 

@@ -15,45 +15,56 @@ import (
 	"repro/internal/vm"
 )
 
+// Kind is the oracle's violation taxonomy: one typed identifier per way a
+// cell can fail. The constant value is the stable wire name used in
+// verdict JSON, fuzzjump reports and obs finding events — consumers
+// compare against the constants, never against re-spelled strings.
+type Kind string
+
 // Violation kinds reported by the oracle.
 const (
 	// VTrap: the optimized build trapped (memory fault, budget, runtime
 	// error) although the unoptimized reference ran to completion.
-	VTrap = "trap"
+	VTrap Kind = "trap"
 	// VOutput: the optimized build produced different output bytes.
-	VOutput = "output-mismatch"
+	VOutput Kind = "output-mismatch"
 	// VExit: the optimized build returned a different exit code.
-	VExit = "exit-mismatch"
+	VExit Kind = "exit-mismatch"
 	// VStructure: the verifier's structure rule (cfg.ValidateProgram)
 	// failed after the pipeline (dangling target, mid-block CTI, bad
 	// delay-slot shape, malformed operand).
-	VStructure = "invalid-structure"
+	VStructure Kind = "invalid-structure"
 	// VIrreducible: a function's flow graph is irreducible after the
 	// pipeline — the reducibility rollback (step 6) failed its job.
-	VIrreducible = "irreducible-cfg"
+	VIrreducible Kind = "irreducible-cfg"
 	// VSemantic: a semantic rule of the IR verifier (internal/verify)
 	// failed — use-before-def, dead-register read, condition-code pairing,
 	// delay-slot legality, or an unreachable block. With Options.VerifyEach
 	// the detail names the pipeline pass that introduced the violation.
-	VSemantic = "semantic-violation"
+	VSemantic Kind = "semantic-violation"
+	// VTranslation: the translation validator (internal/tv) rejected a
+	// duplication certificate — the engine applied an edit it could not
+	// prove semantics-preserving. The detail names the pipeline pass,
+	// certificate kind and failed obligation.
+	VTranslation Kind = "tv-rejection"
 	// VResidual: after a JUMPS pipeline, re-running the replication
 	// algorithm still lowers the static unconditional-jump count — a
 	// replicable jump survived although no growth cap was hit.
-	VResidual = "residual-replicable-jump"
+	VResidual Kind = "residual-replicable-jump"
 	// VDynamic: the EASE dynamic counters regressed — the JUMPS build
 	// executed more unconditional jumps than the SIMPLE build.
-	VDynamic = "dynamic-jumps-regression"
+	VDynamic Kind = "dynamic-jumps-regression"
 	// VDynamicCond: the DUPS build executed more conditional branches than
 	// the JUMPS build — conditional elimination made the program branch
 	// more, which the fold profitability model must never allow.
-	VDynamicCond = "dynamic-cond-branches-regression"
+	VDynamicCond Kind = "dynamic-cond-branches-regression"
 )
 
 // Violation is one oracle finding for one measurement cell.
 type Violation struct {
 	Machine string `json:"machine"`
 	Level   string `json:"level"`
-	Kind    string `json:"kind"`
+	Kind    Kind   `json:"kind"`
 	Detail  string `json:"detail"`
 }
 
@@ -108,6 +119,12 @@ type Options struct {
 	// post-pipeline check. Slower; the fuzz smoke and nightly campaigns
 	// enable it.
 	VerifyEach bool
+	// TV runs the translation validator in every cell
+	// (pipeline.Config.TV): each applied duplication must present a
+	// certificate that checks out by cut-point bisimulation, and every
+	// rejection becomes a VTranslation verdict attributed to the pass
+	// that emitted the certificate.
+	TV bool
 	// PostOptimize, when non-nil, runs after the pipeline and before the
 	// structural checks and execution of each cell — a fault-injection
 	// hook for testing that the oracle actually catches miscompiles.
@@ -203,6 +220,7 @@ func Check(src string, o Options) *Verdict {
 				Level:       lv,
 				Replication: o.replication(),
 				VerifyEach:  o.VerifyEach,
+				TV:          o.TV,
 			})
 			if o.PostOptimize != nil {
 				o.PostOptimize(m, lv, prog)
@@ -296,29 +314,31 @@ func Check(src string, o Options) *Verdict {
 }
 
 // kindForRule maps a verifier rule to the oracle's violation taxonomy:
-// the structure and reducibility rules keep their historical kinds, every
-// other rule is a semantic violation.
-func kindForRule(r verify.Rule) string {
+// the structure, reducibility and translation-validation rules keep their
+// dedicated kinds, every other rule is a semantic violation.
+func kindForRule(r verify.Rule) Kind {
 	switch r {
 	case verify.RuleStructure:
 		return VStructure
 	case verify.RuleIrreducible:
 		return VIrreducible
+	case verify.RuleTranslation:
+		return VTranslation
 	}
 	return VSemantic
 }
 
-func (v *Verdict) add(o Options, m *machine.Machine, lv pipeline.Level, kind, detail string) {
+func (v *Verdict) add(o Options, m *machine.Machine, lv pipeline.Level, kind Kind, detail string) {
 	v.addNamed(o, m.Name, lv.String(), kind, detail)
 }
 
-func (v *Verdict) addNamed(o Options, machineName, levelName, kind, detail string) {
+func (v *Verdict) addNamed(o Options, machineName, levelName string, kind Kind, detail string) {
 	v.Violations = append(v.Violations, Violation{
 		Machine: machineName, Level: levelName, Kind: kind, Detail: detail,
 	})
 	if o.Tracer != nil {
 		o.Tracer.Emit(&obs.Event{
-			Type: obs.EvFinding, Name: detail, Outcome: kind,
+			Type: obs.EvFinding, Name: detail, Outcome: string(kind),
 			Machine: machineName, Level: levelName, Seed: o.Seed,
 		})
 	}

@@ -91,7 +91,7 @@ func TestOracleCatchesBrokenRollback(t *testing.T) {
 			if vi.Kind == VIrreducible {
 				// The finding must also have been reported to the tracer.
 				for _, ev := range col.Events() {
-					if ev.Type == obs.EvFinding && ev.Outcome == VIrreducible && ev.Seed == seed {
+					if ev.Type == obs.EvFinding && ev.Outcome == string(VIrreducible) && ev.Seed == seed {
 						return
 					}
 				}
@@ -221,7 +221,7 @@ func TestTrapKind(t *testing.T) {
 func TestViolationString(t *testing.T) {
 	v := Violation{Machine: "SPARC", Level: "JUMPS", Kind: VOutput, Detail: "got x want y"}
 	s := v.String()
-	for _, want := range []string{"SPARC", "JUMPS", VOutput, "got x want y"} {
+	for _, want := range []string{"SPARC", "JUMPS", string(VOutput), "got x want y"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() = %q, missing %q", s, want)
 		}

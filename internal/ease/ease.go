@@ -66,6 +66,12 @@ type Request struct {
 	// collected in Run.Static.Verify for the caller — cmd/ease turns them
 	// into a non-zero exit, mccd into a structured response diagnostic.
 	VerifyEach bool
+	// TV runs the translation validator over the duplication engine
+	// (pipeline.Config.TV): every applied replication, fold, rotation and
+	// jump deletion must present a certificate that passes cut-point
+	// bisimulation checking. Rejections land in Run.Static.Verify with
+	// rule "translation-validation", attributed like VerifyEach findings.
+	TV bool
 }
 
 // Run is the outcome of one measurement.
@@ -129,13 +135,14 @@ func phaseSpan(tr obs.Tracer, name string, start time.Time) {
 	}
 	tr.Emit(&obs.Event{
 		Type: obs.EvPhase, Name: name,
+		// det:allow nodeterminism — span duration is telemetry, not compiler output.
 		TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)),
 	})
 }
 
 // Measure compiles, optimizes, lays out, and runs one request.
 func Measure(req Request) (*Run, error) {
-	start := time.Now()
+	start := time.Now() // det:allow nodeterminism — phase/elapsed telemetry
 	prog, err := mcc.Compile(req.Source)
 	phaseSpan(req.Tracer, "compile", start)
 	if err != nil {
@@ -143,14 +150,14 @@ func Measure(req Request) (*Run, error) {
 	}
 	run, err := MeasureProgram(prog, req)
 	if run != nil {
-		run.Elapsed = time.Since(start)
+		run.Elapsed = time.Since(start) // det:allow nodeterminism — phase/elapsed telemetry
 	}
 	return run, err
 }
 
 // MeasureProgram measures an already-compiled (but unoptimized) program.
 func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
-	start := time.Now()
+	start := time.Now() // det:allow nodeterminism — phase/elapsed telemetry
 	inputRTLs := 0
 	for _, f := range prog.Funcs {
 		inputRTLs += f.NumRTLs()
@@ -161,9 +168,10 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		Replication: req.Replication,
 		Tracer:      req.Tracer,
 		VerifyEach:  req.VerifyEach,
+		TV:          req.TV,
 		Jobs:        req.Jobs,
 	})
-	optimizeElapsed := time.Since(start)
+	optimizeElapsed := time.Since(start) // det:allow nodeterminism — phase/elapsed telemetry
 	phaseSpan(req.Tracer, "optimize", start)
 	if req.Validate {
 		// One diagnostic format for structural and semantic checks: the
@@ -178,7 +186,7 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 				req.Name, req.Machine.Name, req.Level, err)
 		}
 	}
-	layoutStart := time.Now()
+	layoutStart := time.Now() // det:allow nodeterminism — phase/elapsed telemetry
 	layout := vm.NewLayout(prog, req.Machine)
 	phaseSpan(req.Tracer, "layout", layoutStart)
 	cfgr := vm.Config{
@@ -211,7 +219,7 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		cfgr.Layout = layout
 		cfgr.OnFetch = fetch
 	}
-	runStart := time.Now()
+	runStart := time.Now() // det:allow nodeterminism — phase/elapsed telemetry
 	res, err := vm.Run(prog, cfgr)
 	phaseSpan(req.Tracer, "run", runStart)
 	if err != nil {
@@ -225,7 +233,7 @@ func MeasureProgram(prog *cfg.Program, req Request) (*Run, error) {
 		Output:          res.Output,
 		ExitCode:        res.ExitCode,
 		Profile:         res.Profile,
-		Elapsed:         time.Since(start),
+		Elapsed:         time.Since(start), // det:allow nodeterminism — phase/elapsed telemetry
 		InputRTLs:       inputRTLs,
 		OptimizeElapsed: optimizeElapsed,
 	}

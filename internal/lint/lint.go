@@ -20,6 +20,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -37,16 +38,16 @@ type Analyzer struct {
 }
 
 // Analyzers is the repository's analyzer suite, in reporting order.
-var Analyzers = []*Analyzer{MapOrder, NoDeterminism}
+var Analyzers = []*Analyzer{MapOrder, NoDeterminism, PrintDet}
 
-// DeterministicPackages lists the import paths whose output must be a
-// pure function of their inputs: the optimizer core and everything it
-// sits on. cmd/mcclint applies the suite to exactly these packages.
-var DeterministicPackages = []string{
-	"repro/internal/cfg",
-	"repro/internal/opt",
-	"repro/internal/pipeline",
-	"repro/internal/replicate",
+// DeterministicDirs returns the directory of every package under
+// internal/ — the determinism policy's scope. The gate started on the
+// four optimizer-core packages and is now the whole internal tree: the
+// validator, oracle, service, and observability layers all feed persisted
+// or cached output, so they carry the same purity obligation (with
+// det:allow escapes where wall time or seeded randomness is the point).
+func DeterministicDirs(root string) ([]string, error) {
+	return PackageDirs(filepath.Join(root, "internal"))
 }
 
 // Diagnostic is one finding, positioned for editors (file:line:col).

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// PrintDet flags formatting that is nondeterministic across runs when it
+// escapes into persisted output: %p renders an address (different every
+// execution), and %v / %+v / %#v on a map renders entries in iteration
+// order. Both break the byte-for-byte reproducibility the result cache
+// and golden traces rely on. Debug-only formatting may suppress a finding
+// with `det:allow printdet — <reason>`.
+var PrintDet = &Analyzer{
+	Name: "printdet",
+	Doc: "forbid %p and %v-on-a-map in fmt format strings: addresses and " +
+		"map iteration order make persisted output nondeterministic",
+	Run: runPrintDet,
+}
+
+// printfFuncs maps each fmt printf-family function to the index of its
+// format-string argument.
+var printfFuncs = map[string]int{
+	"Printf":  0,
+	"Sprintf": 0,
+	"Fprintf": 1,
+	"Errorf":  0,
+	"Appendf": 1,
+}
+
+func runPrintDet(pass *Pass) {
+	for _, file := range pass.Files {
+		fmtNames := fmtImportNames(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !fmtNames[id.Name] {
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			fmtIdx, ok := printfFuncs[sel.Sel.Name]
+			if !ok || len(call.Args) <= fmtIdx {
+				return true
+			}
+			lit, ok := call.Args[fmtIdx].(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format string: out of scope
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkFormat(pass, call, format, call.Args[fmtIdx+1:])
+			return true
+		})
+	}
+}
+
+// checkFormat walks the verbs of format, pairing each with its operand,
+// and reports the nondeterministic combinations.
+func checkFormat(pass *Pass, call *ast.CallExpr, format string, args []ast.Expr) {
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, and precision; '*' consumes an operand.
+		for i < len(format) {
+			c := format[i]
+			if c == '%' { // %% is a literal percent
+				break
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verb := format[i]
+		switch verb {
+		case 'p':
+			pass.Reportf(call.Pos(),
+				"%%p formats an address: nondeterministic across runs")
+		case 'v':
+			if arg < len(args) && isMapType(pass.TypesInfo.TypeOf(args[arg])) {
+				pass.Reportf(call.Pos(),
+					"map formatted with %%v: iteration order is nondeterministic")
+			}
+		}
+		arg++
+	}
+}
+
+// isMapType reports whether t (or what it points to) is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	_, ok := u.(*types.Map)
+	return ok
+}
+
+// fmtImportNames returns the local names under which file imports fmt.
+func fmtImportNames(file *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "fmt" {
+			continue
+		}
+		name := "fmt"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		names[name] = true
+	}
+	return names
+}

@@ -1,0 +1,34 @@
+// Package printdet holds seeded findings for the printdet analyzer.
+package printdet
+
+import (
+	"fmt"
+	"os"
+
+	format "fmt"
+)
+
+// addresses leaks pointer values into formatted output.
+func addresses(p *int) string {
+	return fmt.Sprintf("at %p", p) // want "%p formats an address: nondeterministic across runs"
+}
+
+// mapValues formats maps with the default verb in several printf-family
+// functions; each renders entries in iteration order.
+func mapValues(m map[string]int) error {
+	fmt.Printf("state: %v\n", m)          // want "map formatted with %v: iteration order is nondeterministic"
+	fmt.Fprintf(os.Stdout, "got %+v", m)  // want "map formatted with %v: iteration order is nondeterministic"
+	_ = format.Sprintf("%#v", m)          // want "map formatted with %v: iteration order is nondeterministic"
+	return fmt.Errorf("bad state: %v", m) // want "map formatted with %v: iteration order is nondeterministic"
+}
+
+// starWidth exercises operand pairing: the '*' consumes one operand, so
+// the %v that follows still lines up with the map argument.
+func starWidth(w int, m map[int]bool) string {
+	return fmt.Sprintf("%*d %v", w, 7, m) // want "map formatted with %v: iteration order is nondeterministic"
+}
+
+// pointerToMap is just as order-dependent once dereferenced by fmt.
+func pointerToMap(m *map[string]int) string {
+	return fmt.Sprintf("%v", m) // want "map formatted with %v: iteration order is nondeterministic"
+}

@@ -1,0 +1,45 @@
+package printdet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// scalars: %v on non-map values renders deterministically.
+func scalars(n int, s string, xs []int) string {
+	return fmt.Sprintf("%v %v %v %d %%", n, s, xs, n)
+}
+
+// sorted canonicalizes a map before formatting — the deterministic way.
+func sorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// shadowed declares a local named fmt; its methods are not package calls.
+func shadowed() string {
+	fmt := struct{ Sprintf func(string, ...any) string }{
+		Sprintf: func(string, ...any) string { return "" },
+	}
+	return fmt.Sprintf("%p", nil)
+}
+
+// allowed formats a map for an ephemeral debug line and says so.
+func allowed(m map[string]int) {
+	fmt.Printf("debug: %v\n", m) // det:allow printdet — interactive debug output, never persisted
+}
+
+// dynamic format strings are out of scope: the analyzer only reads
+// literals.
+func dynamic(f string, m map[string]int) string {
+	return fmt.Sprintf(f, m)
+}

@@ -172,7 +172,13 @@ func LintExposition(r io.Reader) []error {
 		if f.typ != "histogram" {
 			continue
 		}
-		for labels, bs := range f.buckets {
+		labelSets := make([]string, 0, len(f.buckets))
+		for labels := range f.buckets {
+			labelSets = append(labelSets, labels)
+		}
+		sort.Strings(labelSets)
+		for _, labels := range labelSets {
+			bs := f.buckets[labels]
 			at := name
 			if labels != "" {
 				at = name + "{" + labels + "}"

@@ -22,6 +22,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/replicate"
 	"repro/internal/rtl"
+	"repro/internal/tv"
 	"repro/internal/verify"
 )
 
@@ -99,10 +100,23 @@ type Config struct {
 	// the report in downstream noise. This is a debugging mode: every
 	// check recomputes edges, liveness and dominators.
 	VerifyEach bool
-	// OnViolation, when non-nil, receives every verify-each violation as
-	// it is found (the same data that accumulates in Stats.Verify). With
-	// Jobs > 1 the calls are deferred and delivered in function order once
-	// every function finishes, so the sequence stays deterministic.
+	// TV runs the translation validator (internal/tv) over every
+	// certificate the replication engine emits: each applied duplication
+	// is checked by cut-point bisimulation in the state it left behind,
+	// with fold evidence re-derived rather than trusted. Rejections carry
+	// verify.RuleTranslation and flow through the same attribution
+	// machinery as verify-each findings — pass/stage/iter stamped,
+	// recorded in Stats.Verify, emitted as obs.EvVerify events, handed to
+	// OnViolation — and a function's first rejection stops further
+	// validation for it. TV and VerifyEach are independent; either can be
+	// enabled alone. Unlike VerifyEach, TV's cost is proportional to the
+	// duplications actually applied, not to the pass count.
+	TV bool
+	// OnViolation, when non-nil, receives every verify-each and
+	// translation-validation violation as it is found (the same data that
+	// accumulates in Stats.Verify). With Jobs > 1 the calls are deferred
+	// and delivered in function order once every function finishes, so
+	// the sequence stays deterministic.
 	OnViolation func(verify.Violation)
 	// Jobs bounds how many functions Optimize works on concurrently inside
 	// one translation unit: 0 means GOMAXPROCS, 1 forces the serial path.
@@ -116,6 +130,10 @@ type Config struct {
 	// pass runs and before its verify-each check — the fault-injection
 	// hook behind this package's pass-attribution tests.
 	corruptAfter func(pass string, f *cfg.Func)
+	// corruptCert, when non-nil, mutates every certificate after the
+	// engine emits it and before the validator sees it — the
+	// fault-injection hook behind this package's TV rejection tests.
+	corruptCert func(f *cfg.Func, cert *tv.Certificate)
 }
 
 func (c Config) maxIterations() int {
@@ -153,8 +171,9 @@ type Stats struct {
 	// explained per-jump by the decision log).
 	Replication replicate.Result
 	// Verify holds the semantic-verifier violations found by verify-each
-	// mode (empty unless Config.VerifyEach; a healthy pipeline reports
-	// none). Each violation names the pass that introduced it.
+	// mode and the certificate rejections found by translation validation
+	// (empty unless Config.VerifyEach or Config.TV; a healthy pipeline
+	// reports none). Each violation names the pass that introduced it.
 	Verify []verify.Violation `json:"verify,omitempty"`
 }
 
@@ -302,9 +321,18 @@ type verifier struct {
 	// slotsAfterFill: the machine has delay slots, so the delay-slots pass
 	// switches the verifier to the filled shape.
 	slotsAfterFill bool
-	opts           verify.Options
-	violations     []verify.Violation
-	stopped        bool
+	// checkEach: run the full semantic rule set after every pass
+	// (Config.VerifyEach). TV-only mode still routes its certificate
+	// rejections through the verifier for attribution but skips the
+	// per-pass rule sweep.
+	checkEach bool
+	opts      verify.Options
+	// tvPending buffers translation-validation rejections found since the
+	// last pass boundary; verify() attributes them to the pass that just
+	// ran (only the replicate pass emits certificates) and flushes.
+	tvPending  []verify.Violation
+	violations []verify.Violation
+	stopped    bool
 }
 
 func (p *passRunner) run(name string, pass func() bool) bool {
@@ -348,7 +376,12 @@ func (p *passRunner) verify(name string) {
 	if v.cfg.corruptAfter != nil {
 		v.cfg.corruptAfter(name, p.f)
 	}
-	if v.stopped {
+	if len(v.tvPending) > 0 {
+		vs := v.tvPending
+		v.tvPending = nil
+		p.report(name, vs)
+	}
+	if v.stopped || !v.checkEach {
 		return
 	}
 	p.report(name, verify.Func(p.f, v.opts))
@@ -383,15 +416,36 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 	var st Stats
 	funcStart := time.Now() // det:allow nodeterminism — phase-timing telemetry only
 	pr := &passRunner{tr: c.Tracer, f: f, stage: "prologue"}
-	if c.VerifyEach {
+	if c.VerifyEach || c.TV {
 		pr.ver = &verifier{
 			cfg:            &c,
 			slotsAfterFill: m.DelaySlots,
+			checkEach:      c.VerifyEach,
 			// Mid-pipeline, stranded-but-unreachable blocks are legitimate:
 			// replication and branch chaining leave them for the next
 			// dead-code pass. The final post-pipeline check re-enables the
 			// rule.
 			opts: verify.Options{SkipUnreachable: true},
+		}
+	}
+	if c.TV {
+		// Validate each certificate synchronously, in exactly the state
+		// the engine left behind (later edits may rearrange the layout the
+		// certificate describes). Rejections buffer in the verifier and
+		// are attributed at the pass boundary.
+		userHook := c.Replication.OnCertificate
+		ver := pr.ver
+		c.Replication.OnCertificate = func(fn *cfg.Func, cert *tv.Certificate) {
+			if userHook != nil {
+				userHook(fn, cert)
+			}
+			if c.corruptCert != nil {
+				c.corruptCert(fn, cert)
+			}
+			if ver.stopped {
+				return
+			}
+			ver.tvPending = append(ver.tvPending, tv.Validate(fn, cert)...)
 		}
 	}
 	replicateHere := func() bool {
@@ -487,8 +541,9 @@ func optimizeFunc(f *cfg.Func, c Config) Stats {
 		// Whole-function epilogue check: the per-pass checks tolerate
 		// unreachable blocks (the next dead-code pass reclaims them), but
 		// nothing runs after this point, so the final code must not carry
-		// any.
-		if !pr.ver.stopped {
+		// any. TV-only mode has no epilogue obligation — certificates were
+		// all discharged at pass boundaries.
+		if pr.ver.checkEach && !pr.ver.stopped {
 			pr.ver.opts.SkipUnreachable = false
 			pr.report("post-pipeline", verify.Func(f, pr.ver.opts))
 		}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/obs"
 	"repro/internal/rtl"
+	"repro/internal/tv"
 )
 
 // DUPS is the fourth optimization level's replication pass: conditional
@@ -74,6 +75,17 @@ const (
 	// is spliced between the two blocks.
 	edgeFall
 )
+
+// shape maps the engine's edge kind to its certificate counterpart.
+func (k edgeKind) shape() tv.EdgeShape {
+	switch k {
+	case edgeJump:
+		return tv.EdgeJump
+	case edgeBrTaken:
+		return tv.EdgeBrTaken
+	}
+	return tv.EdgeFall
+}
 
 // dupEdge is one incoming edge of a conditional test block.
 type dupEdge struct {
@@ -156,12 +168,12 @@ func foldSweep(f *cfg.Func, opts Options, g *budget, blacklist map[jumpKey]bool,
 					continue
 				}
 			}
-			decided, taken := decideEdge(p, t, e.kind)
+			decided, taken, ev := decideEdge(p, t, e.kind)
 			if !decided {
 				continue
 			}
 			meta := []obs.Candidate{{Kind: obs.KindFold, RTLs: len(t.Insts), Blocks: 1}}
-			if !applyFold(f, opts, p, t, e.kind, taken) {
+			if !applyFold(f, opts, p, t, e.kind, taken, ev) {
 				blacklist[key] = true
 				res.Rollbacks++
 				meta[0].RolledBack = true
@@ -188,14 +200,16 @@ func foldSweep(f *cfg.Func, opts Options, g *budget, blacklist map[jumpKey]bool,
 // under the engine's reducibility guard, so a fold that would break the
 // flow graph's reducibility (for example by giving a natural loop a second
 // entry) is rolled back byte-identically.
-func applyFold(f *cfg.Func, opts Options, p, t *cfg.Block, kind edgeKind, taken bool) bool {
+func applyFold(f *cfg.Func, opts Options, p, t *cfg.Block, kind edgeKind, taken bool, ev tv.Evidence) bool {
 	dest := t.Term().Target
 	if !taken {
 		dest = f.Blocks[t.Index+1].Label
 	}
-	return applyGuarded(f, opts, func(u *undoLog) {
+	var copyLabel rtl.Label
+	ok := applyGuarded(f, opts, func(u *undoLog) {
 		nb := t.Clone()
 		nb.Label = f.NewLabel()
+		copyLabel = nb.Label
 		// The comparison (and everything before it) is kept — values and
 		// the condition code are computed exactly as in the original — and
 		// only the branch is folded to the decided transfer.
@@ -218,6 +232,14 @@ func applyFold(f *cfg.Func, opts Options, p, t *cfg.Block, kind edgeKind, taken 
 			pt.Target = nb.Label
 		}
 	})
+	if ok && opts.OnCertificate != nil {
+		opts.OnCertificate(f, &tv.Certificate{
+			Kind: tv.KindFold, Func: f.Name,
+			Block: p.Label, Target: t.Label, Copy: copyLabel,
+			Edge: kind.shape(), Taken: taken, Dest: dest, Evidence: ev,
+		})
+	}
+	return ok
 }
 
 // lastCmpBefore returns the index of the last comparison before t's
@@ -247,11 +269,13 @@ type relFact struct {
 // the path through p (per-path constant propagation over registers and
 // unaliased frame slots), or p's own terminating test compared the same
 // operands and the edge direction implies the result (sign-set
-// implication between the two relations).
-func decideEdge(p, t *cfg.Block, kind edgeKind) (decided, taken bool) {
+// implication between the two relations). The returned evidence names the
+// route and its inputs for the fold's translation-validation certificate,
+// which the validator re-derives rather than trusts.
+func decideEdge(p, t *cfg.Block, kind edgeKind) (bool, bool, tv.Evidence) {
 	ci := lastCmpBefore(t)
 	if ci < 0 {
-		return false, false
+		return false, false, tv.Evidence{}
 	}
 	tCmp := &t.Insts[ci]
 	q := t.Term().BrRel
@@ -288,7 +312,7 @@ func decideEdge(p, t *cfg.Block, kind edgeKind) (decided, taken bool) {
 	// Constant route: both compared values are known on this path.
 	if x, okx := env.value(tCmp.Src); okx {
 		if y, oky := env.value(tCmp.Src2); oky {
-			return true, q.Holds(x, y)
+			return true, q.Holds(x, y), tv.Evidence{Route: tv.RouteConst, X: x, Y: y}
 		}
 	}
 
@@ -304,16 +328,17 @@ func decideEdge(p, t *cfg.Block, kind edgeKind) (decided, taken bool) {
 			qr, matched = q.Swap(), true
 		}
 		if matched {
+			ev := tv.Evidence{Route: tv.RouteRel, RelX: fact.x, RelY: fact.y, Rel: fact.rel}
 			ks, qs := relSigns(fact.rel), relSigns(qr)
 			switch {
 			case ks&^qs == 0:
-				return true, true
+				return true, true, ev
 			case ks&qs == 0:
-				return true, false
+				return true, false, ev
 			}
 		}
 	}
-	return false, false
+	return false, false, tv.Evidence{}
 }
 
 // relSigns encodes a relation as the set of comparison outcomes
@@ -485,7 +510,7 @@ func countDecidedEdges(f *cfg.Func) int {
 			if e.t == p || !foldable(f, e.t) {
 				continue
 			}
-			if d, _ := decideEdge(p, e.t, e.kind); d {
+			if d, _, _ := decideEdge(p, e.t, e.kind); d {
 				n++
 			}
 		}

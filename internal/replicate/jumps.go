@@ -6,6 +6,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/obs"
 	"repro/internal/rtl"
+	"repro/internal/tv"
 )
 
 // Heuristic selects between the two candidate replication sequences of
@@ -83,6 +84,14 @@ type Options struct {
 	// failed, exercising the undo log's byte-identical restore on every
 	// attempt. Never set it outside tests.
 	ForceRollback bool
+	// OnCertificate, when non-nil, receives one translation-validation
+	// certificate per *applied* duplication, invoked synchronously right
+	// after the edit is kept — rolled-back candidates emit nothing — with
+	// the function in exactly the state the certificate describes. The
+	// pipeline's TV mode installs a validator here (see
+	// pipeline.Config.TV). Certificate construction is skipped entirely
+	// when the hook is nil, keeping the hot path allocation-free.
+	OnCertificate func(*cfg.Func, *tv.Certificate)
 }
 
 // Result reports what one replication invocation (JUMPS or LOOPS) did to a
@@ -208,6 +217,12 @@ func sweep(f *cfg.Func, opts Options, blacklist map[jumpKey]bool, g *budget, res
 		if tgt.Index == b.Index+1 {
 			b.Insts = b.Insts[:len(b.Insts)-1]
 			res.JumpsDeleted++
+			if opts.OnCertificate != nil {
+				opts.OnCertificate(f, &tv.Certificate{
+					Kind: tv.KindJumpDelete, Func: f.Name,
+					Block: key.block, Target: key.target,
+				})
+			}
 			emitDecision(opts, f, key.block, key.target, nil, obs.OutDeleted)
 			made++
 			continue
@@ -490,6 +505,16 @@ func finishCandidate(f *cfg.Func, loops []*cfg.Loop, opts Options, b *cfg.Block,
 // everything back through the undo log on failure (see dup.go).
 func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, opts Options) bool {
 	b := f.Blocks[bIdx]
+	// The certificate is built alongside the edit (splice fills in the
+	// copies, the step-5 loop redirects append below) but emitted only if
+	// the guard keeps it; a rolled-back candidate leaves no trace.
+	var cert *tv.Certificate
+	if opts.OnCertificate != nil {
+		cert = &tv.Certificate{
+			Kind: tv.KindReplication, Func: f.Name,
+			Block: b.Label, Target: b.Term().Target, FallsTo: c.fallsTo,
+		}
+	}
 	// Step 5 needs the membership of the loop the jump lives in, captured
 	// by label before splicing invalidates indices.
 	var loopLabels map[rtl.Label]bool
@@ -499,17 +524,26 @@ func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, o
 			loopLabels[f.Blocks[bi].Label] = true
 		})
 	}
-	return applyGuarded(f, opts, func(u *undoLog) {
+	ok := applyGuarded(f, opts, func(u *undoLog) {
 		u.truncated(b, len(b.Insts))
-		firstCopy, inserted := splice(f, b, c)
+		firstCopy, inserted := splice(f, b, c, cert)
 		u.insertedBlocks(bIdx, inserted)
 		// Step 5: preserve loop structure around partially copied loops.
 		if loopLabels != nil {
 			for _, r := range redirectLoopBranches(f, loopLabels, firstCopy) {
 				u.retargeted(r.inst, r.old)
+				if cert != nil {
+					cert.Retargets = append(cert.Retargets, tv.Retarget{
+						Block: r.block, Old: r.old, New: r.inst.Target,
+					})
+				}
 			}
 		}
 	})
+	if ok && cert != nil {
+		opts.OnCertificate(f, cert)
+	}
+	return ok
 }
 
 // splice replaces b's terminating jump with copies of the candidate blocks
@@ -517,8 +551,10 @@ func attemptReplication(f *cfg.Func, loops []*cfg.Loop, bIdx int, c candidate, o
 // preference, branch reversal where the replica's layout requires it, and
 // elimination of jumps that became fall-throughs. It returns the mapping
 // from each original block label to the label of its first copy, and the
-// number of blocks inserted after b (for the rollback undo log).
-func splice(f *cfg.Func, b *cfg.Block, c candidate) (map[rtl.Label]rtl.Label, int) {
+// number of blocks inserted after b (for the rollback undo log). A non-nil
+// cert collects the copy pairs and auxiliary jump blocks for translation
+// validation.
+func splice(f *cfg.Func, b *cfg.Block, c candidate, cert *tv.Certificate) (map[rtl.Label]rtl.Label, int) {
 	n := len(c.seq)
 	copies := make([]*cfg.Block, n)
 	// copyOf[label] lists replica indices holding copies of that label.
@@ -538,6 +574,12 @@ func splice(f *cfg.Func, b *cfg.Block, c candidate) (map[rtl.Label]rtl.Label, in
 	for i, orig := range originals {
 		if _, ok := first[orig.Label]; !ok {
 			first[orig.Label] = copies[i].Label
+		}
+	}
+	if cert != nil {
+		cert.Copies = make([]tv.CopyPair, n)
+		for i, orig := range originals {
+			cert.Copies[i] = tv.CopyPair{Orig: orig.Label, Copy: copies[i].Label}
 		}
 	}
 	// mapped resolves a control-flow target from replica position i:
@@ -608,10 +650,14 @@ func splice(f *cfg.Func, b *cfg.Block, c candidate) (map[rtl.Label]rtl.Label, in
 				// in after this copy once the fix-up sweep finishes.
 				term.Target = tTaken
 				if ft != rtl.NoLabel {
-					aux[i] = append(aux[i], &cfg.Block{
+					ab := &cfg.Block{
 						Label: f.NewLabel(),
 						Insts: []rtl.Inst{{Kind: rtl.Jmp, Target: tFall}},
-					})
+					}
+					aux[i] = append(aux[i], ab)
+					if cert != nil {
+						cert.Aux = append(cert.Aux, ab.Label)
+					}
 				}
 			}
 		case term.Kind == rtl.IJmp:
@@ -637,13 +683,22 @@ func splice(f *cfg.Func, b *cfg.Block, c candidate) (map[rtl.Label]rtl.Label, in
 	return first, len(final)
 }
 
+// loopRedirect is one step-5 rewrite: the retarget record for the undo
+// log plus the owning block's label for the certificate.
+type loopRedirect struct {
+	inst  *rtl.Inst
+	old   rtl.Label
+	block rtl.Label
+}
+
 // redirectLoopBranches implements step 5: when the replication was
 // initiated from inside a natural loop and copied part of that loop, the
 // conditional branches of uncopied loop blocks that target copied blocks
 // are redirected to the copies, preventing partially overlapping loops.
-// It returns the rewrites it made so a rollback can reverse them.
-func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy map[rtl.Label]rtl.Label) []retarget {
-	var undo []retarget
+// It returns the rewrites it made so a rollback can reverse them (and the
+// certificate can list them).
+func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy map[rtl.Label]rtl.Label) []loopRedirect {
+	var undo []loopRedirect
 	for _, x := range f.Blocks {
 		if !loopLabels[x.Label] {
 			continue
@@ -656,7 +711,7 @@ func redirectLoopBranches(f *cfg.Func, loopLabels map[rtl.Label]bool, firstCopy 
 			continue
 		}
 		if nc, ok := firstCopy[t.Target]; ok {
-			undo = append(undo, retarget{inst: t, old: t.Target})
+			undo = append(undo, loopRedirect{inst: t, old: t.Target, block: x.Label})
 			t.Target = nc
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/obs"
 	"repro/internal/rtl"
+	"repro/internal/tv"
 )
 
 // LOOPS is the conventional loop-condition replication the paper measures
@@ -136,6 +137,12 @@ func rotateOne(f *cfg.Func, opts Options, res *Result) bool {
 		}
 		res.Replications++
 		res.RTLsCopied += len(rep)
+		if opts.OnCertificate != nil {
+			opts.OnCertificate(f, &tv.Certificate{
+				Kind: tv.KindRotation, Func: f.Name,
+				Block: jumpBlock, Target: jumpTarget, CopyLen: len(rep),
+			})
+		}
 		cand[0].Applied = true
 		emitDecision(opts, f, jumpBlock, jumpTarget, cand, obs.OutApplied)
 		return true

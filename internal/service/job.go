@@ -61,7 +61,7 @@ func newJobID() string {
 func newJob(kind string, total int) *Job {
 	return &Job{
 		id: newJobID(), kind: kind, state: JobQueued,
-		created: time.Now(), total: total,
+		created: time.Now(), total: total, // det:allow nodeterminism — job lifecycle timestamps
 	}
 }
 
@@ -71,7 +71,7 @@ func (j *Job) ID() string { return j.id }
 func (j *Job) start() {
 	j.mu.Lock()
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = time.Now() // det:allow nodeterminism — job lifecycle timestamps
 	j.mu.Unlock()
 }
 
@@ -84,7 +84,7 @@ func (j *Job) step() {
 
 func (j *Job) finish(result any, err error) {
 	j.mu.Lock()
-	j.finished = time.Now()
+	j.finished = time.Now() // det:allow nodeterminism — job lifecycle timestamps
 	if err != nil {
 		j.state = JobFailed
 		j.err = err.Error()

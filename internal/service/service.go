@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -106,14 +107,21 @@ type metrics struct {
 	queueWait    *obs.HistogramVec
 	cacheReq     *obs.CounterVec
 	verifyByPass *obs.CounterVec
+	tvRej        *obs.CounterVec
 }
 
 // observeVerify feeds the verifier-violation counters: the legacy total
 // plus the per-pass family (verify-each attributes each violation to the
-// pass that introduced it).
+// pass that introduced it). Translation-validation rejections are counted
+// in their own family instead — a rejected duplication certificate is an
+// optimizer-correctness signal, not a semantic-verifier one.
 func (m *metrics) observeVerify(vs []verify.Violation) {
-	m.verifyViol.Add(int64(len(vs)))
 	for _, v := range vs {
+		if v.Rule == verify.RuleTranslation {
+			m.tvRej.WithLabelValues(v.Pass).Inc()
+			continue
+		}
+		m.verifyViol.Inc()
 		m.verifyByPass.WithLabelValues(v.Pass).Inc()
 	}
 }
@@ -160,6 +168,8 @@ func newMetrics(pool *Pool, cache *Cache, jobsRunning func() int64, version stri
 		"result cache lookups by request kind and outcome", []string{"kind", "result"})
 	m.verifyByPass = reg.CounterVec("mccd_verify_violations_by_pass_total",
 		"semantic verifier violations by the pass that introduced them", []string{"pass"})
+	m.tvRej = reg.CounterVec("mccd_tv_rejections_total",
+		"duplication certificates rejected by the translation validator, by emitting pass", []string{"pass"})
 	reg.GaugeVec("mccd_build_info",
 		"build version carried in the labels; the value is always 1", []string{"version"}).
 		WithLabelValues(version).Set(1)
@@ -407,6 +417,12 @@ type CompileRequest struct {
 	// any violations (attributed to the offending pass) come back as
 	// structured diagnostics in Static.Verify.
 	VerifyEach bool `json:"verify_each,omitempty"`
+	// TV runs the translation validator over the duplication engine:
+	// every applied duplication must present a certificate that passes
+	// cut-point bisimulation checking. Rejections come back in
+	// Static.Verify with rule "translation-validation" and are counted in
+	// the mccd_tv_rejections_total metric.
+	TV bool `json:"tv,omitempty"`
 }
 
 // CompileResult is the body of a successful POST /compile response.
@@ -437,6 +453,7 @@ func compileKey(req CompileRequest) Key {
 	b.str(req.Level)
 	b.options(req.Replication)
 	b.bool(req.VerifyEach)
+	b.bool(req.TV)
 	return b.sum()
 }
 
@@ -486,7 +503,7 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		return &out, nil
 	}
 	v, err := s.runSync(ctx, meta, func(context.Context) (any, error) {
-		start := time.Now()
+		start := time.Now() // det:allow nodeterminism — latency/queue telemetry
 		prog, err := mcc.Compile(req.Source)
 		if err != nil {
 			return nil, badRequestf("%v", err)
@@ -495,12 +512,12 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 		for _, f := range prog.Funcs {
 			inputRTLs += f.NumRTLs()
 		}
-		optStart := time.Now()
+		optStart := time.Now() // det:allow nodeterminism — latency/queue telemetry
 		st := pipeline.Optimize(prog, pipeline.Config{
 			Machine: m, Level: lv, Replication: repOpts,
-			Tracer: tr, VerifyEach: req.VerifyEach,
+			Tracer: tr, VerifyEach: req.VerifyEach, TV: req.TV,
 		})
-		s.met.observeThroughput(inputRTLs, time.Since(optStart))
+		s.met.observeThroughput(inputRTLs, time.Since(optStart)) // det:allow nodeterminism — latency/queue telemetry
 		s.met.observeVerify(st.Verify)
 		var buf bytes.Buffer
 		if err := asm.Emit(&buf, prog, m); err != nil {
@@ -510,7 +527,7 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 			Machine: m.Name, Level: lv.String(),
 			Assembly: buf.String(), Static: st,
 			CodeBytes: vm.NewLayout(prog, m).CodeBytes,
-			ElapsedNS: int64(time.Since(start)),
+			ElapsedNS: int64(time.Since(start)), // det:allow nodeterminism — latency/queue telemetry
 		}, nil
 	})
 	if err != nil {
@@ -531,7 +548,7 @@ func (s *Service) Compile(ctx context.Context, req CompileRequest) (*CompileResu
 // the outcome as a span on the job's trace and in the labeled cache
 // counters (the unlabeled hit/miss totals come from the cache itself).
 func (s *Service) lookupCache(key Key, meta jobMeta) (any, bool) {
-	start := time.Now()
+	start := time.Now() // det:allow nodeterminism — latency/queue telemetry
 	v, ok := s.cache.Get(key)
 	outcome := "miss"
 	if ok {
@@ -541,7 +558,7 @@ func (s *Service) lookupCache(key Key, meta jobMeta) (any, bool) {
 	if meta.tracer != nil {
 		meta.tracer.Emit(&obs.Event{
 			Type: obs.EvPhase, Name: "cache-lookup", Outcome: outcome,
-			TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)),
+			TimeNS: start.UnixNano(), DurNS: int64(time.Since(start)), // det:allow nodeterminism — latency/queue telemetry
 		})
 	}
 	return v, ok
@@ -572,6 +589,9 @@ type MeasureRequest struct {
 	// any violations (attributed to the offending pass) come back as
 	// structured diagnostics in Static.Verify.
 	VerifyEach bool `json:"verify_each,omitempty"`
+	// TV runs the translation validator over the duplication engine (see
+	// CompileRequest.TV).
+	TV bool `json:"tv,omitempty"`
 }
 
 // MeasureResult is the body of a successful POST /measure response.
@@ -610,6 +630,7 @@ func measureKey(req MeasureRequest, source, input string) Key {
 	b.bool(req.Caches)
 	b.bool(req.IncludeOutput)
 	b.bool(req.VerifyEach)
+	b.bool(req.TV)
 	return b.sum()
 }
 
@@ -679,6 +700,7 @@ func (s *Service) Measure(ctx context.Context, req MeasureRequest) (*MeasureResu
 			SimulateCaches: req.Caches,
 			Tracer:         tr,
 			VerifyEach:     req.VerifyEach,
+			TV:             req.TV,
 		})
 		if err != nil {
 			return nil, badRequestf("%v", err)
@@ -735,9 +757,9 @@ func (s *Service) runSync(ctx context.Context, meta jobMeta, fn func(context.Con
 		err error
 	}
 	ch := make(chan outcome, 1)
-	start := time.Now()
+	start := time.Now() // det:allow nodeterminism — latency/queue telemetry
 	err := s.pool.TrySubmit(ctx, func(ctx context.Context) {
-		wait := time.Since(start)
+		wait := time.Since(start) // det:allow nodeterminism — latency/queue telemetry
 		s.met.queueWait.WithLabelValues(meta.kind, meta.level, meta.machine).Observe(wait.Seconds())
 		if meta.tracer != nil {
 			meta.tracer.Emit(&obs.Event{
@@ -762,7 +784,7 @@ func (s *Service) runSync(ctx context.Context, meta jobMeta, fn func(context.Con
 	}
 	select {
 	case o := <-ch:
-		elapsed := time.Since(start).Seconds()
+		elapsed := time.Since(start).Seconds() // det:allow nodeterminism — latency/queue telemetry
 		s.met.latency.Observe(elapsed)
 		s.met.jobDur.WithLabelValues(meta.kind, meta.level, meta.machine).Observe(elapsed)
 		return o.v, o.err
@@ -787,6 +809,9 @@ type GridRequest struct {
 	// in every cell; the first violation (attributed to the offending
 	// pass) fails the job with the violation text as its error.
 	VerifyEach bool `json:"verify_each,omitempty"`
+	// TV runs the translation validator over every cell's duplication
+	// engine (see CompileRequest.TV); a rejection fails the job.
+	TV bool `json:"tv,omitempty"`
 	// Tables includes the rendered Tables 3–6 text in the job result.
 	Tables bool `json:"tables,omitempty"`
 }
@@ -850,13 +875,14 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.gridTimeout())
 		defer cancel()
 		job.start()
-		start := time.Now()
+		start := time.Now() // det:allow nodeterminism — latency/queue telemetry
 		res, err := bench.RunGrid(ctx, bench.GridConfig{
 			Programs:    progs,
 			Caches:      req.Caches,
 			CacheSizes:  req.CacheSizes,
 			Replication: repOpts,
 			VerifyEach:  req.VerifyEach,
+			TV:          req.TV,
 			Pool:        s.pool,
 			Tracer:      tr,
 			OnCell: func(c *bench.Cell) {
@@ -872,7 +898,7 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 		if err != nil {
 			s.met.errors.Inc()
 			s.finishJob(job, nil, err)
-			s.logf("grid job %s failed after %s: %v", job.ID(), time.Since(start).Round(time.Millisecond), err)
+			s.logf("grid job %s failed after %s: %v", job.ID(), time.Since(start).Round(time.Millisecond), err) // det:allow nodeterminism — latency/queue telemetry
 			return
 		}
 		out := &GridResult{Cells: make([]GridCell, 0, len(res.Cells))}
@@ -889,7 +915,7 @@ func (s *Service) SubmitGrid(req GridRequest) (JobView, error) {
 			out.Tables = buf.String()
 		}
 		s.finishJob(job, out, nil)
-		s.logf("grid job %s: %d cells in %s", job.ID(), len(res.Cells), time.Since(start).Round(time.Millisecond))
+		s.logf("grid job %s: %d cells in %s", job.ID(), len(res.Cells), time.Since(start).Round(time.Millisecond)) // det:allow nodeterminism — latency/queue telemetry
 	}()
 	return job.View(), nil
 }
@@ -905,7 +931,8 @@ func (s *Service) Job(id string) (JobView, error) {
 	return j.View(), nil
 }
 
-// Jobs returns snapshots of every known job (newest state, unordered).
+// Jobs returns snapshots of every known job, ordered by ID so the same
+// job set always serializes the same way.
 func (s *Service) Jobs() []JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -913,5 +940,6 @@ func (s *Service) Jobs() []JobView {
 	for _, j := range s.jobs {
 		out = append(out, j.View())
 	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }

@@ -1,0 +1,198 @@
+package tv
+
+import "repro/internal/rtl"
+
+// This file is the validator's own decision procedure for fold evidence.
+// It deliberately re-implements — rather than imports — the optimizer's
+// per-path constant propagation, operand-stability check and relation
+// sign-set algebra: the whole point of re-deriving a fold's outcome is
+// that a bug in the optimizer's copy of the analysis cannot vouch for
+// itself. Only the IR's ground truth (operand equality, operator
+// evaluation, rtl.Rel.Holds) is shared, because that *is* the semantics
+// being preserved.
+
+// symEnv tracks the constant values a straight-line path proves for
+// registers and unaliased frame slots. Everything starts unknown; the
+// simulation only ever narrows unknowns to constants observed on the path
+// itself, so lookups are sound on any execution that follows the path.
+type symEnv struct {
+	regs   map[rtl.Reg]int64
+	locals map[int64]int64
+}
+
+func newSymEnv() *symEnv {
+	return &symEnv{regs: map[rtl.Reg]int64{}, locals: map[int64]int64{}}
+}
+
+// lookup resolves an operand to a constant proven on the simulated path.
+func (e *symEnv) lookup(o rtl.Operand) (int64, bool) {
+	switch o.Kind {
+	case rtl.OImm:
+		return o.Val, true
+	case rtl.OReg:
+		v, ok := e.regs[o.Reg]
+		return v, ok
+	case rtl.OLocal:
+		v, ok := e.locals[o.Val]
+		return v, ok
+	}
+	return 0, false
+}
+
+// set records dst's value after an instruction: a proven constant, or
+// unknown (which erases any prior fact). A store through memory may alias
+// any addressable frame slot, so it erases every tracked local.
+func (e *symEnv) set(dst rtl.Operand, v int64, known bool) {
+	switch dst.Kind {
+	case rtl.OReg:
+		if known {
+			e.regs[dst.Reg] = v
+		} else {
+			delete(e.regs, dst.Reg)
+		}
+	case rtl.OLocal:
+		if known {
+			e.locals[dst.Val] = v
+		} else {
+			delete(e.locals, dst.Val)
+		}
+	case rtl.OMem, rtl.OGlobal:
+		clear(e.locals)
+	}
+}
+
+// exec simulates one instruction. Control-transfer instructions, compares
+// and argument stores have no tracked effect on registers or locals.
+func (e *symEnv) exec(in *rtl.Inst) {
+	switch in.Kind {
+	case rtl.Move:
+		v, ok := e.lookup(in.Src)
+		e.set(in.Dst, v, ok)
+	case rtl.Bin:
+		x, okx := e.lookup(in.Src)
+		y, oky := e.lookup(in.Src2)
+		if okx && oky {
+			e.set(in.Dst, in.BOp.Eval(x, y), true)
+		} else {
+			e.set(in.Dst, 0, false)
+		}
+	case rtl.Un:
+		if x, ok := e.lookup(in.Src); ok {
+			e.set(in.Dst, in.UOp.Eval(x), true)
+		} else {
+			e.set(in.Dst, 0, false)
+		}
+	case rtl.Call:
+		// The callee's frame is separate (registers survive) but it may
+		// store through any pointer it was handed.
+		clear(e.locals)
+		if in.Dst.Kind != rtl.ONone {
+			e.set(in.Dst, 0, false)
+		}
+	}
+}
+
+// carriable reports whether a relational fact about the operand survives
+// crossing a block boundary: registers, immediates and frame slots do;
+// anything reached through memory indirection does not.
+func carriable(o rtl.Operand) bool {
+	switch o.Kind {
+	case rtl.OReg, rtl.OImm, rtl.OLocal:
+		return true
+	}
+	return false
+}
+
+// unclobbered reports whether executing insts provably leaves the values
+// of both operands unchanged: no instruction defines a register either
+// reads, and no store or call can alias a frame slot either reads.
+func unclobbered(x, y rtl.Operand, insts []rtl.Inst) bool {
+	readsReg := func(r rtl.Reg) bool {
+		return (x.Kind == rtl.OReg && x.Reg == r) || (y.Kind == rtl.OReg && y.Reg == r)
+	}
+	readsLocal := func(off int64, any bool) bool {
+		if x.Kind == rtl.OLocal && (any || x.Val == off) {
+			return true
+		}
+		return y.Kind == rtl.OLocal && (any || y.Val == off)
+	}
+	for i := range insts {
+		in := &insts[i]
+		if d := in.DefReg(); d != rtl.RegNone && readsReg(d) {
+			return false
+		}
+		switch in.Kind {
+		case rtl.Move, rtl.Bin, rtl.Un:
+			switch in.Dst.Kind {
+			case rtl.OLocal:
+				if readsLocal(in.Dst.Val, false) {
+					return false
+				}
+			case rtl.OMem, rtl.OGlobal:
+				if readsLocal(0, true) {
+					return false
+				}
+			}
+		case rtl.Call:
+			if readsLocal(0, true) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// signSet encodes a relation as the subset of {<, ==, >} that satisfies
+// it, so implication between two relations over the same operand pair is
+// set containment and exclusion is empty intersection.
+type signSet uint8
+
+const (
+	signLt signSet = 1 << iota
+	signEq
+	signGt
+	signAll = signLt | signEq | signGt
+)
+
+// signsOf returns the relation's sign set.
+func signsOf(r rtl.Rel) signSet {
+	switch r {
+	case rtl.Eq:
+		return signEq
+	case rtl.Ne:
+		return signLt | signGt
+	case rtl.Lt:
+		return signLt
+	case rtl.Le:
+		return signLt | signEq
+	case rtl.Gt:
+		return signGt
+	case rtl.Ge:
+		return signGt | signEq
+	}
+	return signAll
+}
+
+// implies reports whether "x known y" forces "x query y" true (decided
+// true), forces it false (decided false), or leaves it open.
+func implies(known, query rtl.Rel) (decided, outcome bool) {
+	ks, qs := signsOf(known), signsOf(query)
+	switch {
+	case ks&^qs == 0:
+		return true, true
+	case ks&qs == 0:
+		return true, false
+	}
+	return false, false
+}
+
+// lastCmp returns the index of the last comparison before the block's
+// terminator, or -1 when the block computes no condition of its own.
+func lastCmp(insts []rtl.Inst) int {
+	for i := len(insts) - 2; i >= 0; i-- {
+		if insts[i].Kind == rtl.Cmp {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,204 @@
+// Package tv_test drives the validator with certificates harvested from
+// the real replication engine and then tampers with them: every doctored
+// certificate (or doctored function) must be rejected. The engine lives in
+// internal/replicate, which imports this package for the Certificate type —
+// hence the external test package.
+package tv_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/replicate"
+	"repro/internal/rtl"
+	"repro/internal/tv"
+)
+
+// Fixtures. The fold fixture deliberately contains no unconditional jump,
+// so DUPS' leading JUMPS leg is a no-op and the fold leg fires on the
+// fall-through edge with constant evidence.
+const (
+	replicableSrc = `func r(params=0, locals=0):
+L0:
+	v0 = #1
+	PC = L2
+L1:
+	v0 = #2
+L2:
+	PC = RT, rv=v0
+`
+	constFallSrc = `func cf(params=0, locals=0):
+L0:
+	v0 = #0
+L1:
+	CC = v0 ? #0
+	PC = CC > 0, L3
+L2:
+	PC = RT, rv=v0
+L3:
+	v0 = #5
+	PC = RT, rv=v0
+`
+	whileShapeSrc = `func w(params=1, locals=1):
+L0:
+	v0 = L[fp+0]
+	PC = L2
+L1:
+	v0 = v0 - #1
+L2:
+	CC = v0 ? #0
+	PC = CC > 0, L1
+L3:
+	PC = RT, rv=v0
+`
+)
+
+// harvest runs one engine pass over src and returns the post-state
+// function snapshot and certificate of the first emission matching kind.
+func harvest(t *testing.T, src string, kind tv.Kind, pass func(*cfg.Func, replicate.Options) replicate.Result) (*cfg.Func, *tv.Certificate) {
+	t.Helper()
+	f, err := cfg.ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *cfg.Func
+	var cert *tv.Certificate
+	pass(f, replicate.Options{
+		OnCertificate: func(fn *cfg.Func, c *tv.Certificate) {
+			if c.Kind != kind || cert != nil {
+				return
+			}
+			snap, cert = fn.Clone(), c
+		},
+	})
+	if cert == nil {
+		t.Fatalf("no %s certificate emitted for:\n%s", kind, src)
+	}
+	if vs := tv.Validate(snap, cert); len(vs) != 0 {
+		t.Fatalf("clean %s certificate rejected: %v", kind, vs)
+	}
+	return snap, cert
+}
+
+// TestTamperedCertificatesRejected: each scenario perturbs one aspect of a
+// genuine certificate (or of the function it describes) and expects the
+// validator to produce at least one translation-validation violation.
+func TestTamperedCertificatesRejected(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		kind   tv.Kind
+		pass   func(*cfg.Func, replicate.Options) replicate.Result
+		tamper func(f *cfg.Func, c *tv.Certificate)
+	}{
+		{
+			name: "replication/wrong-target", src: replicableSrc,
+			kind: tv.KindReplication, pass: replicate.JUMPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) { c.Target = c.Block },
+		},
+		{
+			name: "replication/corrupted-copy-body", src: replicableSrc,
+			kind: tv.KindReplication, pass: replicate.JUMPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) {
+				// A real miscompile: the copy returns a different register
+				// than the original it claims to mirror.
+				cp := f.BlockByLabel(c.Copies[0].Copy)
+				cp.Insts[len(cp.Insts)-1].Src = rtl.R(rtl.VRegBase + 7)
+			},
+		},
+		{
+			name: "replication/unlisted-copy", src: replicableSrc,
+			kind: tv.KindReplication, pass: replicate.JUMPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) { c.Copies = nil },
+		},
+		{
+			name: "fold/flipped-direction", src: constFallSrc,
+			kind: tv.KindFold, pass: replicate.DUPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) { c.Taken = !c.Taken },
+		},
+		{
+			name: "fold/forged-constant", src: constFallSrc,
+			kind: tv.KindFold, pass: replicate.DUPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) { c.Evidence.X = c.Evidence.X + 1 },
+		},
+		{
+			name: "fold/wrong-route", src: constFallSrc,
+			kind: tv.KindFold, pass: replicate.DUPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) { c.Evidence.Route = tv.RouteRel },
+		},
+		{
+			name: "fold/miscompiled-transfer", src: constFallSrc,
+			kind: tv.KindFold, pass: replicate.DUPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) {
+				// The folded copy jumps to the wrong arm of the test.
+				cp := f.BlockByLabel(c.Copy)
+				tb := f.BlockByLabel(c.Target)
+				term := cp.Term()
+				if term.Target == tb.Term().Target {
+					term.Target = f.Blocks[tb.Index+1].Label
+				} else {
+					term.Target = tb.Term().Target
+				}
+			},
+		},
+		{
+			name: "rotation/wrong-length", src: whileShapeSrc,
+			kind: tv.KindRotation, pass: replicate.LOOPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) { c.CopyLen = 3 },
+		},
+		{
+			name: "rotation/unswapped-negation", src: whileShapeSrc,
+			kind: tv.KindRotation, pass: replicate.LOOPS,
+			tamper: func(f *cfg.Func, c *tv.Certificate) {
+				// Negating the rotated branch without swapping its edges
+				// inverts the loop exit condition — a classic rotation bug.
+				p := f.BlockByLabel(c.Block)
+				br := p.Term()
+				br.BrRel = br.BrRel.Negate()
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, cert := harvest(t, tc.src, tc.kind, tc.pass)
+			certCopy := *cert
+			tc.tamper(snap, &certCopy)
+			if vs := tv.Validate(snap, &certCopy); len(vs) == 0 {
+				t.Errorf("tampered certificate accepted:\n%s", snap)
+			}
+		})
+	}
+}
+
+// TestUnknownKindRejected: a certificate of a kind the validator does not
+// know is never silently accepted.
+func TestUnknownKindRejected(t *testing.T) {
+	f, err := cfg.ParseFunc(replicableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tv.Validate(f, &tv.Certificate{Kind: "mystery", Func: "r"})
+	if len(vs) == 0 {
+		t.Fatal("unknown certificate kind accepted")
+	}
+}
+
+// TestCertificateJSONRoundTrip: certificates are wire-stable — they travel
+// through trace files and test reports, so marshalling must round-trip.
+func TestCertificateJSONRoundTrip(t *testing.T) {
+	_, cert := harvest(t, constFallSrc, tv.KindFold, replicate.DUPS)
+	b, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back tv.Certificate
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != cert.Kind || back.Func != cert.Func || back.Block != cert.Block ||
+		back.Dest != cert.Dest || back.Taken != cert.Taken ||
+		back.Evidence != cert.Evidence {
+		t.Errorf("round trip changed the certificate:\n got %+v\nwant %+v", back, *cert)
+	}
+}

@@ -23,6 +23,9 @@
 //	                       not defined on every path from the entry
 //	irreducible-cfg        the flow graph stays reducible (the property
 //	                       replication's step-6 rollback exists to protect)
+//	translation-validation a duplication certificate failed cut-point
+//	                       bisimulation checking (emitted by internal/tv,
+//	                       not by Func/Program — see pipeline.Config.TV)
 //
 // A structural violation stops the remaining rules for that function: the
 // semantic analyses assume resolvable targets and well-formed blocks.
@@ -52,6 +55,10 @@ const (
 	RuleDeadReg      Rule = "dead-reg-use"
 	RuleUseBeforeDef Rule = "use-before-def"
 	RuleIrreducible  Rule = "irreducible-cfg"
+	// RuleTranslation is reported by the translation validator
+	// (internal/tv) when a duplication certificate fails cut-point
+	// bisimulation checking; Func/Program never emit it themselves.
+	RuleTranslation Rule = "translation-validation"
 )
 
 // Violation is one verifier finding. Pass, Stage and Iter are filled by
